@@ -1,0 +1,163 @@
+//! Criterion benches: one group per reproduced table/figure, on
+//! scaled-down configurations.
+//!
+//! These measure the *simulator's wall-clock cost* of regenerating each
+//! artifact (the virtual-time results themselves are deterministic and
+//! printed by the `src/bin` harnesses). Keeping them in `cargo bench`
+//! guards against performance regressions in the engine and the
+//! framework runtimes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use hpcbd_cluster::Placement;
+use hpcbd_core::bench_answers;
+use hpcbd_core::bench_fileread;
+use hpcbd_core::bench_pagerank::{
+    mpi_pagerank, persist_ablation, shmem_pagerank, spark_pagerank, PagerankInput, SparkVariant,
+};
+use hpcbd_core::bench_reduce;
+use hpcbd_minspark::ShuffleEngine;
+use hpcbd_workloads::StackExchangeDataset;
+
+fn small_placement() -> Placement {
+    Placement::new(2, 4)
+}
+
+fn small_ds() -> StackExchangeDataset {
+    let size = 2u64 << 30;
+    let records = size / hpcbd_workloads::stackexchange::RECORD_BYTES;
+    StackExchangeDataset::new(0xBE7C, size, records / 10_000)
+}
+
+fn fig3_reduce(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig3_reduce");
+    g.sample_size(10);
+    g.bench_function("mpi_4B", |b| {
+        b.iter(|| bench_reduce::mpi_reduce_latency(small_placement(), 1, 3))
+    });
+    g.bench_function("mpi_64KB", |b| {
+        b.iter(|| bench_reduce::mpi_reduce_latency(small_placement(), 16384, 3))
+    });
+    g.bench_function("spark_4B", |b| {
+        b.iter(|| bench_reduce::spark_reduce_latency(small_placement(), 1, false))
+    });
+    g.finish();
+}
+
+fn table2_fileread(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table2_fileread");
+    g.sample_size(10);
+    let size = 1u64 << 30;
+    g.bench_function("spark_hdfs", |b| {
+        b.iter(|| bench_fileread::spark_hdfs_read(small_placement(), size, 2))
+    });
+    g.bench_function("spark_local", |b| {
+        b.iter(|| bench_fileread::spark_local_read(small_placement(), size))
+    });
+    g.bench_function("mpi", |b| {
+        b.iter(|| bench_fileread::mpi_read(small_placement(), size).unwrap())
+    });
+    g.finish();
+}
+
+fn fig4_answers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4_answers");
+    g.sample_size(10);
+    let ds = small_ds();
+    g.bench_function("openmp_8", {
+        let ds = ds.clone();
+        move |b| b.iter(|| bench_answers::openmp_answers(&ds, 8))
+    });
+    g.bench_function("mpi", {
+        let ds = ds.clone();
+        move |b| b.iter(|| bench_answers::mpi_answers(&ds, small_placement()).unwrap())
+    });
+    g.bench_function("spark", {
+        let ds = ds.clone();
+        move |b| b.iter(|| bench_answers::spark_answers(&ds, small_placement()))
+    });
+    g.bench_function("hadoop", {
+        let ds = ds.clone();
+        move |b| b.iter(|| bench_answers::hadoop_answers(&ds, small_placement()))
+    });
+    g.finish();
+}
+
+fn fig6_pagerank(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6_pagerank");
+    g.sample_size(10);
+    let input = PagerankInput::small();
+    g.bench_function("mpi", {
+        let input = input.clone();
+        move |b| b.iter(|| mpi_pagerank(&input, small_placement()))
+    });
+    g.bench_function("spark_tuned_socket", {
+        let input = input.clone();
+        move |b| {
+            b.iter(|| {
+                spark_pagerank(
+                    &input,
+                    small_placement(),
+                    SparkVariant::BigDataBenchTuned,
+                    ShuffleEngine::Socket,
+                )
+            })
+        }
+    });
+    g.bench_function("spark_tuned_rdma", {
+        let input = input.clone();
+        move |b| {
+            b.iter(|| {
+                spark_pagerank(
+                    &input,
+                    small_placement(),
+                    SparkVariant::BigDataBenchTuned,
+                    ShuffleEngine::Rdma,
+                )
+            })
+        }
+    });
+    g.finish();
+}
+
+fn fig7_pagerank_hibench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7_pagerank_hibench");
+    g.sample_size(10);
+    let input = PagerankInput::small();
+    for (name, engine) in [
+        ("socket", ShuffleEngine::Socket),
+        ("rdma", ShuffleEngine::Rdma),
+    ] {
+        let input = input.clone();
+        g.bench_function(name, move |b| {
+            b.iter(|| spark_pagerank(&input, small_placement(), SparkVariant::HiBench, engine))
+        });
+    }
+    g.finish();
+}
+
+fn ablations(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablations");
+    g.sample_size(10);
+    let input = PagerankInput::small();
+    g.bench_function("persist_ablation", {
+        let input = input.clone();
+        move |b| b.iter(|| persist_ablation(&input, small_placement()))
+    });
+    g.bench_function("shmem_pagerank", {
+        let input = input.clone();
+        move |b| b.iter(|| shmem_pagerank(&input, small_placement()))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    fig3_reduce,
+    table2_fileread,
+    fig4_answers,
+    fig6_pagerank,
+    fig7_pagerank_hibench,
+    ablations
+);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Ablation A3 — the paper's future direction (Sec. VI-C): "implement
+//! all Spark communications using RDMA and not only the data shuffling
+//! operations". Moves the driver<->executor control plane onto verbs.
+
+use hpcbd_cluster::Placement;
+use hpcbd_minspark::{ShuffleEngine, SparkCluster, SparkConfig};
+
+fn run(placement: Placement, rdma_control: bool) -> f64 {
+    let mut config = SparkConfig::with_shuffle(ShuffleEngine::Rdma);
+    config.executors_per_node = placement.per_node;
+    config.rdma_control_plane = rdma_control;
+    let total = placement.total() as usize * 4096;
+    let parts = placement.total();
+    SparkCluster::new(placement.nodes, config)
+        .run(move |sc| {
+            let rdd = sc.parallelize_with_bytes(vec![1.0f32; total], parts, 4);
+            let t0 = sc.now();
+            let _ = sc.reduce(&rdd, |a, b| a + b);
+            (sc.now() - t0).as_secs_f64()
+        })
+        .value
+}
+
+fn main() {
+    hpcbd_bench::banner("Ablation A3 (RDMA for control plane too)");
+    let placement = if hpcbd_bench::quick_mode() {
+        Placement::new(2, 4)
+    } else {
+        Placement::new(8, 8)
+    };
+    let sockets = run(placement, false);
+    let rdma = run(placement, true);
+    println!("reduce action, control on java sockets: {sockets:.4}s");
+    println!("reduce action, control on verbs:        {rdma:.4}s");
+    println!("speedup: {:.2}x", sockets / rdma);
+    println!();
+    println!("shape: on driver-bound jobs (Fig. 3's regime) moving the control");
+    println!("plane to RDMA is exactly where the remaining time goes — the");
+    println!("paper's proposed future work pays off most there.");
+}

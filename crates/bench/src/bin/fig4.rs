@@ -1,0 +1,24 @@
+//! Fig. 4 — StackExchange AnswersCount across all four paradigms.
+
+use hpcbd_core::bench_answers;
+use hpcbd_workloads::StackExchangeDataset;
+
+fn main() {
+    hpcbd_bench::banner("Fig. 4 (StackExchange AnswersCount, 80 GB)");
+    let (ds, nodes, ppn) = if hpcbd_bench::quick_mode() {
+        let size = 4u64 << 30;
+        let records = size / hpcbd_workloads::stackexchange::RECORD_BYTES;
+        (
+            StackExchangeDataset::new(0xA125, size, records / 20_000),
+            vec![1u32, 2],
+            4,
+        )
+    } else {
+        (bench_answers::dataset(), vec![1u32, 2, 4, 6, 8], 8)
+    };
+    let table = bench_answers::figure4(&ds, &nodes, ppn);
+    println!("{table}");
+    println!("shape: OpenMP disk-bound on one node; MPI infeasible below 41");
+    println!("processes (MAX_INT chunks); Spark and Hadoop scale with nodes,");
+    println!("Spark well ahead of Hadoop (no per-task disk persistence).");
+}

@@ -1,0 +1,14 @@
+//! Table I — the platform description of the modeled cluster.
+
+fn main() {
+    hpcbd_bench::banner("Table I (experimental setup)");
+    let mut widths = (0usize, 0usize);
+    let rows = hpcbd_cluster::comet_summary();
+    for (k, v) in &rows {
+        widths.0 = widths.0.max(k.len());
+        widths.1 = widths.1.max(v.len());
+    }
+    for (k, v) in rows {
+        println!("| {k:<w0$} | {v:<w1$} |", w0 = widths.0, w1 = widths.1);
+    }
+}

@@ -1,0 +1,40 @@
+//! `hpcbd-bench` — the harness that regenerates every table and figure.
+//!
+//! One binary per paper artifact (see DESIGN.md §4 for the index):
+//!
+//! | Binary | Artifact |
+//! |---|---|
+//! | `table1` | Table I — platform description |
+//! | `fig3` | Fig. 3 — reduce microbenchmark |
+//! | `table2` | Table II — parallel file read |
+//! | `fig4` | Fig. 4 — AnswersCount |
+//! | `fig6` | Fig. 6 — BigDataBench PageRank |
+//! | `fig7` | Fig. 7 — HiBench PageRank |
+//! | `table3` | Table III — LoC / boilerplate |
+//! | `ablation_persist` | A1 — the `persist` effect |
+//! | `ablation_replication` | A2 — HDFS replication vs locality |
+//! | `ablation_rdma_all` | A3 — RDMA for the control plane too |
+//! | `ablation_fault` | A4 — lineage vs checkpoint/restart |
+//! | `ablation_shmem_pagerank` | A5 — PageRank over PGAS |
+//!
+//! All binaries accept `--quick` to run a scaled-down configuration
+//! (fewer nodes, smaller sweep) for fast smoke runs; the default is the
+//! paper-scale setup. Criterion benches (`cargo bench`) time the
+//! *simulator's wall-clock cost* on small configurations of the same
+//! experiments.
+
+#![warn(missing_docs)]
+
+/// True when `--quick` is among the CLI arguments.
+pub fn quick_mode() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}
+
+/// Standard banner for harness output.
+pub fn banner(artifact: &str) {
+    println!("==============================================================");
+    println!("hpcbd reproduction — {artifact}");
+    println!("(virtual times from the simulated Comet platform; see");
+    println!(" EXPERIMENTS.md for the paper-vs-measured discussion)");
+    println!("==============================================================");
+}

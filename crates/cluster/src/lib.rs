@@ -1,0 +1,16 @@
+//! `hpcbd-cluster` — the modeled platform and process placement.
+//!
+//! The paper runs everything on SDSC Comet so that the HPC and Big Data
+//! stacks are compared fairly on one machine. This crate plays that role
+//! for the simulation: it owns the canonical Comet description (Table I),
+//! the placement policy ("N nodes, P processes per node" as used in every
+//! experiment), and small launcher helpers that the paradigm runtimes
+//! (`minimpi`, `minspark`, ...) build on.
+
+#![warn(missing_docs)]
+
+pub mod placement;
+pub mod platform;
+
+pub use placement::{Placement, RankMap};
+pub use platform::{comet_summary, ClusterSpec};

@@ -1,0 +1,145 @@
+//! Process placement: mapping ranks / executors to nodes.
+
+use hpcbd_simnet::{NodeId, Pid};
+
+/// A block placement of `total` processes over `nodes` nodes with
+/// `per_node` processes each — the "`N` nodes, `P` processes/node" layout
+/// every experiment in the paper uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Placement {
+    /// Node count.
+    pub nodes: u32,
+    /// Processes per node.
+    pub per_node: u32,
+}
+
+impl Placement {
+    /// `nodes` x `per_node` placement.
+    pub fn new(nodes: u32, per_node: u32) -> Placement {
+        assert!(nodes > 0 && per_node > 0, "placement must be non-empty");
+        Placement { nodes, per_node }
+    }
+
+    /// Total processes.
+    #[inline]
+    pub fn total(&self) -> u32 {
+        self.nodes * self.per_node
+    }
+
+    /// The node hosting `rank` (block distribution: ranks 0..P on node 0,
+    /// P..2P on node 1, ...).
+    #[inline]
+    pub fn node_of_rank(&self, rank: u32) -> NodeId {
+        assert!(rank < self.total(), "rank {rank} out of range");
+        NodeId(rank / self.per_node)
+    }
+
+    /// Ranks hosted on `node`.
+    pub fn ranks_on(&self, node: NodeId) -> std::ops::Range<u32> {
+        let start = node.0 * self.per_node;
+        start..start + self.per_node
+    }
+
+    /// Iterate `(rank, node)` pairs in rank order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, NodeId)> + '_ {
+        (0..self.total()).map(move |r| (r, self.node_of_rank(r)))
+    }
+}
+
+/// Bidirectional map between application-level ranks and engine pids,
+/// built as a framework spawns its processes. Lets collectives address
+/// "rank r" while the engine addresses `Pid`s (which may be offset by
+/// auxiliary processes such as a Spark driver or HDFS datanodes).
+#[derive(Debug, Clone, Default)]
+pub struct RankMap {
+    pids: Vec<Pid>,
+}
+
+impl RankMap {
+    /// Empty map.
+    pub fn new() -> RankMap {
+        RankMap::default()
+    }
+
+    /// Construct from pids in rank order.
+    pub fn from_pids(pids: Vec<Pid>) -> RankMap {
+        RankMap { pids }
+    }
+
+    /// Register the next rank's pid; returns the rank.
+    pub fn push(&mut self, pid: Pid) -> u32 {
+        self.pids.push(pid);
+        (self.pids.len() - 1) as u32
+    }
+
+    /// Pid of `rank`.
+    #[inline]
+    pub fn pid(&self, rank: u32) -> Pid {
+        self.pids[rank as usize]
+    }
+
+    /// Rank of `pid`, if it belongs to this map.
+    pub fn rank_of(&self, pid: Pid) -> Option<u32> {
+        self.pids.iter().position(|p| *p == pid).map(|i| i as u32)
+    }
+
+    /// Number of ranks.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.pids.len()
+    }
+
+    /// True when no ranks are registered.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.pids.is_empty()
+    }
+
+    /// All pids in rank order.
+    pub fn pids(&self) -> &[Pid] {
+        &self.pids
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_placement_maps_ranks() {
+        let p = Placement::new(8, 8);
+        assert_eq!(p.total(), 64);
+        assert_eq!(p.node_of_rank(0), NodeId(0));
+        assert_eq!(p.node_of_rank(7), NodeId(0));
+        assert_eq!(p.node_of_rank(8), NodeId(1));
+        assert_eq!(p.node_of_rank(63), NodeId(7));
+        assert_eq!(p.ranks_on(NodeId(2)), 16..24);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rank_out_of_range_panics() {
+        Placement::new(2, 2).node_of_rank(4);
+    }
+
+    #[test]
+    fn iter_visits_every_rank_once() {
+        let p = Placement::new(3, 5);
+        let pairs: Vec<_> = p.iter().collect();
+        assert_eq!(pairs.len(), 15);
+        assert_eq!(pairs[0], (0, NodeId(0)));
+        assert_eq!(pairs[14], (14, NodeId(2)));
+    }
+
+    #[test]
+    fn rank_map_roundtrip() {
+        let mut m = RankMap::new();
+        assert!(m.is_empty());
+        assert_eq!(m.push(Pid(10)), 0);
+        assert_eq!(m.push(Pid(20)), 1);
+        assert_eq!(m.pid(1), Pid(20));
+        assert_eq!(m.rank_of(Pid(10)), Some(0));
+        assert_eq!(m.rank_of(Pid(99)), None);
+        assert_eq!(m.len(), 2);
+    }
+}

@@ -1,0 +1,123 @@
+//! The modeled platform: a named cluster built from node specs.
+
+use hpcbd_simnet::{NodeSpec, Topology, Transport};
+
+/// A cluster configuration: how many nodes, what hardware, and which
+/// transports the fabric offers. Instances of this are the "single
+/// platform" every experiment shares.
+#[derive(Debug, Clone)]
+pub struct ClusterSpec {
+    /// Human-readable name ("comet").
+    pub name: String,
+    /// Number of allocated nodes.
+    pub nodes: u32,
+    /// Per-node hardware.
+    pub node_spec: NodeSpec,
+}
+
+impl ClusterSpec {
+    /// An allocation of `nodes` Comet nodes.
+    pub fn comet(nodes: u32) -> ClusterSpec {
+        ClusterSpec {
+            name: "comet".to_string(),
+            nodes,
+            node_spec: NodeSpec::comet(),
+        }
+    }
+
+    /// Build the simnet topology for this allocation.
+    pub fn topology(&self) -> Topology {
+        Topology::homogeneous(self.nodes, self.node_spec.clone())
+    }
+
+    /// The native RDMA transport of the FDR InfiniBand fabric (used by
+    /// MPI, OpenSHMEM and the Spark-RDMA shuffle engine).
+    pub fn rdma(&self) -> Transport {
+        Transport::rdma_verbs()
+    }
+
+    /// The TCP-over-IPoIB transport (default Spark/Hadoop data path).
+    pub fn ipoib(&self) -> Transport {
+        Transport::ipoib_socket()
+    }
+
+    /// The JVM socket RPC control path (always used for Big Data
+    /// orchestration, even under Spark-RDMA).
+    pub fn control(&self) -> Transport {
+        Transport::java_socket_control()
+    }
+
+    /// Total cores in the allocation.
+    pub fn total_cores(&self) -> u32 {
+        self.nodes * self.node_spec.cores()
+    }
+}
+
+/// Render Table I of the paper from the modeled node spec: the platform
+/// description every experiment shares.
+pub fn comet_summary() -> Vec<(String, String)> {
+    let spec = NodeSpec::comet();
+    vec![
+        ("Processor type".into(), spec.model.clone()),
+        ("Sockets #".into(), spec.sockets.to_string()),
+        (
+            "Cores/socket".into(),
+            spec.cores_per_socket.to_string(),
+        ),
+        ("Clock speed".into(), format!("{} GHz", spec.clock_ghz)),
+        (
+            "Flop speed".into(),
+            format!("{:.0} GFlop/s", spec.peak_flops() / 1e9),
+        ),
+        (
+            "Memory capacity".into(),
+            format!("{} GB DDR4 DRAM", spec.mem_capacity >> 30),
+        ),
+        (
+            "Interconnect".into(),
+            "Hybrid Fat-Tree, FDR InfiniBand".into(),
+        ),
+        (
+            "Local scratch memory".into(),
+            format!("{} GB SSD", spec.disk.capacity / 1_000_000_000),
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comet_allocation_builds_matching_topology() {
+        let spec = ClusterSpec::comet(8);
+        let topo = spec.topology();
+        assert_eq!(topo.len(), 8);
+        assert_eq!(spec.total_cores(), 8 * 24);
+    }
+
+    #[test]
+    fn table1_rows_match_paper() {
+        let rows = comet_summary();
+        let get = |k: &str| {
+            rows.iter()
+                .find(|(key, _)| key == k)
+                .map(|(_, v)| v.clone())
+                .unwrap()
+        };
+        assert_eq!(get("Processor type"), "Intel Xeon E5-2680v3");
+        assert_eq!(get("Sockets #"), "2");
+        assert_eq!(get("Cores/socket"), "12");
+        assert_eq!(get("Clock speed"), "2.5 GHz");
+        assert_eq!(get("Flop speed"), "960 GFlop/s");
+        assert_eq!(get("Memory capacity"), "128 GB DDR4 DRAM");
+        assert_eq!(get("Local scratch memory"), "320 GB SSD");
+    }
+
+    #[test]
+    fn transports_are_ranked_rdma_fastest() {
+        let c = ClusterSpec::comet(2);
+        assert!(c.rdma().latency < c.ipoib().latency);
+        assert!(c.ipoib().send_overhead < c.control().send_overhead);
+    }
+}

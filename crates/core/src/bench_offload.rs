@@ -1,0 +1,134 @@
+//! Ablation A8 — the accelerator offload trade-off (Sec. III-D).
+//!
+//! "Given the very high cost of transferring data between host and
+//! device on existing platforms ... the trend toward heterogeneity of
+//! the cores, and very powerful attached accelerators, greatly
+//! exacerbates the programming challenge." The paper also contrasts the
+//! discrete-memory generation (KNC, Nvidia GPUs) with unified-memory
+//! parts (KNL, AMD GPUs).
+//!
+//! This experiment runs the same kernel on (a) the host's OpenMP team,
+//! (b) a discrete GPU through `target` offload with host<->device
+//! copies, and (c) a unified-memory many-core, sweeping the kernel's
+//! arithmetic intensity. The crossover — where the accelerator starts
+//! paying for its transfer wall — is the figure's shape.
+
+use hpcbd_minomp::{target_offload_once, Device, OmpModel, Schedule};
+use hpcbd_simnet::{NodeId, Sim, Topology, Work};
+
+use crate::table::{fmt_secs, ResultTable};
+
+/// Time the kernel on the host's full OpenMP team.
+pub fn host_time(bytes: u64, flops_per_byte: f64) -> f64 {
+    let mut sim = Sim::new(Topology::comet(1));
+    let p = sim.spawn(NodeId(0), "host", move |ctx| {
+        let model = OmpModel::default();
+        let work = Work::new(bytes as f64 * flops_per_byte, bytes as f64);
+        model.charge_region(
+            ctx,
+            24,
+            Schedule::Static { chunk: None },
+            (bytes / 4096) as usize,
+            work,
+        );
+        ctx.now().as_secs_f64()
+    });
+    sim.run().result::<f64>(p)
+}
+
+/// Time the kernel offloaded to `device` (transfer in + kernel +
+/// transfer out).
+pub fn offload_time(device: Device, bytes: u64, flops_per_byte: f64) -> f64 {
+    let mut sim = Sim::new(Topology::comet(1));
+    let p = sim.spawn(NodeId(0), "host", move |ctx| {
+        let work = Work::new(bytes as f64 * flops_per_byte, bytes as f64);
+        target_offload_once(ctx, &device, bytes, bytes, work).as_secs_f64()
+    });
+    sim.run().result::<f64>(p)
+}
+
+/// The A8 table: host vs discrete GPU vs unified many-core across
+/// arithmetic intensities for a fixed working set.
+pub fn ablation_offload(bytes: u64, intensities: &[f64]) -> ResultTable {
+    let mut t = ResultTable::new(
+        format!(
+            "A8 — offload trade-off, {} GB working set (flops/byte sweep)",
+            bytes >> 30
+        ),
+        &["flops/byte", "host (24 cores)", "discrete GPU", "unified many-core"],
+    );
+    for &fpb in intensities {
+        t.push_row(vec![
+            format!("{fpb}"),
+            fmt_secs(host_time(bytes, fpb)),
+            fmt_secs(offload_time(Device::discrete_gpu(), bytes, fpb)),
+            fmt_secs(offload_time(Device::unified_manycore(), bytes, fpb)),
+        ]);
+    }
+    t
+}
+
+/// The smallest intensity in `candidates` at which the discrete GPU
+/// beats the host (the crossover the paper's discussion predicts).
+pub fn discrete_crossover(bytes: u64, candidates: &[f64]) -> Option<f64> {
+    candidates
+        .iter()
+        .copied()
+        .find(|fpb| offload_time(Device::discrete_gpu(), bytes, *fpb) < host_time(bytes, *fpb))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GB: u64 = 1 << 30;
+
+    #[test]
+    fn low_intensity_kernels_stay_on_the_host() {
+        // Streaming kernel (1 flop/byte): the PCIe wall dwarfs the win.
+        let host = host_time(2 * GB, 1.0);
+        let gpu = offload_time(Device::discrete_gpu(), 2 * GB, 1.0);
+        assert!(host < gpu, "host {host} vs gpu {gpu}");
+    }
+
+    #[test]
+    fn high_intensity_kernels_win_on_the_gpu() {
+        let host = host_time(2 * GB, 512.0);
+        let gpu = offload_time(Device::discrete_gpu(), 2 * GB, 512.0);
+        assert!(gpu < host, "gpu {gpu} vs host {host}");
+    }
+
+    #[test]
+    fn unified_memory_crosses_over_earlier() {
+        // No transfer wall: the unified part wins at intensities where
+        // the discrete one still loses.
+        let candidates: Vec<f64> = vec![0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0];
+        let discrete = discrete_crossover(2 * GB, &candidates).unwrap();
+        let unified = candidates
+            .iter()
+            .copied()
+            .find(|fpb| {
+                offload_time(Device::unified_manycore(), 2 * GB, *fpb) < host_time(2 * GB, *fpb)
+            })
+            .unwrap();
+        assert!(
+            unified < discrete,
+            "unified crossover {unified} vs discrete {discrete}"
+        );
+    }
+
+    #[test]
+    fn crossover_exists_and_is_monotone() {
+        let candidates: Vec<f64> = (0..10).map(|i| 2f64.powi(i)).collect();
+        let x = discrete_crossover(2 * GB, &candidates);
+        assert!(x.is_some(), "the GPU must win somewhere in the sweep");
+        // Once the GPU wins, it keeps winning at higher intensity.
+        let x = x.unwrap();
+        for fpb in candidates.iter().filter(|f| **f >= x) {
+            assert!(
+                offload_time(Device::discrete_gpu(), 2 * GB, *fpb) < host_time(2 * GB, *fpb),
+                "non-monotone at {fpb}"
+            );
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! Ablation A6 — repeated queries: Hadoop's per-job disk round trip vs
+//! Spark's in-memory iteration.
+//!
+//! Sec. II-D of the paper: "Each query in Hadoop reads data from disk
+//! and runs as a separate MapReduce job. However, Spark enables
+//! in-memory iterative processing ... the user can query repeatedly on
+//! a dataset without having to perform intermediate disk operations."
+//! This experiment runs `k` different filter-count queries over the same
+//! dataset with both engines and reports how the gap grows with `k`.
+
+use std::sync::Arc;
+
+use hpcbd_cluster::Placement;
+use hpcbd_minhdfs::HdfsConfig;
+use hpcbd_minmapreduce::{JobConf, MrJobBuilder};
+use hpcbd_minspark::{SparkCluster, SparkConfig, StorageLevel};
+use hpcbd_simnet::InputFormat;
+use hpcbd_workloads::{Post, StackExchangeDataset};
+
+use crate::table::{fmt_secs, ResultTable};
+
+/// Query `q`: posts whose body length falls in the q-th decile band.
+fn query_matches(q: u32, p: &Post) -> bool {
+    (p.body_len / 200) % 10 == q
+}
+
+/// Hadoop: one full MapReduce job per query — each re-reads the input
+/// from HDFS and re-parses it. Returns (total seconds, per-query hits).
+// TABLE3-BEGIN: queries-hadoop
+pub fn hadoop_queries(
+    ds: &StackExchangeDataset,
+    placement: Placement,
+    queries: u32,
+) -> (f64, Vec<u64>) {
+    let mut total = 0.0;
+    let mut hits = Vec::new();
+    for q in 0..queries {
+        let result = MrJobBuilder::new(
+            Arc::new(ds.clone()),
+            "/posts",
+            ds.logical_size,
+            move |p: &Post| {
+                if query_matches(q, p) {
+                    vec![((), 1u64)]
+                } else {
+                    vec![]
+                }
+            },
+            |_k, vs: &[u64]| vs.iter().sum(),
+        )
+        .combiner(|_k, vs: &[u64]| vs.iter().sum())
+        .conf(JobConf {
+            reduce_tasks: 1,
+            slots_per_node: placement.per_node,
+            ..Default::default()
+        })
+        .run(placement.nodes);
+        total += result.elapsed.as_secs_f64();
+        // Reducer output counts sample records; report logical hits.
+        let sample_hits = result.pairs.first().map(|(_, v)| *v).unwrap_or(0);
+        hits.push((sample_hits as f64 * ds.logical_scale()) as u64);
+    }
+    (total, hits)
+}
+// TABLE3-END: queries-hadoop
+
+/// Spark: load + parse once, `persist`, then run every query as an
+/// action over the cached RDD.
+// TABLE3-BEGIN: queries-spark
+pub fn spark_queries(
+    ds: &StackExchangeDataset,
+    placement: Placement,
+    queries: u32,
+) -> (f64, Vec<u64>) {
+    let ds = Arc::new(ds.clone());
+    let config = SparkConfig {
+        executors_per_node: placement.per_node,
+        ..Default::default()
+    };
+    let r = SparkCluster::new(placement.nodes, config)
+        .with_hdfs(HdfsConfig::default())
+        .hdfs_file("/posts", ds.logical_size, None)
+        .run(move |sc| {
+            let t0 = sc.now();
+            let posts = sc
+                .hadoop_file("/posts", ds)
+                .persist(StorageLevel::MemoryAndDisk);
+            let mut hits = Vec::new();
+            for q in 0..queries {
+                let matched = posts.filter(move |p| query_matches(q, p));
+                hits.push(sc.count(&matched));
+            }
+            ((sc.now() - t0).as_secs_f64(), hits)
+        });
+    r.value
+}
+// TABLE3-END: queries-spark
+
+/// The A6 table: total time for k = 1, 2, 4, ... queries.
+pub fn ablation_queries(
+    ds: &StackExchangeDataset,
+    placement: Placement,
+    query_counts: &[u32],
+) -> ResultTable {
+    let mut t = ResultTable::new(
+        format!(
+            "A6 — k repeated queries over {} GB: Hadoop (job per query) vs Spark (persist)",
+            ds.logical_size >> 30
+        ),
+        &["queries", "Hadoop", "Spark", "Hadoop/Spark"],
+    );
+    for &k in query_counts {
+        let (hadoop_t, h_hits) = hadoop_queries(ds, placement, k);
+        let (spark_t, s_hits) = spark_queries(ds, placement, k);
+        // Scaled counts may differ by sampling rounding only.
+        for (a, b) in h_hits.iter().zip(&s_hits) {
+            let (a, b) = (*a as f64, *b as f64);
+            assert!(
+                a == 0.0 && b == 0.0 || ((a - b).abs() / a.max(b)) < 0.05,
+                "query results diverged: {h_hits:?} vs {s_hits:?}"
+            );
+        }
+        t.push_row(vec![
+            k.to_string(),
+            fmt_secs(hadoop_t),
+            fmt_secs(spark_t),
+            format!("{:.2}x", hadoop_t / spark_t),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ds() -> StackExchangeDataset {
+        let size = 2u64 << 30;
+        let records = size / hpcbd_workloads::stackexchange::RECORD_BYTES;
+        StackExchangeDataset::new(0x0A6, size, records / 15_000)
+    }
+
+    #[test]
+    fn engines_agree_on_query_results() {
+        let placement = Placement::new(2, 4);
+        let (_, h) = hadoop_queries(&ds(), placement, 3);
+        let (_, s) = spark_queries(&ds(), placement, 3);
+        assert_eq!(h.len(), 3);
+        for (a, b) in h.iter().zip(&s) {
+            let (a, b) = (*a as f64, *b as f64);
+            assert!(((a - b).abs() / a.max(b)) < 0.05, "{h:?} vs {s:?}");
+        }
+        // Sanity: each decile band catches a nontrivial share.
+        assert!(h.iter().all(|c| *c > 0));
+    }
+
+    #[test]
+    fn spark_advantage_grows_with_query_count() {
+        let placement = Placement::new(2, 4);
+        let (h1, _) = hadoop_queries(&ds(), placement, 1);
+        let (s1, _) = spark_queries(&ds(), placement, 1);
+        let (h4, _) = hadoop_queries(&ds(), placement, 4);
+        let (s4, _) = spark_queries(&ds(), placement, 4);
+        let ratio1 = h1 / s1;
+        let ratio4 = h4 / s4;
+        assert!(
+            ratio4 > ratio1 * 1.5,
+            "Hadoop/Spark ratio must grow with queries: k=1 {ratio1:.2}, k=4 {ratio4:.2}"
+        );
+    }
+
+    #[test]
+    fn spark_marginal_query_is_nearly_free() {
+        // After the first (paying ingest), each additional query costs a
+        // small fraction: the cache turns 80 GB re-reads into memory hits.
+        let placement = Placement::new(2, 4);
+        let (s1, _) = spark_queries(&ds(), placement, 1);
+        let (s5, _) = spark_queries(&ds(), placement, 5);
+        let marginal = (s5 - s1) / 4.0;
+        assert!(
+            marginal < s1 * 0.35,
+            "marginal query {marginal:.3}s vs first {s1:.3}s"
+        );
+    }
+}

@@ -1,0 +1,196 @@
+//! Ablation A7 — storage contention on an embarrassingly parallel
+//! seismic read (the paper's Kirchhoff motivation, Sec. III-C).
+//!
+//! "Parallel I/O does not solve the problem of storage contention if
+//! the application is embarrassingly parallel and is reading/writing
+//! huge data at the same time." We read a terabyte-scale trace survey
+//! with MPI ranks under three storage layouts and sweep the reader
+//! count:
+//!
+//! * **local scratch** — the survey replicated to every node's SSD
+//!   (the paper's MPI configuration): aggregate bandwidth scales with
+//!   nodes;
+//! * **shared NFS** — one server: adding readers only deepens the queue,
+//!   the contention the paper warns about;
+//! * **HDFS** — distributed blocks: scales like local scratch, plus the
+//!   layer's overheads.
+
+use std::sync::Arc;
+
+use hpcbd_cluster::Placement;
+use hpcbd_minhdfs::{Hdfs, HdfsConfig};
+use hpcbd_minimpi::MpiJob;
+use hpcbd_simnet::{InputFormat, NodeId, Sim, Topology};
+use hpcbd_workloads::SeismicSurvey;
+
+use crate::table::{fmt_secs, ResultTable};
+
+/// Storage layout under test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SeismicStorage {
+    /// Survey replicated on every node's scratch SSD.
+    LocalScratch,
+    /// Survey on the single cluster-wide NFS share.
+    SharedNfs,
+    /// Survey in HDFS.
+    Hdfs,
+}
+
+/// Run the embarrassingly parallel migration pass: every rank reads its
+/// trace range and integrates the kernel. Returns (seconds, kernel sum).
+// TABLE3-BEGIN: seismic-mpi
+pub fn seismic_scan(
+    survey: &SeismicSurvey,
+    placement: Placement,
+    storage: SeismicStorage,
+) -> (f64, f64) {
+    let survey = Arc::new(survey.clone());
+    let mut sim = Sim::new(Topology::comet(placement.nodes));
+    let size = survey.logical_size();
+    let hdfs = if storage == SeismicStorage::Hdfs {
+        let h = Hdfs::deploy(&mut sim, HdfsConfig::default(), None);
+        h.load_file_instant("/survey", size, None);
+        Some(h)
+    } else {
+        sim.world().fs.replicate_to_scratch(
+            (0..placement.nodes).map(NodeId),
+            "survey.sgy",
+            size,
+            None,
+        );
+        None
+    };
+    let hdfs2 = hdfs.clone();
+    let job = MpiJob::spawn(&mut sim, placement, move |rank| {
+        let n = rank.size() as u64;
+        let me = rank.rank() as u64;
+        let chunk = size.div_ceil(n);
+        let offset = (me * chunk).min(size);
+        let len = chunk.min(size - offset);
+        let t0 = rank.now();
+        match storage {
+            SeismicStorage::LocalScratch => rank.ctx().disk_read(len),
+            SeismicStorage::SharedNfs => rank.ctx().nfs_read(len),
+            SeismicStorage::Hdfs => {
+                let h = hdfs2.as_ref().expect("hdfs deployed");
+                let file = h.stat("/survey").expect("survey loaded");
+                // Read the blocks overlapping this rank's range.
+                for b in &file.blocks {
+                    if b.offset < offset + len && b.offset + b.len > offset {
+                        h.read_block(rank.ctx(), b);
+                    }
+                }
+            }
+        }
+        // The migration kernel over the logical traces in range.
+        let sample = survey.sample_records(offset, len);
+        rank.ctx().compute(
+            survey.record_work().scaled(sample.len() as f64 * survey.scale as f64),
+            1.0,
+        );
+        let local: f64 = sample.iter().map(SeismicSurvey::kernel).sum();
+        let total = rank.allreduce(hpcbd_minimpi::ReduceOp::Sum, &[local]);
+        if rank.rank() == 0 {
+            if let Some(h) = hdfs2.as_ref() {
+                h.shutdown(rank.ctx());
+            }
+        }
+        ((rank.now() - t0).as_secs_f64(), total[0])
+    });
+    let mut report = sim.run();
+    let results = job.results::<(f64, f64)>(&mut report);
+    let elapsed = results.iter().map(|(t, _)| *t).fold(0.0, f64::max);
+    (elapsed, results[0].1)
+}
+// TABLE3-END: seismic-mpi
+
+/// The A7 table: read time per storage layout across node counts.
+pub fn ablation_seismic(
+    survey: &SeismicSurvey,
+    node_counts: &[u32],
+    ppn: u32,
+) -> ResultTable {
+    let mut t = ResultTable::new(
+        format!(
+            "A7 — seismic survey scan, {} GB logical, {ppn} readers/node",
+            survey.logical_size() >> 30
+        ),
+        &["nodes", "local scratch", "shared NFS", "HDFS"],
+    );
+    for &nodes in node_counts {
+        let placement = Placement::new(nodes, ppn);
+        let (local_t, s1) = seismic_scan(survey, placement, SeismicStorage::LocalScratch);
+        let (nfs_t, s2) = seismic_scan(survey, placement, SeismicStorage::SharedNfs);
+        let (hdfs_t, s3) = seismic_scan(survey, placement, SeismicStorage::Hdfs);
+        assert!((s1 - s2).abs() < 1e-6 && (s2 - s3).abs() < 1e-6);
+        t.push_row(vec![
+            nodes.to_string(),
+            fmt_secs(local_t),
+            fmt_secs(nfs_t),
+            fmt_secs(hdfs_t),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn survey() -> SeismicSurvey {
+        // 64 GB logical, 20k sample traces.
+        SeismicSurvey::new(0xA7, 32_000_000, 1600)
+    }
+
+    #[test]
+    fn kernel_sum_matches_oracle_on_all_storages() {
+        let s = survey();
+        let oracle: f64 = s
+            .sample_records(0, s.logical_size())
+            .iter()
+            .map(SeismicSurvey::kernel)
+            .sum();
+        for storage in [
+            SeismicStorage::LocalScratch,
+            SeismicStorage::SharedNfs,
+            SeismicStorage::Hdfs,
+        ] {
+            let (_, sum) = seismic_scan(&s, Placement::new(2, 4), storage);
+            assert!(
+                (sum - oracle).abs() < 1e-9,
+                "{storage:?}: {sum} vs oracle {oracle}"
+            );
+        }
+    }
+
+    #[test]
+    fn local_scratch_scales_with_nodes_but_nfs_does_not() {
+        let s = survey();
+        let (local_2, _) = seismic_scan(&s, Placement::new(2, 4), SeismicStorage::LocalScratch);
+        let (local_4, _) = seismic_scan(&s, Placement::new(4, 4), SeismicStorage::LocalScratch);
+        let (nfs_2, _) = seismic_scan(&s, Placement::new(2, 4), SeismicStorage::SharedNfs);
+        let (nfs_4, _) = seismic_scan(&s, Placement::new(4, 4), SeismicStorage::SharedNfs);
+        assert!(
+            local_4 < local_2 * 0.7,
+            "scratch should scale: {local_2} -> {local_4}"
+        );
+        let nfs_change = (nfs_2 - nfs_4).abs() / nfs_2;
+        assert!(
+            nfs_change < 0.1,
+            "NFS is one server; {nfs_2} -> {nfs_4} should be flat"
+        );
+        assert!(nfs_4 > local_4 * 2.0, "contended NFS must be far slower");
+    }
+
+    #[test]
+    fn hdfs_tracks_local_scratch_within_overheads() {
+        let s = survey();
+        let (local_t, _) = seismic_scan(&s, Placement::new(4, 4), SeismicStorage::LocalScratch);
+        let (hdfs_t, _) = seismic_scan(&s, Placement::new(4, 4), SeismicStorage::Hdfs);
+        let ratio = hdfs_t / local_t;
+        assert!(
+            (1.0..3.0).contains(&ratio),
+            "HDFS should be near scratch with layer overheads, ratio {ratio}"
+        );
+    }
+}

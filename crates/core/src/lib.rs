@@ -1,0 +1,33 @@
+//! `hpcbd-core` — the study itself: per-paradigm benchmark
+//! implementations and the experiment framework that regenerates every
+//! table and figure of the paper.
+//!
+//! Modules map one-to-one to the paper's evaluation section:
+//!
+//! | Module | Paper artifact |
+//! |---|---|
+//! | [`bench_reduce`] | Fig. 3 — reduce microbenchmark |
+//! | [`bench_fileread`] | Table II — parallel file read |
+//! | [`bench_answers`] | Fig. 4 — StackExchange AnswersCount |
+//! | [`bench_pagerank`] | Figs. 6/7 — PageRank (BigDataBench / HiBench) |
+//! | [`bench_queries`] | A6 — repeated queries (Sec. II-D/E contrast) |
+//! | [`bench_offload`] | A8 — accelerator offload trade-off (Sec. III-D) |
+//! | [`bench_seismic`] | A7 — Kirchhoff storage contention (Sec. III-C) |
+//! | [`table`] | result-table rendering |
+//!
+//! Every benchmark validates its computed *result* against a sequential
+//! oracle and reports *virtual* execution times from the simulated Comet
+//! platform (`hpcbd-simnet` / `hpcbd-cluster`).
+
+#![warn(missing_docs)]
+
+pub mod bench_answers;
+pub mod bench_fileread;
+pub mod bench_offload;
+pub mod bench_pagerank;
+pub mod bench_queries;
+pub mod bench_reduce;
+pub mod bench_seismic;
+pub mod table;
+
+pub use table::ResultTable;

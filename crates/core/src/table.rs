@@ -1,0 +1,126 @@
+//! Result tables: the rows/series the paper's tables and figures report.
+
+use std::fmt;
+
+/// A labeled table of results (one per reproduced table/figure).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResultTable {
+    /// Table/figure title.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows (stringified cells).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl ResultTable {
+    /// New empty table.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> ResultTable {
+        ResultTable {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the header count).
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width must match headers"
+        );
+        self.rows.push(cells);
+    }
+
+    /// Render as CSV (headers first).
+    pub fn to_csv(&self) -> String {
+        let mut out = self.headers.join(",");
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Fetch a cell parsed as `f64` (for shape assertions in tests).
+    pub fn cell_f64(&self, row: usize, col: usize) -> f64 {
+        self.rows[row][col]
+            .trim_end_matches(|c: char| !c.is_ascii_digit())
+            .parse()
+            .unwrap_or_else(|_| panic!("cell ({row},{col}) = {:?} not numeric", self.rows[row][col]))
+    }
+}
+
+impl fmt::Display for ResultTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "### {}", self.title)?;
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let line = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            write!(f, "|")?;
+            for (w, cell) in widths.iter().zip(cells) {
+                write!(f, " {cell:w$} |")?;
+            }
+            writeln!(f)
+        };
+        line(f, &self.headers)?;
+        write!(f, "|")?;
+        for w in &widths {
+            write!(f, "{:-<width$}|", "", width = w + 2)?;
+        }
+        writeln!(f)?;
+        for row in &self.rows {
+            line(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// Format seconds with three significant decimals, like the paper's
+/// tables ("8.2s", "46.751s").
+pub fn fmt_secs(secs: f64) -> String {
+    format!("{secs:.3}s")
+}
+
+/// Format a microsecond latency.
+pub fn fmt_micros(us: f64) -> String {
+    format!("{us:.2}us")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_markdown_and_csv() {
+        let mut t = ResultTable::new("Demo", &["size", "time"]);
+        t.push_row(vec!["8".into(), "1.5".into()]);
+        t.push_row(vec!["16".into(), "2.25".into()]);
+        let md = t.to_string();
+        assert!(md.contains("### Demo"));
+        assert!(md.contains("| 8 "));
+        let csv = t.to_csv();
+        assert_eq!(csv, "size,time\n8,1.5\n16,2.25\n");
+        assert_eq!(t.cell_f64(1, 1), 2.25);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_rows_rejected() {
+        let mut t = ResultTable::new("X", &["a", "b"]);
+        t.push_row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn cell_f64_strips_units() {
+        let mut t = ResultTable::new("U", &["t"]);
+        t.push_row(vec![fmt_secs(1.25)]);
+        assert_eq!(t.cell_f64(0, 0), 1.25);
+    }
+}

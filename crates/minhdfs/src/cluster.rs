@@ -1,0 +1,378 @@
+//! The deployed HDFS instance: namespace, block placement, datanodes.
+
+use std::any::Any;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use hpcbd_simnet::{
+    MatchSpec, NodeId, Payload, Pid, ProcCtx, Sim, SimDuration, SimTime, Tag, Transport,
+};
+
+use crate::types::{HdfsBlock, HdfsConfig, HdfsFile};
+
+/// Tag on which datanode processes serve requests.
+pub(crate) const DN_TAG: Tag = (1 << 42) + 1;
+/// Tag space for read replies: `DN_REPLY_BASE + block id`.
+pub(crate) const DN_REPLY_BASE: Tag = 1 << 43;
+
+/// Requests understood by a datanode process.
+pub(crate) enum DnRequest {
+    /// Stream a block to `reply_to` on `DN_REPLY_BASE + block_id`.
+    Read {
+        /// Block id (reply tag disambiguator).
+        block_id: u64,
+        /// Bytes to stream.
+        len: u64,
+        /// Destination process.
+        reply_to: Pid,
+        /// Whether the reader shares this datanode's node (loopback
+        /// stream instead of the fabric).
+        local: bool,
+    },
+    /// Terminate the datanode.
+    Shutdown,
+}
+
+struct Inner {
+    namespace: RwLock<HashMap<String, HdfsFile>>,
+    /// Shared with every datanode closure: a dying datanode records itself
+    /// here, and clients consult it when choosing replicas.
+    dead: Arc<RwLock<HashSet<NodeId>>>,
+    next_block: RwLock<u64>,
+    datanode_pids: Vec<Pid>,
+    nodes: u32,
+}
+
+/// A deployed HDFS instance. Clone-cheap handle; capture it in process
+/// closures.
+#[derive(Clone)]
+pub struct Hdfs {
+    /// Configuration the instance was deployed with.
+    pub config: HdfsConfig,
+    inner: Arc<Inner>,
+}
+
+impl Hdfs {
+    /// Deploy HDFS on every node of `sim`'s topology: spawns one datanode
+    /// process per node. Call before spawning application processes, and
+    /// call [`Hdfs::shutdown`] from exactly one application process when
+    /// the job is done (datanodes otherwise run forever).
+    ///
+    /// `fail_node_at`: optional fault injection — `(node, time)` makes
+    /// that node's datanode die silently at the given virtual time.
+    pub fn deploy(sim: &mut Sim, config: HdfsConfig, fail_node_at: Option<(NodeId, SimTime)>) -> Hdfs {
+        let nodes = sim.world().topology.len() as u32;
+        let dead: Arc<RwLock<HashSet<NodeId>>> = Arc::new(RwLock::new(HashSet::new()));
+        let mut datanode_pids = Vec::new();
+        for node in 0..nodes {
+            let node = NodeId(node);
+            let fail_at = match fail_node_at {
+                Some((n, t)) if n == node => Some(t),
+                _ => None,
+            };
+            let dead = dead.clone();
+            let pid = sim.spawn(node, format!("datanode@{node}"), move |ctx| {
+                datanode_loop(ctx, fail_at, dead);
+            });
+            datanode_pids.push(pid);
+        }
+        Hdfs {
+            config,
+            inner: Arc::new(Inner {
+                namespace: RwLock::new(HashMap::new()),
+                dead,
+                next_block: RwLock::new(0),
+                datanode_pids,
+                nodes,
+            }),
+        }
+    }
+
+    /// Number of nodes the instance spans.
+    pub fn nodes(&self) -> u32 {
+        self.inner.nodes
+    }
+
+    /// Pid of the datanode on `node`.
+    pub fn datanode(&self, node: NodeId) -> Pid {
+        self.inner.datanode_pids[node.index()]
+    }
+
+    /// Mark a node's datanode as dead (fault injection bookkeeping).
+    pub fn mark_dead(&self, node: NodeId) {
+        self.inner.dead.write().insert(node);
+    }
+
+    /// Whether a node's datanode is known dead.
+    pub fn is_dead(&self, node: NodeId) -> bool {
+        self.inner.dead.read().contains(&node)
+    }
+
+    /// Deterministic round-robin block placement: block `i` of a file
+    /// whose first replica starts at `start` lands on nodes
+    /// `start+i, start+i+1, ...` (mod cluster size).
+    fn place_block(&self, start: u32, index: u64, len: u64, offset: u64) -> HdfsBlock {
+        let id = {
+            let mut g = self.inner.next_block.write();
+            let id = *g;
+            *g += 1;
+            id
+        };
+        let n = self.inner.nodes;
+        let r = self.config.replication.clamp(1, n);
+        let first = (start as u64 + index) % n as u64;
+        let replicas = (0..r)
+            .map(|k| NodeId(((first + k as u64) % n as u64) as u32))
+            .collect();
+        HdfsBlock {
+            id,
+            offset,
+            len,
+            replicas,
+        }
+    }
+
+    /// Instantly create `path` in the namespace (no virtual time cost):
+    /// the standard way experiments pre-populate their input before the
+    /// timed phase, mirroring "the dataset was already in HDFS".
+    ///
+    /// `data` is the content sample shared by all readers.
+    pub fn load_file_instant(
+        &self,
+        path: &str,
+        size: u64,
+        data: Option<Arc<dyn Any + Send + Sync>>,
+    ) -> HdfsFile {
+        let bs = self.config.block_size;
+        // Spread files across start nodes by path hash (deterministic).
+        let start = (fxhash(path) % self.inner.nodes as u64) as u32;
+        let nblocks = size.div_ceil(bs).max(1);
+        let blocks: Vec<HdfsBlock> = (0..nblocks)
+            .map(|i| {
+                let offset = i * bs;
+                let len = bs.min(size - offset.min(size));
+                self.place_block(start, i, len, offset)
+            })
+            .collect();
+        let file = HdfsFile {
+            path: path.to_string(),
+            size,
+            blocks,
+            data,
+        };
+        self.inner
+            .namespace
+            .write()
+            .insert(path.to_string(), file.clone());
+        file
+    }
+
+    /// Namenode lookup: metadata for `path`. Charges one control-plane
+    /// RPC round trip to the caller.
+    pub fn open(&self, ctx: &mut ProcCtx, path: &str) -> Option<HdfsFile> {
+        let rpc = Transport::java_socket_control();
+        ctx.advance(rpc.latency + rpc.send_overhead + rpc.recv_overhead);
+        self.inner.namespace.read().get(path).cloned()
+    }
+
+    /// Metadata without cost (scheduler-side placement decisions reuse
+    /// cached metadata).
+    pub fn stat(&self, path: &str) -> Option<HdfsFile> {
+        self.inner.namespace.read().get(path).cloned()
+    }
+
+    /// Alive replicas of a block, preferring `prefer` first.
+    pub fn alive_replicas(&self, block: &HdfsBlock, prefer: Option<NodeId>) -> Vec<NodeId> {
+        let dead = self.inner.dead.read();
+        let mut alive: Vec<NodeId> = block
+            .replicas
+            .iter()
+            .copied()
+            .filter(|n| !dead.contains(n))
+            .collect();
+        if let Some(p) = prefer {
+            if let Some(pos) = alive.iter().position(|n| *n == p) {
+                alive.swap(0, pos);
+            }
+        }
+        alive
+    }
+
+    /// Read one block from the calling process.
+    ///
+    /// Every read streams through a datanode — the Hadoop 2.x default
+    /// (no short-circuit local reads): a local replica is served by the
+    /// node's own datanode over loopback TCP; a remote one over the
+    /// IPoIB socket transport. The datanode pays the disk read and the
+    /// stream send, so co-located readers contend on their node's
+    /// datanode exactly as they do on a real cluster. Dead datanodes are
+    /// skipped; if the chosen one dies mid-request the client times out
+    /// and retries the next replica — the failure transparency Table II's
+    /// discussion credits HDFS with.
+    ///
+    /// Returns the node that served the block.
+    pub fn read_block(&self, ctx: &mut ProcCtx, block: &HdfsBlock) -> NodeId {
+        let me = ctx.node();
+        let overhead = self.config.per_block_overhead;
+        let checksum = SimDuration::from_secs_f64(
+            block.len as f64 * self.config.checksum_cpu_per_byte,
+        );
+        let candidates = self.alive_replicas(block, Some(me));
+        assert!(
+            !candidates.is_empty(),
+            "all replicas of block {} are dead",
+            block.id
+        );
+        for node in candidates {
+            ctx.advance(overhead);
+            // Ask the replica's datanode to stream the block.
+            let dn = self.datanode(node);
+            let req = DnRequest::Read {
+                block_id: block.id,
+                len: block.len,
+                reply_to: ctx.pid(),
+                local: node == me,
+            };
+            ctx.send(
+                dn,
+                DN_TAG,
+                256,
+                Payload::value(req),
+                &Transport::java_socket_control(),
+            );
+            // Generous timeout: transfer time plus slack.
+            let xfer = Transport::ipoib_socket().uncontended_transfer(block.len);
+            let timeout = SimDuration::from_nanos(xfer.nanos() * 4 + 2_000_000_000);
+            match ctx.recv_timeout(MatchSpec::tag(DN_REPLY_BASE + block.id), timeout) {
+                Ok(_) => {
+                    ctx.advance(checksum);
+                    return node;
+                }
+                Err(_) => {
+                    // Datanode died mid-request; note it and fail over.
+                    self.mark_dead(node);
+                    continue;
+                }
+            }
+        }
+        panic!("no replica of block {} could be read", block.id);
+    }
+
+    /// Read a whole file sequentially from the calling process. Returns
+    /// bytes read.
+    pub fn read_file(&self, ctx: &mut ProcCtx, path: &str) -> u64 {
+        let file = self
+            .open(ctx, path)
+            .unwrap_or_else(|| panic!("hdfs: no such file {path}"));
+        let mut total = 0;
+        for b in &file.blocks {
+            self.read_block(ctx, b);
+            total += b.len;
+        }
+        total
+    }
+
+    /// Client-side file write: pipeline every block to its replicas
+    /// (network to first replica unless local, then pipelined copies),
+    /// each replica paying a disk write. Charges the caller for the
+    /// pipeline critical path. Returns the created file.
+    pub fn write_file(
+        &self,
+        ctx: &mut ProcCtx,
+        path: &str,
+        size: u64,
+        data: Option<Arc<dyn Any + Send + Sync>>,
+    ) -> HdfsFile {
+        let file = self.load_file_instant(path, size, data);
+        let ipoib = Transport::ipoib_socket();
+        for b in &file.blocks {
+            ctx.advance(self.config.per_block_overhead);
+            // First copy: local disk if we are a replica, else one network
+            // hop.  Subsequent replicas receive pipelined copies; the
+            // client-visible cost approximates one transfer plus one disk
+            // write per extra replica (pipelining overlaps, we charge the
+            // critical path: transfer + write of the slowest stage).
+            if b.replicas.first() == Some(&ctx.node()) {
+                ctx.disk_write(b.len);
+            } else {
+                ctx.advance(ipoib.uncontended_transfer(b.len));
+                ctx.advance(SimDuration::from_secs_f64(
+                    b.len as f64 / ctx.world().topology.node(b.replicas[0]).spec.disk.write_bw,
+                ));
+            }
+            for _extra in 1..b.replicas.len() {
+                ctx.advance(ipoib.uncontended_transfer(b.len));
+            }
+        }
+        file
+    }
+
+    /// Stop every datanode that is still alive. Call from one application
+    /// process after the workload completes.
+    pub fn shutdown(&self, ctx: &mut ProcCtx) {
+        let dead: Vec<NodeId> = self.inner.dead.read().iter().copied().collect();
+        for (i, pid) in self.inner.datanode_pids.iter().enumerate() {
+            if dead.contains(&NodeId(i as u32)) {
+                continue;
+            }
+            ctx.send(
+                *pid,
+                DN_TAG,
+                32,
+                Payload::value(DnRequest::Shutdown),
+                &Transport::java_socket_control(),
+            );
+        }
+    }
+}
+
+/// Cheap deterministic string hash (FNV-1a) for placement spreading.
+fn fxhash(s: &str) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+fn datanode_loop(
+    ctx: &mut ProcCtx,
+    fail_at: Option<SimTime>,
+    dead: Arc<RwLock<HashSet<NodeId>>>,
+) {
+    let ipoib = Transport::ipoib_socket();
+    loop {
+        let msg = match fail_at {
+            Some(t) => match ctx.recv_deadline(MatchSpec::tag(DN_TAG), Some(t)) {
+                Ok(m) => m,
+                Err(_) => {
+                    // Die silently: in-flight clients will time out.
+                    dead.write().insert(ctx.node());
+                    return;
+                }
+            },
+            None => ctx.recv(MatchSpec::tag(DN_TAG)),
+        };
+        let req = msg.expect_value::<DnRequest>();
+        match &*req {
+            DnRequest::Read {
+                block_id,
+                len,
+                reply_to,
+                local,
+            } => {
+                ctx.disk_read(*len);
+                let tr = if *local {
+                    Transport::loopback_socket()
+                } else {
+                    ipoib
+                };
+                ctx.send(*reply_to, DN_REPLY_BASE + block_id, *len, Payload::Empty, &tr);
+            }
+            DnRequest::Shutdown => return,
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! Coordinated checkpoint/restart — the HPC fault-tolerance story.
+//!
+//! The paper's fault-tolerance discussion (Sec. VI-D) contrasts Spark's
+//! lineage-based recomputation with the "different checkpointing/restarting
+//! algorithms" of distributed HPC frameworks: MPI itself does not recover
+//! from faults at run time, so applications periodically write coordinated
+//! checkpoints and, on failure, the *whole job* restarts from the last one.
+//! This module models exactly that protocol; the `ablation_fault` harness
+//! compares its cost against Spark's per-partition recomputation.
+
+use hpcbd_simnet::SimTime;
+
+use crate::rank::MpiRank;
+
+/// Coordinated checkpointing driver for an iterative MPI application.
+#[derive(Debug, Clone)]
+pub struct Checkpointer {
+    /// Take a checkpoint every this many iterations (0 = never).
+    pub interval: u32,
+    /// Bytes of application state each rank persists per checkpoint.
+    pub state_bytes_per_rank: u64,
+    last_saved_iter: Option<u32>,
+    checkpoints_taken: u32,
+}
+
+impl Checkpointer {
+    /// New driver.
+    pub fn new(interval: u32, state_bytes_per_rank: u64) -> Checkpointer {
+        Checkpointer {
+            interval,
+            state_bytes_per_rank,
+            last_saved_iter: None,
+            checkpoints_taken: 0,
+        }
+    }
+
+    /// Call after finishing iteration `iter` (0-based). Takes a coordinated
+    /// checkpoint when the interval divides `iter + 1`: a global barrier
+    /// (quiesce in-flight messages) followed by every rank writing its
+    /// state to local scratch. Returns whether a checkpoint was taken.
+    pub fn after_iteration(&mut self, rank: &mut MpiRank, iter: u32) -> bool {
+        if self.interval == 0 || !(iter + 1).is_multiple_of(self.interval) {
+            return false;
+        }
+        rank.barrier();
+        rank.ctx().disk_write(self.state_bytes_per_rank);
+        rank.barrier();
+        self.last_saved_iter = Some(iter);
+        self.checkpoints_taken += 1;
+        true
+    }
+
+    /// The iteration execution resumes from after a failure: one past the
+    /// last checkpointed iteration (or 0 when none was taken).
+    pub fn restart_iteration(&self) -> u32 {
+        self.last_saved_iter.map_or(0, |i| i + 1)
+    }
+
+    /// Model a restart: every rank re-reads its state from scratch (plus a
+    /// job-relaunch stall), and execution resumes from
+    /// [`Checkpointer::restart_iteration`]. Returns that iteration.
+    pub fn restart(&self, rank: &mut MpiRank, relaunch_stall: hpcbd_simnet::SimDuration) -> u32 {
+        rank.ctx().advance(relaunch_stall);
+        if self.last_saved_iter.is_some() {
+            rank.ctx().disk_read(self.state_bytes_per_rank);
+        }
+        rank.barrier();
+        self.restart_iteration()
+    }
+
+    /// Number of checkpoints taken so far.
+    pub fn taken(&self) -> u32 {
+        self.checkpoints_taken
+    }
+
+    /// Virtual time of `rank` (convenience for instrumentation).
+    pub fn now(rank: &MpiRank) -> SimTime {
+        rank.now()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::launch::mpirun;
+    use hpcbd_cluster::Placement;
+    use hpcbd_simnet::SimDuration;
+
+    #[test]
+    fn checkpoints_fire_on_interval() {
+        let out = mpirun(Placement::new(1, 2), |rank| {
+            let mut ck = Checkpointer::new(3, 1 << 20);
+            let mut fired = vec![];
+            for iter in 0..10 {
+                if ck.after_iteration(rank, iter) {
+                    fired.push(iter);
+                }
+            }
+            (fired, ck.taken(), ck.restart_iteration())
+        });
+        for (fired, taken, resume) in out.results {
+            assert_eq!(fired, vec![2, 5, 8]);
+            assert_eq!(taken, 3);
+            assert_eq!(resume, 9);
+        }
+    }
+
+    #[test]
+    fn zero_interval_never_checkpoints() {
+        let out = mpirun(Placement::new(1, 2), |rank| {
+            let mut ck = Checkpointer::new(0, 1 << 20);
+            for iter in 0..5 {
+                assert!(!ck.after_iteration(rank, iter));
+            }
+            ck.restart_iteration()
+        });
+        assert_eq!(out.results, vec![0, 0]);
+    }
+
+    #[test]
+    fn checkpointing_costs_time() {
+        let with = mpirun(Placement::new(2, 1), |rank| {
+            let mut ck = Checkpointer::new(1, 256 << 20);
+            for iter in 0..4 {
+                ck.after_iteration(rank, iter);
+            }
+        })
+        .elapsed();
+        let without = mpirun(Placement::new(2, 1), |rank| {
+            let mut ck = Checkpointer::new(0, 256 << 20);
+            for iter in 0..4 {
+                ck.after_iteration(rank, iter);
+            }
+        })
+        .elapsed();
+        assert!(
+            with > without,
+            "checkpointing must cost time: with={with} without={without}"
+        );
+    }
+
+    #[test]
+    fn restart_resumes_after_last_checkpoint() {
+        let out = mpirun(Placement::new(1, 2), |rank| {
+            let mut ck = Checkpointer::new(2, 1 << 10);
+            for iter in 0..5 {
+                ck.after_iteration(rank, iter);
+            }
+            // Fail at iteration 5; restart.
+            ck.restart(rank, SimDuration::from_secs(2))
+        });
+        assert_eq!(out.results, vec![4, 4]);
+    }
+}

@@ -1,0 +1,620 @@
+//! Collective operations with the algorithm selection real MPI
+//! implementations perform.
+//!
+//! The paper attributes MPI's reduce-microbenchmark win partly to
+//! "reduction and communication algorithms ... well tuned depending on
+//! the array size and other parameters" (Sec. V-B1). This module
+//! reproduces that structure:
+//!
+//! * barrier — dissemination (⌈log₂ n⌉ rounds);
+//! * broadcast — binomial tree;
+//! * reduce — binomial reduction tree;
+//! * allreduce — recursive doubling for short vectors, Rabenseifner-style
+//!   ring (reduce-scatter + allgather) past [`ALLREDUCE_RING_THRESHOLD`];
+//! * scatter/gather — linear rooted;
+//! * allgather — ring;
+//! * alltoall — pairwise exchange.
+//!
+//! Every collective is validated against a sequential oracle in the
+//! crate's tests and property tests.
+
+use std::sync::Arc;
+
+use crate::datatype::{MpiScalar, ReduceOp};
+use crate::rank::MpiRank;
+
+/// Message-size threshold (bytes) above which allreduce switches from
+/// recursive doubling to the bandwidth-optimal ring algorithm.
+pub const ALLREDUCE_RING_THRESHOLD: u64 = 64 * 1024;
+
+impl MpiRank<'_> {
+    /// MPI_Barrier: dissemination algorithm.
+    pub fn barrier(&mut self) {
+        let tag = self.next_coll_tag();
+        let n = self.size();
+        if n == 1 {
+            return;
+        }
+        let me = self.rank();
+        let mut step = 1u32;
+        while step < n {
+            let dst = (me + step) % n;
+            let src = (me + n - step) % n;
+            self.send_arc::<u8>(dst, tag, Arc::new(Vec::new()));
+            let _ = self.recv::<u8>(Some(src), tag);
+            step <<= 1;
+        }
+    }
+
+    /// MPI_Bcast: binomial tree rooted at `root`.
+    pub fn bcast<T: MpiScalar>(&mut self, root: u32, data: Option<Arc<Vec<T>>>) -> Arc<Vec<T>> {
+        let tag = self.next_coll_tag();
+        let n = self.size();
+        let me = self.rank();
+        // Re-number so the root is virtual rank 0.
+        let vrank = (me + n - root) % n;
+        let mut buf: Option<Arc<Vec<T>>> = if me == root {
+            Some(data.expect("root must supply the broadcast buffer"))
+        } else {
+            None
+        };
+        // Binomial tree: the parent of virtual rank v is v with its lowest
+        // set bit cleared; its children are v | bit for every bit below
+        // the lowest set bit (all bits for v = 0).
+        if vrank != 0 {
+            let parent_vrank = vrank & (vrank - 1);
+            let parent_rank = (parent_vrank + root) % n;
+            let (v, _) = self.recv::<T>(Some(parent_rank), tag);
+            buf = Some(v);
+        }
+        let buf = buf.expect("broadcast buffer present after receive");
+        let mut bit = 1u32;
+        while bit < n && vrank & bit == 0 {
+            let child_v = vrank | bit;
+            if child_v < n {
+                let child = (child_v + root) % n;
+                self.send_arc(child, tag, buf.clone());
+            }
+            bit <<= 1;
+        }
+        buf
+    }
+
+    /// MPI_Reduce: binomial tree combining towards `root`. Every rank
+    /// passes its contribution; the root returns the combined vector,
+    /// non-roots return `None`.
+    pub fn reduce<T: MpiScalar>(
+        &mut self,
+        root: u32,
+        op: ReduceOp,
+        data: &[T],
+    ) -> Option<Vec<T>> {
+        let tag = self.next_coll_tag();
+        let n = self.size();
+        let me = self.rank();
+        let vrank = (me + n - root) % n;
+        let mut acc: Vec<T> = data.to_vec();
+        let mut bit = 1u32;
+        loop {
+            if vrank & bit != 0 {
+                // Send to parent and stop.
+                let parent_v = vrank ^ bit;
+                let parent = (parent_v + root) % n;
+                self.send_arc(parent, tag, Arc::new(acc));
+                return None;
+            }
+            let child_v = vrank | bit;
+            if child_v < n {
+                let child = (child_v + root) % n;
+                let (v, _) = self.recv::<T>(Some(child), tag);
+                op.combine_into(&mut acc, &v);
+                // Local combine cost: one op + one load per element.
+                self.charge_elementwise::<T>(acc.len());
+            }
+            bit <<= 1;
+            if bit >= n {
+                break;
+            }
+        }
+        if me == root {
+            Some(acc)
+        } else {
+            // Only reachable when vrank==0 but me!=root, impossible.
+            unreachable!("non-root finished reduce without sending")
+        }
+    }
+
+    /// MPI_Allreduce with size-dependent algorithm selection.
+    pub fn allreduce<T: MpiScalar>(&mut self, op: ReduceOp, data: &[T]) -> Vec<T> {
+        let bytes = data.len() as u64 * T::BYTES;
+        if self.size() == 1 {
+            return data.to_vec();
+        }
+        if bytes <= ALLREDUCE_RING_THRESHOLD || !self.size().is_power_of_two() {
+            self.allreduce_recursive_doubling(op, data)
+        } else {
+            self.allreduce_ring(op, data)
+        }
+    }
+
+    /// Recursive doubling: ⌈log₂ n⌉ exchange rounds, each with the full
+    /// vector. Latency-optimal for short vectors. Non-power-of-two sizes
+    /// fold the stragglers into the nearest power of two first.
+    pub fn allreduce_recursive_doubling<T: MpiScalar>(
+        &mut self,
+        op: ReduceOp,
+        data: &[T],
+    ) -> Vec<T> {
+        let tag = self.next_coll_tag();
+        let n = self.size();
+        let me = self.rank();
+        let mut acc = data.to_vec();
+        let pof2 = if n.is_power_of_two() {
+            n
+        } else {
+            1 << (31 - n.leading_zeros())
+        };
+        let rem = n - pof2;
+        // Phase 0: ranks >= pof2 send their data to rank - pof2.
+        let mut participating = true;
+        if me >= pof2 {
+            self.send_arc((me - pof2) % n, tag, Arc::new(acc.clone()));
+            participating = false;
+        } else if me < rem {
+            let (v, _) = self.recv::<T>(Some(me + pof2), tag);
+            op.combine_into(&mut acc, &v);
+            self.charge_elementwise::<T>(acc.len());
+        }
+        if participating {
+            let mut mask = 1u32;
+            while mask < pof2 {
+                let peer = me ^ mask;
+                self.send_arc(peer, tag + 1, Arc::new(acc.clone()));
+                let (v, _) = self.recv::<T>(Some(peer), tag + 1);
+                op.combine_into(&mut acc, &v);
+                self.charge_elementwise::<T>(acc.len());
+                mask <<= 1;
+            }
+        }
+        // Phase 2: send results back to the folded ranks.
+        if me < rem {
+            self.send_arc(me + pof2, tag + 2, Arc::new(acc.clone()));
+        } else if me >= pof2 {
+            let (v, _) = self.recv::<T>(Some(me - pof2), tag + 2);
+            acc = (*v).clone();
+        }
+        // Reserve the tags used by the sub-phases.
+        self.skip_coll_tags(2);
+        acc
+    }
+
+    /// Ring allreduce (reduce-scatter + allgather): 2(n-1) steps each
+    /// moving 1/n of the vector — bandwidth-optimal for large vectors.
+    pub fn allreduce_ring<T: MpiScalar>(&mut self, op: ReduceOp, data: &[T]) -> Vec<T> {
+        let tag = self.next_coll_tag();
+        let n = self.size() as usize;
+        let me = self.rank() as usize;
+        let len = data.len();
+        let mut acc = data.to_vec();
+        if n == 1 {
+            return acc;
+        }
+        // Chunk boundaries: chunk c covers [starts[c], starts[c+1]).
+        let starts: Vec<usize> = (0..=n).map(|c| c * len / n).collect();
+        let right = ((me + 1) % n) as u32;
+        let left = ((me + n - 1) % n) as u32;
+        // Reduce-scatter.
+        for step in 0..n - 1 {
+            let send_chunk = (me + n - step) % n;
+            let recv_chunk = (me + n - step - 1) % n;
+            let s = acc[starts[send_chunk]..starts[send_chunk + 1]].to_vec();
+            self.send_arc(right, tag, std::sync::Arc::new(s));
+            let (v, _) = self.recv::<T>(Some(left), tag);
+            let dst = &mut acc[starts[recv_chunk]..starts[recv_chunk + 1]];
+            op.combine_into(dst, &v);
+            self.charge_elementwise::<T>(dst.len());
+        }
+        // Allgather.
+        for step in 0..n - 1 {
+            let send_chunk = (me + 1 + n - step) % n;
+            let recv_chunk = (me + n - step) % n;
+            let s = acc[starts[send_chunk]..starts[send_chunk + 1]].to_vec();
+            self.send_arc(right, tag, std::sync::Arc::new(s));
+            let (v, _) = self.recv::<T>(Some(left), tag);
+            acc[starts[recv_chunk]..starts[recv_chunk + 1]].copy_from_slice(&v);
+        }
+        acc
+    }
+
+    /// MPI_Scatter: root splits `data` into `size` equal chunks.
+    pub fn scatter<T: MpiScalar>(&mut self, root: u32, data: Option<&[T]>) -> Vec<T> {
+        let tag = self.next_coll_tag();
+        let n = self.size();
+        let me = self.rank();
+        if me == root {
+            let data = data.expect("root must supply scatter buffer");
+            assert!(
+                data.len().is_multiple_of(n as usize),
+                "scatter buffer must divide evenly"
+            );
+            let chunk = data.len() / n as usize;
+            let mut mine = Vec::new();
+            for r in 0..n {
+                let part = &data[r as usize * chunk..(r as usize + 1) * chunk];
+                if r == me {
+                    mine = part.to_vec();
+                } else {
+                    self.send_arc(r, tag, std::sync::Arc::new(part.to_vec()));
+                }
+            }
+            mine
+        } else {
+            let (v, _) = self.recv::<T>(Some(root), tag);
+            (*v).clone()
+        }
+    }
+
+    /// MPI_Gather: inverse of scatter; root returns the concatenation in
+    /// rank order.
+    pub fn gather<T: MpiScalar>(&mut self, root: u32, data: &[T]) -> Option<Vec<T>> {
+        let tag = self.next_coll_tag();
+        let n = self.size();
+        let me = self.rank();
+        if me == root {
+            let mut parts: Vec<Vec<T>> = vec![Vec::new(); n as usize];
+            parts[me as usize] = data.to_vec();
+            for _ in 0..n - 1 {
+                let spec_any = None;
+                let (v, src) = self.recv::<T>(spec_any, tag);
+                parts[src as usize] = (*v).clone();
+            }
+            Some(parts.concat())
+        } else {
+            self.send_arc(root, tag, std::sync::Arc::new(data.to_vec()));
+            None
+        }
+    }
+
+    /// MPI_Allgather: ring algorithm; returns rank-ordered concatenation
+    /// on every rank.
+    pub fn allgather<T: MpiScalar>(&mut self, data: &[T]) -> Vec<T> {
+        let tag = self.next_coll_tag();
+        let n = self.size() as usize;
+        let me = self.rank() as usize;
+        let mut parts: Vec<Vec<T>> = vec![Vec::new(); n];
+        parts[me] = data.to_vec();
+        let right = ((me + 1) % n) as u32;
+        let left = ((me + n - 1) % n) as u32;
+        for step in 0..n - 1 {
+            let send_idx = (me + n - step) % n;
+            let recv_idx = (me + n - step - 1) % n;
+            self.send_arc(right, tag, std::sync::Arc::new(parts[send_idx].clone()));
+            let (v, _) = self.recv::<T>(Some(left), tag);
+            parts[recv_idx] = (*v).clone();
+        }
+        parts.concat()
+    }
+
+    /// MPI_Alltoall: pairwise exchange; `chunks[r]` goes to rank `r`, the
+    /// result's slot `r` holds what rank `r` sent us.
+    pub fn alltoall<T: MpiScalar>(&mut self, chunks: Vec<Vec<T>>) -> Vec<Vec<T>> {
+        let tag = self.next_coll_tag();
+        let n = self.size();
+        let me = self.rank();
+        assert_eq!(chunks.len(), n as usize, "one chunk per destination");
+        let mut out: Vec<Vec<T>> = vec![Vec::new(); n as usize];
+        out[me as usize] = chunks[me as usize].clone();
+        // Rotated pairwise exchange: in step s we send to me+s and receive
+        // from me-s. Sends are eager, so the send/recv order cannot
+        // deadlock for any communicator size.
+        for step in 1..n {
+            let dst = (me + step) % n;
+            let src = (me + n - step) % n;
+            self.send_arc(dst, tag, std::sync::Arc::new(chunks[dst as usize].clone()));
+            let (v, _) = self.recv::<T>(Some(src), tag);
+            out[src as usize] = (*v).clone();
+        }
+        out
+    }
+
+    /// MPI_Reduce_scatter_block: element-wise reduce of a `size *
+    /// block`-element vector, rank `r` keeping block `r`. Implemented as
+    /// the reduce-scatter phase of the ring (bandwidth-optimal).
+    pub fn reduce_scatter_block<T: MpiScalar>(&mut self, op: ReduceOp, data: &[T]) -> Vec<T> {
+        let n = self.size() as usize;
+        let me = self.rank() as usize;
+        assert!(
+            data.len().is_multiple_of(n),
+            "reduce_scatter_block needs size*block elements"
+        );
+        let block = data.len() / n;
+        if n == 1 {
+            return data.to_vec();
+        }
+        let tag = self.next_coll_tag();
+        let mut acc = data.to_vec();
+        let right = ((me + 1) % n) as u32;
+        let left = ((me + n - 1) % n) as u32;
+        // Chunk indices offset by -1 relative to the allreduce ring so
+        // that rank `me` finishes holding exactly chunk `me`.
+        for step in 0..n - 1 {
+            let send_chunk = (me + n - step - 1) % n;
+            let recv_chunk = (me + 2 * n - step - 2) % n;
+            let s = acc[send_chunk * block..(send_chunk + 1) * block].to_vec();
+            self.send_arc(right, tag, Arc::new(s));
+            let (v, _) = self.recv::<T>(Some(left), tag);
+            let dst = &mut acc[recv_chunk * block..(recv_chunk + 1) * block];
+            op.combine_into(dst, &v);
+            self.charge_elementwise::<T>(block);
+        }
+        acc[me * block..(me + 1) * block].to_vec()
+    }
+
+    /// MPI_Scan: inclusive prefix reduction — rank `r` receives the
+    /// combination of ranks `0..=r`'s contributions. Linear pipeline.
+    pub fn scan<T: MpiScalar>(&mut self, op: ReduceOp, data: &[T]) -> Vec<T> {
+        let tag = self.next_coll_tag();
+        let me = self.rank();
+        let n = self.size();
+        let mut acc = data.to_vec();
+        if me > 0 {
+            let (prefix, _) = self.recv::<T>(Some(me - 1), tag);
+            let mut combined = (*prefix).clone();
+            op.combine_into(&mut combined, &acc);
+            self.charge_elementwise::<T>(acc.len());
+            acc = combined;
+        }
+        if me + 1 < n {
+            self.send_arc(me + 1, tag, Arc::new(acc.clone()));
+        }
+        acc
+    }
+
+    /// Charge the CPU cost of one element-wise pass over `len` elements.
+    fn charge_elementwise<T: MpiScalar>(&mut self, len: usize) {
+        let w = hpcbd_simnet::Work::new(len as f64, len as f64 * T::BYTES as f64 * 2.0);
+        self.ctx.compute(w, 1.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::launch::mpirun;
+    use crate::{MpiScalar, ReduceOp};
+    use hpcbd_cluster::Placement;
+    use std::sync::Arc;
+
+    fn per_rank_vec(rank: u32, len: usize) -> Vec<f64> {
+        (0..len).map(|i| (rank as f64) + (i as f64) * 0.5).collect()
+    }
+
+    fn oracle_reduce(n: u32, len: usize, op: ReduceOp) -> Vec<f64> {
+        let mut acc = per_rank_vec(0, len);
+        for r in 1..n {
+            op.combine_into(&mut acc, &per_rank_vec(r, len));
+        }
+        acc
+    }
+
+    #[test]
+    fn barrier_completes_at_every_size() {
+        for (nodes, ppn) in [(1, 1), (1, 3), (2, 2), (3, 5), (4, 4)] {
+            let out = mpirun(Placement::new(nodes, ppn), |rank| {
+                rank.barrier();
+                rank.barrier();
+                rank.rank()
+            });
+            assert_eq!(out.results.len(), (nodes * ppn) as usize);
+        }
+    }
+
+    #[test]
+    fn bcast_delivers_root_buffer_everywhere() {
+        for n in [2u32, 3, 4, 7, 8] {
+            for root in [0, n - 1] {
+                let out = mpirun(Placement::new(1, n), move |rank| {
+                    let data = if rank.rank() == root {
+                        Some(Arc::new(vec![3.25f64, -1.0, root as f64]))
+                    } else {
+                        None
+                    };
+                    (*rank.bcast(root, data)).clone()
+                });
+                for r in out.results {
+                    assert_eq!(r, vec![3.25, -1.0, root as f64]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_matches_oracle() {
+        for n in [1u32, 2, 3, 4, 6, 8] {
+            for op in [ReduceOp::Sum, ReduceOp::Max, ReduceOp::Min] {
+                let out = mpirun(Placement::new(1, n), move |rank| {
+                    let data = per_rank_vec(rank.rank(), 16);
+                    rank.reduce(0, op, &data)
+                });
+                let root_result = out.results[0].clone().expect("root gets the result");
+                assert_eq!(root_result, oracle_reduce(n, 16, op));
+                for r in &out.results[1..] {
+                    assert!(r.is_none());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn allreduce_small_uses_recursive_doubling_and_matches_oracle() {
+        for n in [2u32, 3, 5, 8] {
+            let out = mpirun(Placement::new(1, n), move |rank| {
+                rank.allreduce(ReduceOp::Sum, &per_rank_vec(rank.rank(), 8))
+            });
+            let expect = oracle_reduce(n, 8, ReduceOp::Sum);
+            for r in out.results {
+                assert_eq!(r, expect);
+            }
+        }
+    }
+
+    #[test]
+    fn allreduce_large_uses_ring_and_matches_oracle() {
+        // 32k f64 = 256 KB > threshold, power-of-two size triggers ring.
+        let len = 32 * 1024;
+        let out = mpirun(Placement::new(2, 2), move |rank| {
+            rank.allreduce(ReduceOp::Sum, &per_rank_vec(rank.rank(), len))
+        });
+        let expect = oracle_reduce(4, len, ReduceOp::Sum);
+        for r in out.results {
+            assert_eq!(r, expect);
+        }
+    }
+
+    #[test]
+    fn ring_and_doubling_agree() {
+        let len = 1000;
+        let out = mpirun(Placement::new(1, 4), move |rank| {
+            let d = per_rank_vec(rank.rank(), len);
+            let a = rank.allreduce_ring(ReduceOp::Sum, &d);
+            let b = rank.allreduce_recursive_doubling(ReduceOp::Sum, &d);
+            (a, b)
+        });
+        for (a, b) in out.results {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn scatter_gather_roundtrip() {
+        let out = mpirun(Placement::new(2, 2), |rank| {
+            let root_buf: Vec<i64> = (0..16).collect();
+            let mine = rank.scatter(0, if rank.rank() == 0 { Some(&root_buf) } else { None });
+            assert_eq!(mine.len(), 4);
+            assert_eq!(mine[0], rank.rank() as i64 * 4);
+            rank.gather(0, &mine)
+        });
+        assert_eq!(
+            out.results[0].clone().unwrap(),
+            (0..16).collect::<Vec<i64>>()
+        );
+    }
+
+    #[test]
+    fn allgather_concatenates_in_rank_order() {
+        let out = mpirun(Placement::new(1, 3), |rank| {
+            rank.allgather(&[rank.rank() as u64, 100 + rank.rank() as u64])
+        });
+        for r in out.results {
+            assert_eq!(r, vec![0, 100, 1, 101, 2, 102]);
+        }
+    }
+
+    #[test]
+    fn alltoall_transposes() {
+        let n = 4u32;
+        let out = mpirun(Placement::new(2, 2), move |rank| {
+            let me = rank.rank();
+            let chunks: Vec<Vec<u32>> = (0..n).map(|dst| vec![me * 10 + dst]).collect();
+            rank.alltoall(chunks)
+        });
+        for (me, rows) in out.results.iter().enumerate() {
+            for (src, chunk) in rows.iter().enumerate() {
+                assert_eq!(chunk, &vec![src as u32 * 10 + me as u32]);
+            }
+        }
+    }
+
+    #[test]
+    fn collectives_compose_without_tag_clashes() {
+        let out = mpirun(Placement::new(1, 4), |rank| {
+            let r = rank.rank();
+            let s = rank.allreduce(ReduceOp::Sum, &[r as f64]);
+            rank.barrier();
+            let m = rank.allreduce(ReduceOp::Max, &[r as f64]);
+            let b = rank.bcast(
+                2,
+                if r == 2 {
+                    Some(Arc::new(vec![9.0f64]))
+                } else {
+                    None
+                },
+            );
+            (s[0], m[0], b[0])
+        });
+        for (s, m, b) in out.results {
+            assert_eq!((s, m, b), (6.0, 3.0, 9.0));
+        }
+    }
+
+    #[test]
+    fn large_allreduce_faster_with_ring_than_doubling() {
+        // The tuned selection should pay off: compare virtual times.
+        let len = 512 * 1024; // 4 MB of f64
+        let ring = mpirun(Placement::new(4, 1), move |rank| {
+            rank.allreduce_ring(ReduceOp::Sum, &vec![1.0f64; len]);
+        })
+        .elapsed();
+        let doubling = mpirun(Placement::new(4, 1), move |rank| {
+            rank.allreduce_recursive_doubling(ReduceOp::Sum, &vec![1.0f64; len]);
+        })
+        .elapsed();
+        assert!(
+            ring < doubling,
+            "ring {ring} should beat recursive doubling {doubling} at 4MB"
+        );
+    }
+
+    #[test]
+    fn wire_size_constant_checks() {
+        assert_eq!(<u32 as MpiScalar>::BYTES, 4);
+    }
+
+    #[test]
+    fn reduce_scatter_block_matches_oracle() {
+        for n in [1u32, 2, 4, 5, 8] {
+            let block = 3usize;
+            let out = mpirun(Placement::new(1, n), move |rank| {
+                let data: Vec<f64> = (0..n as usize * block)
+                    .map(|i| (rank.rank() as usize * 100 + i) as f64)
+                    .collect();
+                rank.reduce_scatter_block(ReduceOp::Sum, &data)
+            });
+            for (me, got) in out.results.iter().enumerate() {
+                // Oracle: sum over ranks of their block `me`.
+                let oracle: Vec<f64> = (0..block)
+                    .map(|j| {
+                        (0..n as usize)
+                            .map(|r| (r * 100 + me * block + j) as f64)
+                            .sum()
+                    })
+                    .collect();
+                assert_eq!(got, &oracle, "n={n} me={me}");
+            }
+        }
+    }
+
+    #[test]
+    fn scan_computes_inclusive_prefixes() {
+        let out = mpirun(Placement::new(2, 3), |rank| {
+            rank.scan(ReduceOp::Sum, &[rank.rank() as f64, 1.0])
+        });
+        for (me, got) in out.results.iter().enumerate() {
+            let prefix: f64 = (0..=me).map(|r| r as f64).sum();
+            assert_eq!(got, &vec![prefix, me as f64 + 1.0]);
+        }
+    }
+
+    #[test]
+    fn scan_max_and_composition_with_other_collectives() {
+        let out = mpirun(Placement::new(1, 4), |rank| {
+            let s = rank.scan(ReduceOp::Max, &[rank.rank() as f64 % 3.0]);
+            rank.barrier();
+            let rs = rank.reduce_scatter_block(ReduceOp::Sum, &[1.0f64; 4]);
+            (s[0], rs[0])
+        });
+        assert_eq!(
+            out.results,
+            vec![(0.0, 4.0), (1.0, 4.0), (2.0, 4.0), (2.0, 4.0)]
+        );
+    }
+}

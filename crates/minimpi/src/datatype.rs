@@ -1,0 +1,140 @@
+//! MPI datatypes and predefined reduction operators.
+
+/// A scalar element type usable in minimpi messages and reductions —
+/// the moral equivalent of the predefined MPI datatypes.
+pub trait MpiScalar: Copy + Send + Sync + PartialOrd + std::fmt::Debug + 'static {
+    /// Size of one element on the wire, in bytes.
+    const BYTES: u64;
+    /// Additive identity.
+    fn zero() -> Self;
+    /// Multiplicative identity.
+    fn one() -> Self;
+    /// Addition.
+    fn add(self, other: Self) -> Self;
+    /// Multiplication.
+    fn mul(self, other: Self) -> Self;
+}
+
+macro_rules! impl_scalar {
+    ($($t:ty => $bytes:expr),* $(,)?) => {
+        $(impl MpiScalar for $t {
+            const BYTES: u64 = $bytes;
+            #[inline] fn zero() -> Self { 0 as $t }
+            #[inline] fn one() -> Self { 1 as $t }
+            #[inline] fn add(self, other: Self) -> Self { self + other }
+            #[inline] fn mul(self, other: Self) -> Self { self * other }
+        })*
+    };
+}
+
+impl_scalar! {
+    f32 => 4, f64 => 8,
+    i32 => 4, i64 => 8,
+    u32 => 4, u64 => 8,
+    u8 => 1,
+}
+
+/// Predefined reduction operators (MPI_SUM, MPI_PROD, MPI_MAX, MPI_MIN).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReduceOp {
+    /// Element-wise sum.
+    Sum,
+    /// Element-wise product.
+    Prod,
+    /// Element-wise maximum.
+    Max,
+    /// Element-wise minimum.
+    Min,
+}
+
+impl ReduceOp {
+    /// Combine two elements.
+    #[inline]
+    pub fn apply<T: MpiScalar>(self, a: T, b: T) -> T {
+        match self {
+            ReduceOp::Sum => a.add(b),
+            ReduceOp::Prod => a.mul(b),
+            ReduceOp::Max => {
+                if a >= b {
+                    a
+                } else {
+                    b
+                }
+            }
+            ReduceOp::Min => {
+                if a <= b {
+                    a
+                } else {
+                    b
+                }
+            }
+        }
+    }
+
+    /// Identity element for this operator.
+    #[inline]
+    pub fn identity<T: MpiScalar>(self) -> T {
+        match self {
+            ReduceOp::Sum => T::zero(),
+            ReduceOp::Prod => T::one(),
+            // Max/Min identities need bounds; fold from the first element
+            // instead (see `combine_into`). Using zero here would be wrong,
+            // so the collectives never call `identity` for Max/Min.
+            ReduceOp::Max | ReduceOp::Min => {
+                panic!("Max/Min reductions fold from the first operand")
+            }
+        }
+    }
+
+    /// Element-wise combine `src` into `acc` (equal lengths required).
+    pub fn combine_into<T: MpiScalar>(self, acc: &mut [T], src: &[T]) {
+        assert_eq!(
+            acc.len(),
+            src.len(),
+            "reduction buffers must have equal lengths"
+        );
+        for (a, s) in acc.iter_mut().zip(src) {
+            *a = self.apply(*a, *s);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ops_apply_elementwise() {
+        let mut acc = vec![1.0f64, 5.0, -2.0];
+        ReduceOp::Sum.combine_into(&mut acc, &[2.0, -1.0, 2.0]);
+        assert_eq!(acc, vec![3.0, 4.0, 0.0]);
+        ReduceOp::Max.combine_into(&mut acc, &[0.0, 10.0, -1.0]);
+        assert_eq!(acc, vec![3.0, 10.0, 0.0]);
+        ReduceOp::Min.combine_into(&mut acc, &[5.0, 0.0, -3.0]);
+        assert_eq!(acc, vec![3.0, 0.0, -3.0]);
+        ReduceOp::Prod.combine_into(&mut acc, &[2.0, 2.0, 2.0]);
+        assert_eq!(acc, vec![6.0, 0.0, -6.0]);
+    }
+
+    #[test]
+    fn integer_ops() {
+        assert_eq!(ReduceOp::Sum.apply(3u64, 4), 7);
+        assert_eq!(ReduceOp::Prod.apply(3i32, -4), -12);
+        assert_eq!(ReduceOp::Max.apply(3u32, 4), 4);
+        assert_eq!(ReduceOp::Min.apply(3i64, 4), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal lengths")]
+    fn mismatched_lengths_panic() {
+        let mut acc = vec![0i32; 2];
+        ReduceOp::Sum.combine_into(&mut acc, &[1, 2, 3]);
+    }
+
+    #[test]
+    fn wire_sizes() {
+        assert_eq!(<f32 as MpiScalar>::BYTES, 4);
+        assert_eq!(<f64 as MpiScalar>::BYTES, 8);
+        assert_eq!(<u8 as MpiScalar>::BYTES, 1);
+    }
+}

@@ -1,0 +1,264 @@
+//! Sub-communicators (`MPI_Comm_split`).
+//!
+//! A [`SubComm`] is a subset of MPI_COMM_WORLD with its own rank
+//! numbering, supporting the collectives iterative multi-group codes
+//! need (barrier, broadcast, allreduce). Communication goes through the
+//! world communicator's point-to-point layer with a tag space disjoint
+//! from both user tags and world collectives.
+
+use std::sync::Arc;
+
+use hpcbd_simnet::Tag;
+
+use crate::datatype::{MpiScalar, ReduceOp};
+use crate::rank::MpiRank;
+
+/// Tag space for sub-communicator collectives.
+const SUBCOMM_TAG_BASE: Tag = 1 << 39;
+
+/// A communicator over a subset of world ranks.
+pub struct SubComm {
+    /// World ranks in this communicator, sorted by (key, world rank) as
+    /// `MPI_Comm_split` orders them.
+    members: Arc<Vec<u32>>,
+    /// This process's rank within the sub-communicator.
+    my_rank: u32,
+    /// Distinguishes collectives of different splits/colors.
+    comm_id: u64,
+    seq: u64,
+}
+
+impl MpiRank<'_> {
+    /// `MPI_Comm_split(color, key)`: collective over MPI_COMM_WORLD.
+    /// Ranks passing the same `color` land in the same sub-communicator,
+    /// ordered by `(key, world rank)`. Returns `None` for
+    /// `color == None` (MPI_UNDEFINED).
+    pub fn comm_split(&mut self, color: Option<u32>, key: u32) -> Option<SubComm> {
+        // Exchange (color, key) with everyone via allgather.
+        let my_color = color.map(|c| c as i64).unwrap_or(-1);
+        let pairs = self.allgather(&[my_color, key as i64]);
+        let color = color?;
+        let mut members: Vec<(u32, u32)> = pairs
+            .chunks_exact(2)
+            .enumerate()
+            .filter(|(_, ck)| ck[0] == color as i64)
+            .map(|(r, ck)| (ck[1] as u32, r as u32))
+            .collect();
+        members.sort();
+        let members: Vec<u32> = members.into_iter().map(|(_, r)| r).collect();
+        let my_world = self.rank();
+        let my_rank = members
+            .iter()
+            .position(|r| *r == my_world)
+            .expect("self in own color group") as u32;
+        Some(SubComm {
+            members: Arc::new(members),
+            my_rank,
+            comm_id: color as u64 + 1,
+            seq: 0,
+        })
+    }
+}
+
+impl SubComm {
+    /// Rank within this communicator.
+    pub fn rank(&self) -> u32 {
+        self.my_rank
+    }
+
+    /// Size of this communicator.
+    pub fn size(&self) -> u32 {
+        self.members.len() as u32
+    }
+
+    /// World rank of a member.
+    pub fn world_rank(&self, r: u32) -> u32 {
+        self.members[r as usize]
+    }
+
+    fn next_tag(&mut self) -> Tag {
+        self.seq += 1;
+        SUBCOMM_TAG_BASE + self.comm_id * (1 << 20) + self.seq
+    }
+
+    /// Barrier over the sub-communicator (dissemination).
+    pub fn barrier(&mut self, world: &mut MpiRank) {
+        let tag = self.next_tag();
+        let n = self.size();
+        if n <= 1 {
+            return;
+        }
+        let me = self.my_rank;
+        let mut step = 1u32;
+        while step < n {
+            let dst = self.world_rank((me + step) % n);
+            let src = self.world_rank((me + n - step) % n);
+            world.send_arc::<u8>(dst, tag, Arc::new(Vec::new()));
+            let _ = world.recv::<u8>(Some(src), tag);
+            step <<= 1;
+        }
+    }
+
+    /// Broadcast from sub-communicator `root` (binomial).
+    pub fn bcast<T: MpiScalar>(
+        &mut self,
+        world: &mut MpiRank,
+        root: u32,
+        data: Option<Arc<Vec<T>>>,
+    ) -> Arc<Vec<T>> {
+        let tag = self.next_tag();
+        let n = self.size();
+        let me = self.my_rank;
+        let vrank = (me + n - root) % n;
+        let mut buf = if me == root {
+            Some(data.expect("root supplies the buffer"))
+        } else {
+            None
+        };
+        if vrank != 0 {
+            let parent_v = vrank & (vrank - 1);
+            let parent = self.world_rank((parent_v + root) % n);
+            buf = Some(world.recv::<T>(Some(parent), tag).0);
+        }
+        let buf = buf.expect("buffer after receive");
+        let mut bit = 1u32;
+        while bit < n && vrank & bit == 0 {
+            let child_v = vrank | bit;
+            if child_v < n {
+                let child = self.world_rank((child_v + root) % n);
+                world.send_arc(child, tag, buf.clone());
+            }
+            bit <<= 1;
+        }
+        buf
+    }
+
+    /// Allreduce over the sub-communicator (recursive doubling with
+    /// straggler folding, like the world-communicator version).
+    pub fn allreduce<T: MpiScalar>(
+        &mut self,
+        world: &mut MpiRank,
+        op: ReduceOp,
+        data: &[T],
+    ) -> Vec<T> {
+        let tag = self.next_tag();
+        let n = self.size();
+        let me = self.my_rank;
+        let mut acc = data.to_vec();
+        if n == 1 {
+            return acc;
+        }
+        let pof2 = if n.is_power_of_two() {
+            n
+        } else {
+            1 << (31 - n.leading_zeros())
+        };
+        let rem = n - pof2;
+        if me >= pof2 {
+            world.send_arc(self.world_rank(me - pof2), tag, Arc::new(acc.clone()));
+            let (v, _) = world.recv::<T>(Some(self.world_rank(me - pof2)), tag + 2);
+            self.seq += 2; // keep tag counters aligned with participants
+            return (*v).clone();
+        }
+        if me < rem {
+            let (v, _) = world.recv::<T>(Some(self.world_rank(me + pof2)), tag);
+            op.combine_into(&mut acc, &v);
+        }
+        let mut mask = 1u32;
+        while mask < pof2 {
+            let peer = self.world_rank(me ^ mask);
+            world.send_arc(peer, tag + 1, Arc::new(acc.clone()));
+            let (v, _) = world.recv::<T>(Some(peer), tag + 1);
+            op.combine_into(&mut acc, &v);
+            mask <<= 1;
+        }
+        if me < rem {
+            world.send_arc(self.world_rank(me + pof2), tag + 2, Arc::new(acc.clone()));
+        }
+        self.seq += 2; // reserve the sub-phase tags
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::launch::mpirun;
+    use crate::ReduceOp;
+    use hpcbd_cluster::Placement;
+    use std::sync::Arc;
+
+    #[test]
+    fn split_partitions_world_by_color() {
+        let out = mpirun(Placement::new(2, 3), |rank| {
+            let color = rank.rank() % 2;
+            let sub = rank.comm_split(Some(color), rank.rank()).unwrap();
+            (color, sub.rank(), sub.size())
+        });
+        // 6 world ranks -> evens {0,2,4}, odds {1,3,5}.
+        assert_eq!(out.results[0], (0, 0, 3));
+        assert_eq!(out.results[1], (1, 0, 3));
+        assert_eq!(out.results[2], (0, 1, 3));
+        assert_eq!(out.results[4], (0, 2, 3));
+        assert_eq!(out.results[5], (1, 2, 3));
+    }
+
+    #[test]
+    fn undefined_color_yields_none() {
+        let out = mpirun(Placement::new(1, 4), |rank| {
+            let color = if rank.rank() < 2 { Some(0) } else { None };
+            rank.comm_split(color, 0).is_some()
+        });
+        assert_eq!(out.results, vec![true, true, false, false]);
+    }
+
+    #[test]
+    fn key_reorders_subranks() {
+        let out = mpirun(Placement::new(1, 4), |rank| {
+            // Reverse order within one color.
+            let key = 100 - rank.rank();
+            let sub = rank.comm_split(Some(0), key).unwrap();
+            sub.rank()
+        });
+        assert_eq!(out.results, vec![3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn subcomm_collectives_stay_within_group() {
+        let out = mpirun(Placement::new(2, 3), |rank| {
+            let color = rank.rank() % 2;
+            let mut sub = rank.comm_split(Some(color), rank.rank()).unwrap();
+            sub.barrier(rank);
+            let sum = sub.allreduce(rank, ReduceOp::Sum, &[rank.rank() as f64]);
+            let b = sub.bcast(
+                rank,
+                0,
+                if sub.rank() == 0 {
+                    Some(Arc::new(vec![color as f64 * 100.0]))
+                } else {
+                    None
+                },
+            );
+            sub.barrier(rank);
+            (sum[0], b[0])
+        });
+        // Evens sum 0+2+4=6, odds 1+3+5=9; broadcasts carry the color.
+        for (r, (sum, b)) in out.results.iter().enumerate() {
+            if r % 2 == 0 {
+                assert_eq!((*sum, *b), (6.0, 0.0));
+            } else {
+                assert_eq!((*sum, *b), (9.0, 100.0));
+            }
+        }
+    }
+
+    #[test]
+    fn non_power_of_two_subcomm_allreduce() {
+        let out = mpirun(Placement::new(1, 5), |rank| {
+            let mut sub = rank.comm_split(Some(0), rank.rank()).unwrap();
+            sub.allreduce(rank, ReduceOp::Max, &[rank.rank() as f64])
+        });
+        for r in out.results {
+            assert_eq!(r, vec![4.0]);
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! Job configuration, input formats, and the task protocol.
+
+use hpcbd_simnet::SimDuration;
+
+pub use hpcbd_simnet::dataset::InputFormat;
+
+/// Hadoop job configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct JobConf {
+    /// Reduce task count (`mapreduce.job.reduces`).
+    pub reduce_tasks: u32,
+    /// Concurrent task slots per node (map or reduce).
+    pub slots_per_node: u32,
+    /// One-time job client + ApplicationMaster startup.
+    pub job_startup: SimDuration,
+    /// Per-task JVM launch cost.
+    pub task_jvm_startup: SimDuration,
+    /// Tracker-side delay per task assignment (heartbeat granularity).
+    pub scheduling_delay: SimDuration,
+    /// CPU cost per map-output byte for serialization + partitioning,
+    /// seconds/byte (JVM object overhead included).
+    pub spill_cpu_per_byte: f64,
+    /// Task liveness timeout before the tracker re-executes
+    /// (`mapreduce.task.timeout`, scaled down for simulation).
+    pub task_timeout: SimDuration,
+    /// Launch backup copies of straggling map tasks when slots idle
+    /// (`mapreduce.map.speculative`).
+    pub speculative_execution: bool,
+}
+
+impl Default for JobConf {
+    fn default() -> JobConf {
+        JobConf {
+            reduce_tasks: 8,
+            slots_per_node: 8,
+            job_startup: SimDuration::from_millis(2_500),
+            task_jvm_startup: SimDuration::from_millis(220),
+            scheduling_delay: SimDuration::from_millis(15),
+            spill_cpu_per_byte: 1.0e-9,
+            task_timeout: SimDuration::from_secs(60),
+            speculative_execution: false,
+        }
+    }
+}
+
+/// Where a task was assigned, relative to its input block replicas —
+/// reported per job for locality diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LocalityStats {
+    /// Map tasks whose worker node held a replica of the input block.
+    pub local_maps: u32,
+    /// Map tasks that had to read their block over the network.
+    pub remote_maps: u32,
+    /// Map tasks that were re-executed after a worker failure.
+    pub reexecuted_maps: u32,
+    /// Backup copies launched by speculative execution.
+    pub speculative_maps: u32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_conf_is_sane() {
+        let c = JobConf::default();
+        assert!(c.reduce_tasks > 0);
+        assert!(c.job_startup > c.task_jvm_startup);
+        assert!(c.task_timeout > c.scheduling_delay);
+    }
+}

@@ -1,0 +1,45 @@
+//! `hpcbd-minomp` — an OpenMP-like shared-memory runtime.
+//!
+//! Two halves, mirroring how the paper uses OpenMP (Sec. II-A, Fig. 4):
+//!
+//! 1. A **real** fork-join runtime ([`OmpPool`]): worker threads,
+//!    `parallel for` with `static` / `dynamic` / `guided` schedules,
+//!    reductions, and critical sections. This executes actual Rust
+//!    closures in parallel and is what the correctness tests and the
+//!    benchmark *results* use.
+//! 2. A **timing model** ([`model::OmpModel`]): the virtual-time cost of a
+//!    parallel region on a modeled Comet node — fork/join overhead,
+//!    per-chunk scheduling overhead, and the schedule-dependent load
+//!    imbalance. Experiments run inside `simnet` charge region times
+//!    through this model (OpenMP cannot leave one node, so an OpenMP
+//!    benchmark is a single simulated process).
+//!
+//! # Example
+//!
+//! ```
+//! use hpcbd_minomp::{OmpPool, Schedule};
+//!
+//! let pool = OmpPool::new(4);
+//! let sum = pool.parallel_reduce(
+//!     0..1000u64,
+//!     Schedule::Static { chunk: None },
+//!     0u64,
+//!     |i| i,
+//!     |a, b| a + b,
+//! );
+//! assert_eq!(sum, 999 * 1000 / 2);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod model;
+pub mod pool;
+pub mod schedule;
+pub mod target;
+pub mod tasks;
+
+pub use model::OmpModel;
+pub use pool::OmpPool;
+pub use schedule::Schedule;
+pub use target::{target_offload_once, Device, TargetData};
+pub use tasks::{DepVar, TaskScope};

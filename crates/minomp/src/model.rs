@@ -1,0 +1,139 @@
+//! Virtual-time cost model for parallel regions on a modeled node.
+//!
+//! An OpenMP benchmark inside the simulation is a single `simnet` process
+//! (the paper: "since it can only run on a single node, we only provide
+//! results for 8- and 16-core configurations"). Region wall time is
+//! modeled as
+//!
+//! ```text
+//! fork_join + chunks * chunk_overhead / threads + work / threads * imbalance
+//! ```
+//!
+//! where `imbalance` depends on the schedule: static splits can leave
+//! threads waiting at the join barrier when per-iteration cost varies;
+//! dynamic/guided rebalance at the cost of more scheduling events.
+
+use hpcbd_simnet::{NodeSpec, ProcCtx, SimDuration, Work};
+
+use crate::schedule::Schedule;
+
+/// Cost parameters of the modeled OpenMP runtime (GCC libgomp-class).
+#[derive(Debug, Clone, Copy)]
+pub struct OmpModel {
+    /// Team fork + join-barrier cost per region.
+    pub fork_join: SimDuration,
+    /// Cost of one scheduling event (chunk grab).
+    pub chunk_overhead: SimDuration,
+    /// Relative slack a static schedule leaves on irregular work
+    /// (1.0 = perfectly balanced).
+    pub static_imbalance: f64,
+}
+
+impl Default for OmpModel {
+    fn default() -> OmpModel {
+        OmpModel {
+            fork_join: SimDuration::from_micros(12),
+            chunk_overhead: SimDuration::from_nanos(120),
+            static_imbalance: 1.08,
+        }
+    }
+}
+
+impl OmpModel {
+    /// Virtual duration of one parallel region executing `total_work`
+    /// split over `threads` as `n` iterations under `schedule` on `node`.
+    pub fn region_time(
+        &self,
+        node: &NodeSpec,
+        threads: u32,
+        schedule: Schedule,
+        n: usize,
+        total_work: Work,
+    ) -> SimDuration {
+        assert!(threads >= 1, "region needs at least one thread");
+        let threads = threads.min(node.cores());
+        let per_thread = total_work.scaled(1.0 / threads as f64);
+        let ideal = per_thread.duration_on(node, 1.0);
+        let imbalance = match schedule {
+            Schedule::Static { .. } if threads > 1 => self.static_imbalance,
+            _ => 1.0,
+        };
+        let chunks = schedule.chunk_count(n, threads as usize) as u64;
+        let sched_cost = SimDuration::from_nanos(
+            self.chunk_overhead.nanos() * chunks / threads as u64,
+        );
+        self.fork_join
+            + sched_cost
+            + SimDuration::from_secs_f64(ideal.as_secs_f64() * imbalance)
+    }
+
+    /// Charge a region to a simulated process's clock.
+    pub fn charge_region(
+        &self,
+        ctx: &mut ProcCtx,
+        threads: u32,
+        schedule: Schedule,
+        n: usize,
+        total_work: Work,
+    ) {
+        let spec = ctx.world().topology.node(ctx.node()).spec.clone();
+        let d = self.region_time(&spec, threads, schedule, n, total_work);
+        ctx.advance(d);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpcbd_simnet::NodeSpec;
+
+    fn node() -> NodeSpec {
+        NodeSpec::comet()
+    }
+
+    #[test]
+    fn more_threads_reduce_region_time() {
+        let m = OmpModel::default();
+        let w = Work::flops(24.0e9); // 8 seconds on one core
+        let s = Schedule::Static { chunk: None };
+        let t1 = m.region_time(&node(), 1, s, 1 << 20, w);
+        let t8 = m.region_time(&node(), 8, s, 1 << 20, w);
+        let t16 = m.region_time(&node(), 16, s, 1 << 20, w);
+        assert!(t8 < t1 && t16 < t8);
+        // Near-linear: 8 threads within 25% of ideal 8x.
+        let speedup = t1.as_secs_f64() / t8.as_secs_f64();
+        assert!(speedup > 6.0, "speedup {speedup}");
+    }
+
+    #[test]
+    fn threads_clamp_to_node_cores() {
+        let m = OmpModel::default();
+        let w = Work::flops(1.0e9);
+        let s = Schedule::Static { chunk: None };
+        let t24 = m.region_time(&node(), 24, s, 1000, w);
+        let t999 = m.region_time(&node(), 999, s, 1000, w);
+        assert_eq!(t24, t999, "cannot use more threads than cores");
+    }
+
+    #[test]
+    fn dynamic_pays_scheduling_but_avoids_imbalance() {
+        let m = OmpModel::default();
+        let w = Work::flops(6.0e9);
+        let n = 1000;
+        let stat = m.region_time(&node(), 8, Schedule::Static { chunk: None }, n, w);
+        let dyn_big = m.region_time(&node(), 8, Schedule::Dynamic { chunk: 64 }, n, w);
+        // With few chunks, dynamic's rebalancing wins over static slack.
+        assert!(dyn_big < stat, "dynamic {dyn_big} vs static {stat}");
+        // With pathological chunk=1 on a huge loop, scheduling overhead bites.
+        let n_huge = 50_000_000;
+        let dyn_tiny = m.region_time(&node(), 8, Schedule::Dynamic { chunk: 1 }, n_huge, w);
+        assert!(dyn_tiny > stat, "chunk-1 dynamic should be slower");
+    }
+
+    #[test]
+    fn fork_join_floor_for_empty_regions() {
+        let m = OmpModel::default();
+        let t = m.region_time(&node(), 8, Schedule::Static { chunk: None }, 0, Work::NONE);
+        assert_eq!(t, m.fork_join);
+    }
+}

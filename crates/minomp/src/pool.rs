@@ -1,0 +1,254 @@
+//! The real fork-join worker pool.
+//!
+//! Scoped threads (crossbeam) execute each parallel region, so closures
+//! may borrow from the caller's stack exactly like an OpenMP region
+//! captures its enclosing scope. The pool guarantees data-race freedom
+//! through the usual Rust rules: loop bodies are `Fn(usize) + Sync`,
+//! mutable shared state goes through reductions, [`OmpPool::critical`],
+//! or atomics.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use parking_lot::Mutex;
+
+use crate::schedule::Schedule;
+
+/// A shared-memory parallel runtime with a fixed thread count — one
+/// OpenMP "team".
+#[derive(Debug)]
+pub struct OmpPool {
+    nthreads: usize,
+    critical: Mutex<()>,
+}
+
+impl OmpPool {
+    /// A team of `nthreads` threads (`OMP_NUM_THREADS`).
+    pub fn new(nthreads: usize) -> OmpPool {
+        assert!(nthreads > 0, "team needs at least one thread");
+        OmpPool {
+            nthreads,
+            critical: Mutex::new(()),
+        }
+    }
+
+    /// Team size.
+    #[inline]
+    pub fn num_threads(&self) -> usize {
+        self.nthreads
+    }
+
+    /// `#pragma omp parallel for schedule(...)`: run `body(i)` for every
+    /// `i` in `range`, split among the team per `schedule`.
+    pub fn parallel_for<F>(&self, range: std::ops::Range<u64>, schedule: Schedule, body: F)
+    where
+        F: Fn(u64) + Sync,
+    {
+        self.parallel_for_chunks(range, schedule, |chunk| {
+            for i in chunk {
+                body(i);
+            }
+        });
+    }
+
+    /// Chunk-granular `parallel for`: `body` receives whole index ranges,
+    /// letting callers amortize per-iteration work (the form the
+    /// AnswersCount benchmark uses to parse record blocks).
+    pub fn parallel_for_chunks<F>(
+        &self,
+        range: std::ops::Range<u64>,
+        schedule: Schedule,
+        body: F,
+    ) where
+        F: Fn(std::ops::Range<u64>) + Sync,
+    {
+        let n = (range.end - range.start) as usize;
+        if n == 0 {
+            return;
+        }
+        let base = range.start;
+        let nt = self.nthreads.min(n.max(1));
+        match schedule {
+            Schedule::Static { .. } => {
+                std::thread::scope(|s| {
+                    for tid in 0..nt {
+                        let body = &body;
+                        s.spawn(move || {
+                            for (a, b) in schedule.static_chunks(n, tid, nt) {
+                                body(base + a as u64..base + b as u64);
+                            }
+                        });
+                    }
+                });
+            }
+            Schedule::Dynamic { chunk } => {
+                let next = AtomicUsize::new(0);
+                let chunk = chunk.max(1);
+                std::thread::scope(|s| {
+                    for _ in 0..nt {
+                        let body = &body;
+                        let next = &next;
+                        s.spawn(move || loop {
+                            let start = next.fetch_add(chunk, Ordering::Relaxed);
+                            if start >= n {
+                                break;
+                            }
+                            let end = (start + chunk).min(n);
+                            body(base + start as u64..base + end as u64);
+                        });
+                    }
+                });
+            }
+            Schedule::Guided { min_chunk } => {
+                let remaining = Mutex::new(0usize..n);
+                let min_chunk = min_chunk.max(1);
+                std::thread::scope(|s| {
+                    for _ in 0..nt {
+                        let body = &body;
+                        let remaining = &remaining;
+                        s.spawn(move || loop {
+                            let (start, end) = {
+                                let mut r = remaining.lock();
+                                if r.start >= r.end {
+                                    break;
+                                }
+                                let left = r.end - r.start;
+                                let c = (left / nt).max(min_chunk).min(left);
+                                let start = r.start;
+                                r.start += c;
+                                (start, start + c)
+                            };
+                            body(base + start as u64..base + end as u64);
+                        });
+                    }
+                });
+            }
+        }
+    }
+
+    /// `parallel for` with a `reduction(op: acc)` clause: each thread
+    /// folds its chunk privately; partials combine at the join.
+    pub fn parallel_reduce<T, F, R>(
+        &self,
+        range: std::ops::Range<u64>,
+        schedule: Schedule,
+        identity: T,
+        body: F,
+        combine: R,
+    ) -> T
+    where
+        T: Clone + Send + Sync,
+        F: Fn(u64) -> T + Sync,
+        R: Fn(T, T) -> T + Sync + Send,
+    {
+        let partials: Mutex<Vec<T>> = Mutex::new(Vec::new());
+        self.parallel_for_chunks(range, schedule, |chunk| {
+            let mut acc = identity.clone();
+            for i in chunk {
+                acc = combine(acc, body(i));
+            }
+            partials.lock().push(acc);
+        });
+        partials
+            .into_inner()
+            .into_iter()
+            .fold(identity, combine)
+    }
+
+    /// `#pragma omp critical`: run `f` under the team-wide mutex.
+    pub fn critical<T>(&self, f: impl FnOnce() -> T) -> T {
+        let _g = self.critical.lock();
+        f()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn all_schedules() -> Vec<Schedule> {
+        vec![
+            Schedule::Static { chunk: None },
+            Schedule::Static { chunk: Some(7) },
+            Schedule::Dynamic { chunk: 5 },
+            Schedule::Guided { min_chunk: 3 },
+        ]
+    }
+
+    #[test]
+    fn every_schedule_visits_each_index_once() {
+        for sched in all_schedules() {
+            let n = 501u64;
+            let hits: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+            let pool = OmpPool::new(4);
+            pool.parallel_for(0..n, sched, |i| {
+                hits[i as usize].fetch_add(1, Ordering::Relaxed);
+            });
+            for (i, h) in hits.iter().enumerate() {
+                assert_eq!(h.load(Ordering::Relaxed), 1, "index {i} under {sched:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_matches_sequential_fold() {
+        for sched in all_schedules() {
+            let pool = OmpPool::new(3);
+            let sum = pool.parallel_reduce(0..10_000u64, sched, 0u64, |i| i * i, |a, b| a + b);
+            let expect: u64 = (0..10_000u64).map(|i| i * i).sum();
+            assert_eq!(sum, expect, "under {sched:?}");
+        }
+    }
+
+    #[test]
+    fn reduce_with_nonzero_range_start() {
+        let pool = OmpPool::new(4);
+        let sum = pool.parallel_reduce(
+            100..200u64,
+            Schedule::Dynamic { chunk: 9 },
+            0u64,
+            |i| i,
+            |a, b| a + b,
+        );
+        assert_eq!(sum, (100..200u64).sum::<u64>());
+    }
+
+    #[test]
+    fn critical_serializes() {
+        let pool = OmpPool::new(8);
+        let mut hits = 0u64;
+        let cell = std::sync::Mutex::new(&mut hits);
+        pool.parallel_for(0..1000, Schedule::Dynamic { chunk: 1 }, |_| {
+            let mut g = cell.lock().unwrap();
+            **g += 1;
+        });
+        assert_eq!(hits, 1000);
+    }
+
+    #[test]
+    fn empty_range_is_noop() {
+        let pool = OmpPool::new(4);
+        pool.parallel_for(5..5, Schedule::Static { chunk: None }, |_| {
+            panic!("must not run")
+        });
+    }
+
+    #[test]
+    fn single_thread_team_works() {
+        let pool = OmpPool::new(1);
+        let s = pool.parallel_reduce(
+            0..100u64,
+            Schedule::Guided { min_chunk: 1 },
+            0,
+            |i| i,
+            |a, b| a + b,
+        );
+        assert_eq!(s, 4950);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_rejected() {
+        OmpPool::new(0);
+    }
+}

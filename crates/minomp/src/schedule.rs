@@ -1,0 +1,141 @@
+//! Loop schedules (`schedule(static|dynamic|guided)`).
+
+/// How a `parallel for` divides its iteration space among threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Schedule {
+    /// Contiguous blocks decided before the loop runs. `chunk: None`
+    /// gives each thread one ⌈n/T⌉ block; `Some(c)` deals blocks of `c`
+    /// round-robin.
+    Static {
+        /// Optional fixed chunk size.
+        chunk: Option<usize>,
+    },
+    /// Threads grab `chunk` iterations at a time from a shared counter.
+    Dynamic {
+        /// Chunk size grabbed per request.
+        chunk: usize,
+    },
+    /// Like dynamic, but the grabbed chunk shrinks as the remaining work
+    /// does (`remaining / threads`, floored at `min_chunk`).
+    Guided {
+        /// Lower bound on the shrinking chunk size.
+        min_chunk: usize,
+    },
+}
+
+impl Schedule {
+    /// The chunks a *static* schedule assigns to thread `tid` of `nt`
+    /// for an `n`-iteration loop, as `(start, end)` pairs.
+    pub fn static_chunks(self, n: usize, tid: usize, nt: usize) -> Vec<(usize, usize)> {
+        match self {
+            Schedule::Static { chunk: None } => {
+                let per = n.div_ceil(nt);
+                let start = (tid * per).min(n);
+                let end = ((tid + 1) * per).min(n);
+                if start < end {
+                    vec![(start, end)]
+                } else {
+                    vec![]
+                }
+            }
+            Schedule::Static { chunk: Some(c) } => {
+                let c = c.max(1);
+                let mut out = vec![];
+                let mut blk = tid;
+                loop {
+                    let start = blk * c;
+                    if start >= n {
+                        break;
+                    }
+                    out.push((start, (start + c).min(n)));
+                    blk += nt;
+                }
+                out
+            }
+            _ => panic!("static_chunks on a non-static schedule"),
+        }
+    }
+
+    /// Number of scheduling events (chunk grabs) a loop of `n` iterations
+    /// on `nt` threads incurs — used by the timing model.
+    pub fn chunk_count(self, n: usize, nt: usize) -> usize {
+        if n == 0 {
+            return 0;
+        }
+        match self {
+            Schedule::Static { chunk: None } => nt.min(n),
+            Schedule::Static { chunk: Some(c) } => n.div_ceil(c.max(1)),
+            Schedule::Dynamic { chunk } => n.div_ceil(chunk.max(1)),
+            Schedule::Guided { min_chunk } => {
+                // Chunks shrink geometrically: ~nt * ln(n / (nt*min)) + extras.
+                let mut remaining = n;
+                let mut count = 0usize;
+                while remaining > 0 {
+                    let c = (remaining / nt).max(min_chunk.max(1)).min(remaining);
+                    remaining -= c;
+                    count += 1;
+                }
+                count
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_blocks_partition_range() {
+        let s = Schedule::Static { chunk: None };
+        let nt = 4;
+        let n = 10;
+        let mut seen = vec![false; n];
+        for tid in 0..nt {
+            for (a, b) in s.static_chunks(n, tid, nt) {
+                for (x, flag) in seen.iter_mut().enumerate().take(b).skip(a) {
+                    assert!(!*flag, "iteration {x} assigned twice");
+                    *flag = true;
+                }
+            }
+        }
+        assert!(seen.iter().all(|s| *s));
+    }
+
+    #[test]
+    fn static_chunked_round_robin_partition() {
+        let s = Schedule::Static { chunk: Some(3) };
+        let nt = 3;
+        let n = 20;
+        let mut seen = vec![0u32; n];
+        for tid in 0..nt {
+            for (a, b) in s.static_chunks(n, tid, nt) {
+                for c in seen.iter_mut().take(b).skip(a) {
+                    *c += 1;
+                }
+            }
+        }
+        assert!(seen.iter().all(|c| *c == 1));
+        // Thread 0 gets blocks [0,3) and [9,12).
+        assert_eq!(s.static_chunks(n, 0, nt)[1], (9, 12));
+    }
+
+    #[test]
+    fn chunk_counts() {
+        assert_eq!(Schedule::Static { chunk: None }.chunk_count(100, 8), 8);
+        assert_eq!(Schedule::Static { chunk: Some(10) }.chunk_count(100, 8), 10);
+        assert_eq!(Schedule::Dynamic { chunk: 7 }.chunk_count(100, 8), 15);
+        assert_eq!(Schedule::Dynamic { chunk: 7 }.chunk_count(0, 8), 0);
+        let g = Schedule::Guided { min_chunk: 4 }.chunk_count(1000, 8);
+        assert!(g > 8 && g < 1000 / 4, "guided chunk count {g}");
+    }
+
+    #[test]
+    fn empty_and_tiny_loops() {
+        let s = Schedule::Static { chunk: None };
+        assert!(s.static_chunks(0, 0, 4).is_empty());
+        // 2 iterations on 4 threads: threads 2,3 idle.
+        assert_eq!(s.static_chunks(2, 0, 4), vec![(0, 1)]);
+        assert!(s.static_chunks(2, 3, 4).is_empty());
+    }
+}

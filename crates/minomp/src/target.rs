@@ -1,0 +1,260 @@
+//! `#pragma omp target` — accelerator offload.
+//!
+//! Sec. II-A of the paper: "the `target` construct creates tasks to be
+//! executed on accelerators in an offload mode"; Sec. III-D: "Given the
+//! very high cost of transferring data between host and device on
+//! existing platforms, and the scarcity of device memory, both OpenACC
+//! and OpenMP have developed relatively complex interfaces for managing
+//! allocations, transfers, updates and synchronization of data."
+//!
+//! This module models exactly that trade-off: a [`Device`] with its own
+//! (much higher) flop rate, limited memory, and a PCIe-class link, plus
+//! `target data` regions ([`TargetData`]) that keep allocations resident
+//! across multiple offloaded regions — the mechanism that decides
+//! whether offloading wins. Two device generations are provided,
+//! matching the paper's discrete-vs-unified discussion (KNC-style
+//! discrete memory vs KNL-style unified memory).
+
+use std::collections::HashMap;
+
+use hpcbd_simnet::{ProcCtx, SimDuration, Work};
+
+/// An attached accelerator's performance envelope.
+#[derive(Debug, Clone, Copy)]
+pub struct Device {
+    /// Effective device flop rate (whole device), flops/second.
+    pub flops: f64,
+    /// Device memory bandwidth, bytes/second.
+    pub mem_bw: f64,
+    /// Device memory capacity, bytes.
+    pub mem_capacity: u64,
+    /// Host<->device link bandwidth, bytes/second (PCIe gen3 x16 ≈ 12 GB/s).
+    pub link_bw: f64,
+    /// Per-transfer latency (driver + DMA setup).
+    pub link_latency: SimDuration,
+    /// Kernel-launch overhead.
+    pub launch_overhead: SimDuration,
+    /// Unified memory with the host (KNL/AMD APU style): transfers are
+    /// free, capacity is the host's.
+    pub unified_memory: bool,
+}
+
+impl Device {
+    /// A discrete accelerator of the paper's era (K80/KNC class):
+    /// ~1.5 TFlop/s effective, 12 GB on-board, PCIe gen3.
+    pub fn discrete_gpu() -> Device {
+        Device {
+            flops: 1.5e12,
+            mem_bw: 240.0e9,
+            mem_capacity: 12 << 30,
+            link_bw: 12.0e9,
+            link_latency: SimDuration::from_micros(20),
+            launch_overhead: SimDuration::from_micros(8),
+            unified_memory: false,
+        }
+    }
+
+    /// A unified-memory many-core (KNL class): lower peak than the GPU
+    /// but no transfer wall.
+    pub fn unified_manycore() -> Device {
+        Device {
+            flops: 0.9e12,
+            mem_bw: 400.0e9,
+            mem_capacity: 96 << 30,
+            link_bw: f64::INFINITY,
+            link_latency: SimDuration::ZERO,
+            launch_overhead: SimDuration::from_micros(3),
+            unified_memory: true,
+        }
+    }
+
+    /// Time for one host->device or device->host transfer of `bytes`.
+    pub fn transfer_time(&self, bytes: u64) -> SimDuration {
+        if self.unified_memory {
+            return SimDuration::ZERO;
+        }
+        self.link_latency + SimDuration::from_secs_f64(bytes as f64 / self.link_bw)
+    }
+
+    /// Time to execute `work` on the device.
+    pub fn kernel_time(&self, work: Work) -> SimDuration {
+        self.launch_overhead
+            + SimDuration::from_secs_f64(work.flops / self.flops + work.mem_bytes / self.mem_bw)
+    }
+}
+
+/// A `target data` region: named buffers resident on the device between
+/// kernels, so repeated offloads pay the transfer once.
+pub struct TargetData {
+    device: Device,
+    resident: HashMap<String, u64>,
+    used: u64,
+}
+
+impl TargetData {
+    /// Open a region on `device`.
+    pub fn new(device: Device) -> TargetData {
+        TargetData {
+            device,
+            resident: HashMap::new(),
+            used: 0,
+        }
+    }
+
+    /// The device this region maps to.
+    pub fn device(&self) -> Device {
+        self.device
+    }
+
+    /// Device bytes currently allocated.
+    pub fn used(&self) -> u64 {
+        self.used
+    }
+
+    /// `map(to: buf)`: allocate + copy host->device, charging the caller.
+    /// Panics when the device memory is exhausted — the "scarcity of
+    /// device memory" the paper flags (callers must tile).
+    pub fn map_to(&mut self, ctx: &mut ProcCtx, name: &str, bytes: u64) {
+        if self.resident.contains_key(name) {
+            return;
+        }
+        assert!(
+            self.used + bytes <= self.device.mem_capacity,
+            "device memory exhausted: {} + {bytes} > {} (tile the data)",
+            self.used,
+            self.device.mem_capacity
+        );
+        self.resident.insert(name.to_string(), bytes);
+        self.used += bytes;
+        ctx.advance(self.device.transfer_time(bytes));
+    }
+
+    /// `map(from: buf)`: copy device->host (the buffer stays resident).
+    pub fn map_from(&mut self, ctx: &mut ProcCtx, name: &str) {
+        let bytes = *self
+            .resident
+            .get(name)
+            .unwrap_or_else(|| panic!("buffer {name} not resident on device"));
+        ctx.advance(self.device.transfer_time(bytes));
+    }
+
+    /// Release a buffer.
+    pub fn unmap(&mut self, name: &str) {
+        if let Some(b) = self.resident.remove(name) {
+            self.used -= b;
+        }
+    }
+
+    /// `#pragma omp target`: run `work` as a device kernel over the
+    /// resident buffers, charging kernel time to the calling process.
+    pub fn target_region(&self, ctx: &mut ProcCtx, work: Work) {
+        ctx.advance(self.device.kernel_time(work));
+    }
+}
+
+/// One-shot offload without a data region (`target map(tofrom: ...)`):
+/// transfer in, kernel, transfer out. Returns the charged duration.
+pub fn target_offload_once(
+    ctx: &mut ProcCtx,
+    device: &Device,
+    bytes_in: u64,
+    bytes_out: u64,
+    work: Work,
+) -> SimDuration {
+    let d = device.transfer_time(bytes_in) + device.kernel_time(work)
+        + device.transfer_time(bytes_out);
+    ctx.advance(d);
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpcbd_simnet::{NodeId, Sim, Topology};
+
+    fn on_node<T: Send + 'static>(
+        f: impl FnOnce(&mut ProcCtx) -> T + Send + 'static,
+    ) -> T {
+        let mut sim = Sim::new(Topology::comet(1));
+        let p = sim.spawn(NodeId(0), "host", f);
+        sim.run().result::<T>(p)
+    }
+
+    #[test]
+    fn gpu_kernel_beats_host_on_big_compute() {
+        let host = hpcbd_simnet::NodeSpec::comet();
+        let w = Work::flops(1.0e12);
+        let host_time = w.duration_on(&host, 1.0).as_secs_f64() * (1.0 / 24.0f64.recip()); // one core
+        let gpu = Device::discrete_gpu();
+        let gpu_time = gpu.kernel_time(w).as_secs_f64();
+        assert!(gpu_time * 10.0 < host_time, "gpu {gpu_time} host {host_time}");
+    }
+
+    #[test]
+    fn resident_data_amortizes_transfers() {
+        // K kernels over the same 4 GB buffer: one-shot pays K transfers,
+        // a target-data region pays one.
+        let bytes = 4u64 << 30;
+        let w = Work::flops(5.0e10);
+        let kernels = 10;
+        let once: u64 = on_node(move |ctx| {
+            let dev = Device::discrete_gpu();
+            let t0 = ctx.now();
+            for _ in 0..kernels {
+                target_offload_once(ctx, &dev, bytes, 0, w);
+            }
+            (ctx.now() - t0).nanos()
+        });
+        let region: u64 = on_node(move |ctx| {
+            let t0 = ctx.now();
+            let mut td = TargetData::new(Device::discrete_gpu());
+            td.map_to(ctx, "x", bytes);
+            for _ in 0..kernels {
+                td.target_region(ctx, w);
+            }
+            td.map_from(ctx, "x");
+            (ctx.now() - t0).nanos()
+        });
+        assert!(
+            region * 3 < once,
+            "data region {region}ns must amortize vs one-shot {once}ns"
+        );
+    }
+
+    #[test]
+    fn unified_memory_has_no_transfer_wall() {
+        let bytes = 8u64 << 30;
+        let w = Work::flops(1.0e9); // tiny kernel: transfer-dominated
+        let discrete: u64 = on_node(move |ctx| {
+            target_offload_once(ctx, &Device::discrete_gpu(), bytes, bytes, w).nanos()
+        });
+        let unified: u64 = on_node(move |ctx| {
+            target_offload_once(ctx, &Device::unified_manycore(), bytes, bytes, w).nanos()
+        });
+        assert!(
+            unified * 20 < discrete,
+            "unified {unified} vs discrete {discrete}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "device memory exhausted")]
+    fn oversubscribing_device_memory_panics() {
+        on_node(|ctx| {
+            let mut td = TargetData::new(Device::discrete_gpu());
+            td.map_to(ctx, "a", 8 << 30);
+            td.map_to(ctx, "b", 8 << 30); // 16 GB > 12 GB
+        });
+    }
+
+    #[test]
+    fn unmap_frees_capacity() {
+        on_node(|ctx| {
+            let mut td = TargetData::new(Device::discrete_gpu());
+            td.map_to(ctx, "a", 8 << 30);
+            td.unmap("a");
+            assert_eq!(td.used(), 0);
+            td.map_to(ctx, "b", 10 << 30); // fits after the unmap
+        });
+    }
+}

@@ -1,0 +1,293 @@
+//! OpenSHMEM collectives built from one-sided puts and signals.
+//!
+//! Unlike the MPI collectives (two-sided messages), these use the PGAS
+//! idiom: data lands directly in the peer's symmetric buffer via RDMA,
+//! and a signal tells the peer its slot is valid.
+
+use crate::heap::SymArray;
+use crate::pe::PeCtx;
+
+impl PeCtx<'_> {
+    /// `shmem_barrier_all`: dissemination over signals.
+    pub fn barrier_all(&mut self) {
+        let sig = self.next_coll_seq();
+        let n = self.npes();
+        if n == 1 {
+            return;
+        }
+        let me = self.pe();
+        let mut step = 1u32;
+        let mut round = 0u64;
+        while step < n {
+            let dst = (me + step) % n;
+            self.signal(dst, sig + round);
+            self.wait_signal(sig + round);
+            step <<= 1;
+            round += 1;
+        }
+    }
+
+    /// `shmem_broadcast`: the root puts its local copy of `arr` into every
+    /// other PE's symmetric buffer along a binomial tree, signalling each.
+    pub fn broadcast<T: Copy + Send + Sync + 'static>(&mut self, arr: &SymArray<T>, root: u32) {
+        let sig = self.next_coll_seq();
+        let n = self.npes();
+        let me = self.pe();
+        if n == 1 {
+            return;
+        }
+        let vrank = (me + n - root) % n;
+        if vrank != 0 {
+            self.wait_signal(sig);
+        }
+        let local = self.local_clone(arr);
+        let mut bit = 1u32;
+        while bit < n && vrank & bit == 0 {
+            let child_v = vrank | bit;
+            if child_v < n {
+                let child = (child_v + root) % n;
+                self.put_signal(arr, 0, &local, child, sig);
+            }
+            bit <<= 1;
+        }
+    }
+
+    /// `shmem_sum_to_all` over `f64` symmetric arrays: every PE ends with
+    /// the element-wise sum of all PEs' local copies. Recursive-doubling
+    /// exchange through a scratch symmetric buffer with one landing region
+    /// per round, so a fast peer's round-`k+1` put can never clobber
+    /// round-`k` data that is still unread.
+    pub fn sum_to_all(&mut self, arr: &SymArray<f64>) {
+        let n = self.npes();
+        if n == 1 {
+            return;
+        }
+        let me = self.pe();
+        let len = arr.len();
+        // Fold non-power-of-two stragglers in, as in the MPI runtime.
+        let pof2 = if n.is_power_of_two() {
+            n
+        } else {
+            1 << (31 - n.leading_zeros())
+        };
+        let rem = n - pof2;
+        let rounds = 1 + pof2.trailing_zeros() as usize;
+        let scratch = self.malloc::<f64>("sum_to_all.scratch", len * rounds, 0.0);
+        let sig = self.next_coll_seq();
+        if me >= pof2 {
+            let mine = self.local_clone(arr);
+            self.put_signal(&scratch, 0, &mine, me - pof2, sig);
+            // Wait for the final result, delivered straight into `arr`.
+            self.wait_signal(sig + 63);
+        } else {
+            if me < rem {
+                self.wait_signal(sig);
+                self.accumulate_scratch(arr, &scratch, 0);
+            }
+            let mut mask = 1u32;
+            let mut round = 1u64;
+            while mask < pof2 {
+                let peer = me ^ mask;
+                let mine = self.local_clone(arr);
+                self.put_signal(&scratch, round as usize * len, &mine, peer, sig + round);
+                self.wait_signal(sig + round);
+                self.accumulate_scratch(arr, &scratch, round as usize * len);
+                mask <<= 1;
+                round += 1;
+            }
+            if me < rem {
+                let mine = self.local_clone(arr);
+                self.put_signal(arr, 0, &mine, me + pof2, sig + 63);
+            }
+        }
+        self.free(scratch);
+    }
+
+    /// `shmem_collect` (allgather): PE `p`'s `len`-element local slice of
+    /// `src` lands at offset `p * len` of `dst` on every PE.
+    pub fn collect<T: Copy + Send + Sync + 'static>(
+        &mut self,
+        src: &SymArray<T>,
+        dst: &SymArray<T>,
+    ) {
+        let n = self.npes();
+        let me = self.pe();
+        assert_eq!(dst.len(), src.len() * n as usize, "collect buffer sizing");
+        let sig = self.next_coll_seq();
+        let mine = self.local_clone(src);
+        let off = me as usize * src.len();
+        for peer in 0..n {
+            if peer == me {
+                self.local_write(dst, off, &mine);
+            } else {
+                self.put_signal(dst, off, &mine, peer, sig);
+            }
+        }
+        // Wait for n-1 incoming slices.
+        for _ in 0..n - 1 {
+            self.wait_signal(sig);
+        }
+    }
+
+    /// `shmem_alltoall`: PE `p`'s chunk `d` of `src` (length `len`,
+    /// at offset `d * len`) lands at offset `p * len` of `dst` on PE `d`.
+    /// Both arrays hold `npes * len` elements.
+    pub fn alltoall<T: Copy + Send + Sync + 'static>(
+        &mut self,
+        src: &SymArray<T>,
+        dst: &SymArray<T>,
+        len: usize,
+    ) {
+        let n = self.npes();
+        let me = self.pe();
+        assert_eq!(src.len(), n as usize * len, "src sizing");
+        assert_eq!(dst.len(), n as usize * len, "dst sizing");
+        let sig = self.next_coll_seq();
+        let mine = self.local_clone(src);
+        for peer in 0..n {
+            let chunk = &mine[peer as usize * len..(peer as usize + 1) * len];
+            if peer == me {
+                self.local_write(dst, me as usize * len, chunk);
+            } else {
+                let c = chunk.to_vec();
+                self.put_signal(dst, me as usize * len, &c, peer, sig);
+            }
+        }
+        for _ in 0..n - 1 {
+            self.wait_signal(sig);
+        }
+    }
+
+    fn accumulate_scratch(&mut self, arr: &SymArray<f64>, scratch: &SymArray<f64>, offset: usize) {
+        let me = self.pe();
+        let len = arr.len();
+        let incoming =
+            self.heaps
+                .with(me, scratch, |v| v[offset..offset + len].to_vec());
+        let work = hpcbd_simnet::Work::new(len as f64, len as f64 * 16.0);
+        self.ctx.compute(work, 1.0);
+        self.heaps.with_mut(me, arr, |v| {
+            for (a, b) in v.iter_mut().zip(&incoming) {
+                *a += *b;
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::launch::shmem_run;
+    use hpcbd_cluster::Placement;
+
+    #[test]
+    fn barrier_all_completes_at_various_sizes() {
+        for (nodes, ppn) in [(1, 1), (1, 3), (2, 2), (3, 3)] {
+            let out = shmem_run(Placement::new(nodes, ppn), |pe| {
+                pe.barrier_all();
+                pe.barrier_all();
+                pe.pe()
+            });
+            assert_eq!(out.results.len(), (nodes * ppn) as usize);
+        }
+    }
+
+    #[test]
+    fn broadcast_installs_root_data_everywhere() {
+        for n in [2u32, 3, 4, 8] {
+            let out = shmem_run(Placement::new(1, n), |pe| {
+                let a = pe.malloc::<u64>("b", 3, 0);
+                if pe.pe() == 1 % pe.npes() {
+                    pe.local_write(&a, 0, &[5, 6, 7]);
+                }
+                pe.broadcast(&a, 1 % pe.npes());
+                pe.barrier_all();
+                pe.local_clone(&a)
+            });
+            for r in out.results {
+                assert_eq!(r, vec![5, 6, 7], "npes={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn sum_to_all_matches_oracle() {
+        for n in [1u32, 2, 3, 4, 6, 8] {
+            let out = shmem_run(Placement::new(1, n), |pe| {
+                let a = pe.malloc::<f64>("s", 4, 0.0);
+                let me = pe.pe() as f64;
+                pe.local_write(&a, 0, &[me, me * 2.0, 1.0, -me]);
+                pe.sum_to_all(&a);
+                pe.local_clone(&a)
+            });
+            let total: f64 = (0..n).map(|p| p as f64).sum();
+            for r in &out.results {
+                assert_eq!(r[0], total, "npes={n}");
+                assert_eq!(r[1], total * 2.0);
+                assert_eq!(r[2], n as f64);
+                assert_eq!(r[3], -total);
+            }
+        }
+    }
+
+    #[test]
+    fn alltoall_transposes_chunks() {
+        for (nodes, ppn) in [(1u32, 2u32), (2, 2), (3, 2)] {
+            let out = shmem_run(Placement::new(nodes, ppn), |pe| {
+                let n = pe.npes() as usize;
+                let len = 2usize;
+                let src = pe.malloc::<u64>("src", n * len, 0);
+                let dst = pe.malloc::<u64>("dst", n * len, 0);
+                let me = pe.pe() as u64;
+                // Chunk for destination d: [me*100+d, me*100+d+50].
+                let mine: Vec<u64> = (0..n as u64)
+                    .flat_map(|d| [me * 100 + d, me * 100 + d + 50])
+                    .collect();
+                pe.local_write(&src, 0, &mine);
+                pe.barrier_all();
+                pe.alltoall(&src, &dst, len);
+                pe.barrier_all();
+                pe.local_clone(&dst)
+            });
+            let n = (nodes * ppn) as u64;
+            for (me, got) in out.results.iter().enumerate() {
+                for src_pe in 0..n {
+                    assert_eq!(
+                        &got[src_pe as usize * 2..src_pe as usize * 2 + 2],
+                        &[src_pe * 100 + me as u64, src_pe * 100 + me as u64 + 50],
+                        "npes={n} me={me} from={src_pe}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn compare_swap_elects_exactly_one_winner() {
+        let out = shmem_run(Placement::new(2, 2), |pe| {
+            let lock = pe.malloc::<u64>("lock", 1, 0);
+            // Everyone tries to claim the lock on PE 0 with CAS(0 -> me+1).
+            let old = pe.atomic_compare_swap(&lock, 0, 0, pe.pe() as u64 + 1, 0);
+            pe.barrier_all();
+            (old == 0, pe.local_clone(&lock)[0])
+        });
+        let winners = out.results.iter().filter(|(won, _)| *won).count();
+        assert_eq!(winners, 1, "exactly one CAS must win");
+        let final_val = out.results[0].1;
+        assert!((1..=4).contains(&final_val));
+    }
+
+    #[test]
+    fn collect_gathers_in_pe_order() {
+        let out = shmem_run(Placement::new(2, 2), |pe| {
+            let src = pe.malloc::<u32>("src", 2, 0);
+            let dst = pe.malloc::<u32>("dst", 8, 0);
+            pe.local_write(&src, 0, &[pe.pe() * 10, pe.pe() * 10 + 1]);
+            pe.collect(&src, &dst);
+            pe.barrier_all();
+            pe.local_clone(&dst)
+        });
+        for r in out.results {
+            assert_eq!(r, vec![0, 1, 10, 11, 20, 21, 30, 31]);
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! The symmetric heap: identical objects on every PE.
+
+use std::any::Any;
+use std::collections::HashMap;
+use std::marker::PhantomData;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+/// A typed handle to a symmetric array: the same allocation id refers to
+/// a distinct but identically-shaped buffer on every PE. Handles are
+/// `Copy`-cheap and carry no data.
+#[derive(Debug, Clone)]
+pub struct SymArray<T> {
+    pub(crate) id: u64,
+    pub(crate) len: usize,
+    pub(crate) _t: PhantomData<fn() -> T>,
+}
+
+impl<T> SymArray<T> {
+    /// Elements per PE.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True for zero-length allocations.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+type HeapCell = Box<dyn Any + Send + Sync>;
+
+/// Storage for all PEs' symmetric heaps. Lives in an `Arc` shared by the
+/// PE processes; one-sided operations access remote heaps directly,
+/// modeling RDMA's CPU bypass (timing is charged separately through
+/// `ProcCtx::one_sided_transfer`).
+pub struct SymHeaps {
+    heaps: Vec<RwLock<HashMap<u64, HeapCell>>>,
+}
+
+impl SymHeaps {
+    /// Heaps for `npes` processing elements.
+    pub fn new(npes: usize) -> Arc<SymHeaps> {
+        Arc::new(SymHeaps {
+            heaps: (0..npes).map(|_| RwLock::new(HashMap::new())).collect(),
+        })
+    }
+
+    /// Number of PEs.
+    pub fn npes(&self) -> usize {
+        self.heaps.len()
+    }
+
+    /// Install PE `pe`'s local buffer for allocation `id`.
+    pub(crate) fn install<T: Clone + Send + Sync + 'static>(
+        &self,
+        pe: u32,
+        id: u64,
+        len: usize,
+        fill: T,
+    ) {
+        let buf: Vec<T> = vec![fill; len];
+        self.heaps[pe as usize].write().insert(id, Box::new(buf));
+    }
+
+    /// Run `f` over PE `pe`'s buffer for `arr` (shared read lock).
+    pub(crate) fn with<T: 'static, R>(
+        &self,
+        pe: u32,
+        arr: &SymArray<T>,
+        f: impl FnOnce(&Vec<T>) -> R,
+    ) -> R {
+        let g = self.heaps[pe as usize].read();
+        let cell = g
+            .get(&arr.id)
+            .unwrap_or_else(|| panic!("symmetric allocation {} missing on PE {pe}", arr.id));
+        f(cell
+            .downcast_ref::<Vec<T>>()
+            .expect("symmetric allocation type mismatch"))
+    }
+
+    /// Run `f` over PE `pe`'s buffer for `arr` (exclusive write lock).
+    pub(crate) fn with_mut<T: 'static, R>(
+        &self,
+        pe: u32,
+        arr: &SymArray<T>,
+        f: impl FnOnce(&mut Vec<T>) -> R,
+    ) -> R {
+        let mut g = self.heaps[pe as usize].write();
+        let cell = g
+            .get_mut(&arr.id)
+            .unwrap_or_else(|| panic!("symmetric allocation {} missing on PE {pe}", arr.id));
+        f(cell
+            .downcast_mut::<Vec<T>>()
+            .expect("symmetric allocation type mismatch"))
+    }
+
+    /// Free allocation `id` on PE `pe`.
+    pub(crate) fn free(&self, pe: u32, id: u64) -> bool {
+        self.heaps[pe as usize].write().remove(&id).is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arr(id: u64, len: usize) -> SymArray<u64> {
+        SymArray {
+            id,
+            len,
+            _t: PhantomData,
+        }
+    }
+
+    #[test]
+    fn install_access_free() {
+        let heaps = SymHeaps::new(2);
+        heaps.install(0, 1, 4, 7u64);
+        heaps.install(1, 1, 4, 9u64);
+        let a = arr(1, 4);
+        assert_eq!(heaps.with(0, &a, |v| v[2]), 7);
+        heaps.with_mut(1, &a, |v| v[0] = 42);
+        assert_eq!(heaps.with(1, &a, |v| v[0]), 42);
+        assert_eq!(heaps.with(0, &a, |v| v[0]), 7, "heaps are per-PE");
+        assert!(heaps.free(0, 1));
+        assert!(!heaps.free(0, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "missing on PE")]
+    fn missing_allocation_panics() {
+        let heaps = SymHeaps::new(1);
+        heaps.with(0, &arr(99, 1), |v| v.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "type mismatch")]
+    fn type_mismatch_panics() {
+        let heaps = SymHeaps::new(1);
+        heaps.install(0, 1, 2, 1.5f64);
+        heaps.with(0, &arr(1, 2), |v| v.len());
+    }
+}

@@ -1,0 +1,134 @@
+//! Spark deployment and storage configuration.
+
+use hpcbd_simnet::{SimDuration, SimTime, Transport};
+
+/// Which engine moves shuffle blocks between executors — the axis of the
+/// paper's Spark vs Spark-RDMA comparison (Lu et al.'s plugin replaced
+/// only the data path; "orchestration messages use conventional Java
+/// sockets" either way).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShuffleEngine {
+    /// Default Spark: NIO sockets over IPoIB.
+    Socket,
+    /// The RDMA shuffle plugin: verbs for shuffle data, sockets for
+    /// everything else.
+    Rdma,
+}
+
+impl ShuffleEngine {
+    /// Transport used for shuffle block payloads.
+    pub fn data_transport(self) -> Transport {
+        match self {
+            ShuffleEngine::Socket => Transport::ipoib_socket(),
+            ShuffleEngine::Rdma => Transport::rdma_verbs(),
+        }
+    }
+}
+
+/// RDD persistence levels (the subset the paper's codes use).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StorageLevel {
+    /// Deserialized in executor memory; spills whole partitions to local
+    /// disk under memory pressure (the BigDataBench PageRank choice).
+    MemoryAndDisk,
+    /// Memory only; partitions evicted under pressure are recomputed from
+    /// lineage when needed again.
+    MemoryOnly,
+    /// Straight to local disk.
+    DiskOnly,
+}
+
+/// Cluster and scheduler knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct SparkConfig {
+    /// Executor processes per node (the paper uses 8 or 16).
+    pub executors_per_node: u32,
+    /// Storage-memory budget per executor, logical bytes.
+    pub executor_mem: u64,
+    /// Shuffle data path.
+    pub shuffle: ShuffleEngine,
+    /// One-time application-master / context startup.
+    pub app_startup: SimDuration,
+    /// Driver-side overhead per action (job submission, DAG analysis).
+    pub job_submit_overhead: SimDuration,
+    /// Driver-side overhead to serialize + dispatch one task.
+    pub task_dispatch_overhead: SimDuration,
+    /// Serialized task closure size (control-plane bytes per task).
+    pub task_bytes: u64,
+    /// Executor-side overhead to deserialize + start one task.
+    pub task_launch_overhead: SimDuration,
+    /// Driver-side cost to process one task completion.
+    pub result_handle_overhead: SimDuration,
+    /// Average serialized bytes per intermediate record (JVM boxing).
+    pub record_bytes: u64,
+    /// Task liveness timeout before failure handling kicks in.
+    pub task_timeout: SimDuration,
+    /// Fault injection: executor index that dies at the given time.
+    pub fail_executor: Option<(u32, SimTime)>,
+    /// Also move driver<->executor control messages over verbs — the
+    /// paper's "future direction" (Sec. VI-C); exercised by the
+    /// `ablation_rdma_all` harness, never by the paper's measured modes.
+    pub rdma_control_plane: bool,
+}
+
+impl Default for SparkConfig {
+    fn default() -> SparkConfig {
+        SparkConfig {
+            executors_per_node: 8,
+            executor_mem: 10 << 30,
+            shuffle: ShuffleEngine::Socket,
+            app_startup: SimDuration::from_millis(900),
+            job_submit_overhead: SimDuration::from_millis(60),
+            task_dispatch_overhead: SimDuration::from_micros(450),
+            task_bytes: 6 * 1024,
+            task_launch_overhead: SimDuration::from_millis(4),
+            result_handle_overhead: SimDuration::from_micros(250),
+            record_bytes: 24,
+            task_timeout: SimDuration::from_secs(60),
+            fail_executor: None,
+            rdma_control_plane: false,
+        }
+    }
+}
+
+impl SparkConfig {
+    /// Default config with a given shuffle engine.
+    pub fn with_shuffle(shuffle: ShuffleEngine) -> SparkConfig {
+        SparkConfig {
+            shuffle,
+            ..SparkConfig::default()
+        }
+    }
+
+    /// Control-plane transport (java sockets, unless the RDMA-everywhere
+    /// ablation is on).
+    pub fn control_transport(&self) -> Transport {
+        if self.rdma_control_plane {
+            Transport::rdma_verbs()
+        } else {
+            Transport::java_socket_control()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn engines_pick_transports() {
+        assert_eq!(
+            ShuffleEngine::Socket.data_transport().name,
+            "ipoib-socket"
+        );
+        assert_eq!(ShuffleEngine::Rdma.data_transport().name, "rdma-verbs");
+    }
+
+    #[test]
+    fn control_plane_follows_ablation_flag() {
+        let mut c = SparkConfig::default();
+        assert_eq!(c.control_transport().name, "java-socket");
+        c.rdma_control_plane = true;
+        assert_eq!(c.control_transport().name, "rdma-verbs");
+    }
+}

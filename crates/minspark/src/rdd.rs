@@ -1,0 +1,590 @@
+//! Typed, lazy RDD handles (the user-facing API of Sec. II-E).
+//!
+//! Transformations (`map`, `flat_map`, `filter`, `map_values`,
+//! `reduce_by_key`, `join`, ...) only append nodes to the shared
+//! [`Plan`]; nothing materializes until an action runs on the driver
+//! ([`crate::driver::SparkDriver`]) — Spark's lazy evaluation. RDDs track
+//! their partitioner so that a join of two co-partitioned RDDs stays
+//! narrow, which is the mechanism behind the tuned BigDataBench PageRank
+//! (Fig. 5/6 of the paper).
+
+use std::hash::Hash;
+use std::marker::PhantomData;
+use std::sync::Arc;
+
+use hpcbd_minhdfs::Hdfs;
+use hpcbd_simnet::{partition_of, Work};
+
+use crate::config::StorageLevel;
+use crate::plan::{Compute, PartValue, Plan, RddNode};
+
+/// Element bound for RDD contents.
+pub trait Data: Clone + Send + Sync + 'static {}
+impl<T: Clone + Send + Sync + 'static> Data for T {}
+
+/// Key bound for pair-RDD operations.
+pub trait Key: Data + Eq + Ord + Hash {}
+impl<T: Data + Eq + Ord + Hash> Key for T {}
+
+/// A typed handle to one plan node.
+pub struct Rdd<T> {
+    pub(crate) plan: Arc<Plan>,
+    pub(crate) id: usize,
+    pub(crate) _t: PhantomData<fn() -> T>,
+}
+
+impl<T> Clone for Rdd<T> {
+    fn clone(&self) -> Self {
+        Rdd {
+            plan: self.plan.clone(),
+            id: self.id,
+            _t: PhantomData,
+        }
+    }
+}
+
+impl<T: Data> Rdd<T> {
+    pub(crate) fn from_node(plan: Arc<Plan>, node: Arc<RddNode>) -> Rdd<T> {
+        Rdd {
+            plan,
+            id: node.id,
+            _t: PhantomData,
+        }
+    }
+
+    fn node(&self) -> Arc<RddNode> {
+        self.plan.node(self.id)
+    }
+
+    /// Partition count.
+    pub fn num_partitions(&self) -> u32 {
+        self.node().partitions
+    }
+
+    /// Plan-node id (diagnostics).
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    pub(crate) fn narrow<U: Data>(
+        &self,
+        op_name: &'static str,
+        work_per_item: Work,
+        item_bytes: u64,
+        keep_partitioner: bool,
+        f: impl Fn(&Vec<T>) -> Vec<U> + Send + Sync + 'static,
+    ) -> Rdd<U> {
+        let parent = self.node();
+        let node = self.plan.add_node(RddNode {
+            id: 0,
+            op_name,
+            partitions: parent.partitions,
+            compute: Compute::Narrow {
+                parent: parent.id,
+                f: Arc::new(move |pv| PartValue::of(f(pv.as_vec::<T>()))),
+            },
+            work_per_item,
+            scale: parent.scale,
+            item_bytes,
+            storage: parking_lot::RwLock::new(None),
+            source_dispatch_bytes: std::sync::atomic::AtomicU64::new(0),
+            partitioner: if keep_partitioner {
+                parent.partitioner
+            } else {
+                None
+            },
+            prefs: Vec::new(),
+        });
+        Rdd::from_node(self.plan.clone(), node)
+    }
+
+    /// `map`: one output element per input element.
+    pub fn map<U: Data>(&self, f: impl Fn(&T) -> U + Send + Sync + 'static) -> Rdd<U> {
+        self.narrow("map", Work::new(4.0, 32.0), self.node().item_bytes, false, move |v| {
+            v.iter().map(&f).collect()
+        })
+    }
+
+    /// `map` with an explicit per-logical-item CPU cost (for benchmarks
+    /// whose map body does real work, e.g. record parsing).
+    pub fn map_with_cost<U: Data>(
+        &self,
+        work_per_item: Work,
+        item_bytes: u64,
+        f: impl Fn(&T) -> U + Send + Sync + 'static,
+    ) -> Rdd<U> {
+        self.narrow("map", work_per_item, item_bytes, false, move |v| {
+            v.iter().map(&f).collect()
+        })
+    }
+
+    /// `flatMap`.
+    pub fn flat_map<U: Data>(
+        &self,
+        f: impl Fn(&T) -> Vec<U> + Send + Sync + 'static,
+    ) -> Rdd<U> {
+        self.flat_map_with_cost(Work::new(8.0, 48.0), self.node().item_bytes, f)
+    }
+
+    /// `flatMap` with explicit per-logical-item CPU work and output item
+    /// wire size (flat maps often change the record shape drastically —
+    /// e.g. adjacency lists exploding into slim contribution pairs).
+    pub fn flat_map_with_cost<U: Data>(
+        &self,
+        work_per_item: Work,
+        item_bytes: u64,
+        f: impl Fn(&T) -> Vec<U> + Send + Sync + 'static,
+    ) -> Rdd<U> {
+        self.narrow("flatMap", work_per_item, item_bytes, false, move |v| {
+            v.iter().flat_map(&f).collect()
+        })
+    }
+
+    /// `filter`.
+    pub fn filter(&self, f: impl Fn(&T) -> bool + Send + Sync + 'static) -> Rdd<T> {
+        self.narrow(
+            "filter",
+            Work::new(2.0, 16.0),
+            self.node().item_bytes,
+            true,
+            move |v| v.iter().filter(|x| f(x)).cloned().collect(),
+        )
+    }
+
+    /// `persist(level)`: mark this RDD for caching at first
+    /// materialization. Mutates the plan node (like Spark, persistence is
+    /// a property of the RDD, not a new RDD) and returns `self` for
+    /// chaining.
+    pub fn persist(&self, level: StorageLevel) -> Rdd<T> {
+        *self.node().storage.write() = Some(level);
+        self.clone()
+    }
+
+    /// Remove the persistence mark (`unpersist`).
+    pub fn unpersist(&self) -> Rdd<T> {
+        *self.node().storage.write() = None;
+        self.clone()
+    }
+}
+
+impl<K: Key, V: Data> Rdd<(K, V)> {
+    /// `mapValues` (keeps the partitioner — key layout is unchanged).
+    pub fn map_values<W: Data>(&self, f: impl Fn(&V) -> W + Send + Sync + 'static) -> Rdd<(K, W)> {
+        self.narrow(
+            "mapValues",
+            Work::new(4.0, 32.0),
+            self.node().item_bytes,
+            true,
+            move |v| v.iter().map(|(k, val)| (k.clone(), f(val))).collect(),
+        )
+    }
+
+    /// Drop keys (`values`).
+    pub fn values(&self) -> Rdd<V> {
+        self.narrow(
+            "values",
+            Work::new(1.0, 16.0),
+            self.node().item_bytes,
+            false,
+            move |v| v.iter().map(|(_, val)| val.clone()).collect(),
+        )
+    }
+
+    /// `reduceByKey(f, numPartitions)`: map-side combine, hash shuffle,
+    /// reduce-side merge. The result is hash-partitioned by key into
+    /// `parts` partitions (recorded, enabling narrow joins downstream).
+    pub fn reduce_by_key(
+        &self,
+        parts: u32,
+        f: impl Fn(&V, &V) -> V + Send + Sync + 'static,
+    ) -> Rdd<(K, V)> {
+        let parent = self.node();
+        let f = Arc::new(f);
+        let f_split = f.clone();
+        // Map-side combine + hash split.
+        let split = Arc::new(move |pv: &PartValue, n: u32| {
+            let mut buckets: Vec<std::collections::HashMap<K, V>> =
+                (0..n).map(|_| std::collections::HashMap::new()).collect();
+            for (k, v) in pv.as_vec::<(K, V)>() {
+                let b = partition_of(k, n) as usize;
+                match buckets[b].get_mut(k) {
+                    Some(acc) => *acc = f_split(acc, v),
+                    None => {
+                        buckets[b].insert(k.clone(), v.clone());
+                    }
+                }
+            }
+            buckets
+                .into_iter()
+                .map(|m| {
+                    let mut v: Vec<(K, V)> = m.into_iter().collect();
+                    v.sort_by(|a, b| a.0.cmp(&b.0));
+                    PartValue::of(v)
+                })
+                .collect::<Vec<_>>()
+        });
+        let shuffle = self.plan.add_shuffle(crate::plan::ShuffleDep {
+            parent: parent.id,
+            partitions: parts,
+            split,
+        });
+        let f_combine = f.clone();
+        let combine = Arc::new(move |buckets: Vec<PartValue>| {
+            let mut acc: std::collections::HashMap<K, V> = std::collections::HashMap::new();
+            for b in &buckets {
+                for (k, v) in b.as_vec::<(K, V)>() {
+                    match acc.get_mut(k) {
+                        Some(a) => *a = f_combine(a, v),
+                        None => {
+                            acc.insert(k.clone(), v.clone());
+                        }
+                    }
+                }
+            }
+            let mut out: Vec<(K, V)> = acc.into_iter().collect();
+            out.sort_by(|a, b| a.0.cmp(&b.0));
+            PartValue::of(out)
+        });
+        let node = self.plan.add_node(RddNode {
+            id: 0,
+            op_name: "reduceByKey",
+            partitions: parts,
+            compute: Compute::ShuffleRead { shuffle, combine },
+            work_per_item: Work::new(12.0, 64.0),
+            scale: parent.scale,
+            item_bytes: parent.item_bytes,
+            storage: parking_lot::RwLock::new(None),
+            source_dispatch_bytes: std::sync::atomic::AtomicU64::new(0),
+            partitioner: Some(parts as u64),
+            prefs: Vec::new(),
+        });
+        Rdd::from_node(self.plan.clone(), node)
+    }
+
+    /// `groupByKey(numPartitions)`: full shuffle without map-side
+    /// combine (the shuffle-heavy pattern of the HiBench PageRank).
+    pub fn group_by_key(&self, parts: u32) -> Rdd<(K, Vec<V>)> {
+        let parent = self.node();
+        let split = Arc::new(move |pv: &PartValue, n: u32| {
+            let mut buckets: Vec<Vec<(K, V)>> = (0..n).map(|_| Vec::new()).collect();
+            for (k, v) in pv.as_vec::<(K, V)>() {
+                buckets[partition_of(k, n) as usize].push((k.clone(), v.clone()));
+            }
+            buckets.into_iter().map(PartValue::of).collect::<Vec<_>>()
+        });
+        let shuffle = self.plan.add_shuffle(crate::plan::ShuffleDep {
+            parent: parent.id,
+            partitions: parts,
+            split,
+        });
+        let combine = Arc::new(move |buckets: Vec<PartValue>| {
+            let mut acc: std::collections::HashMap<K, Vec<V>> = std::collections::HashMap::new();
+            for b in &buckets {
+                for (k, v) in b.as_vec::<(K, V)>() {
+                    acc.entry(k.clone()).or_default().push(v.clone());
+                }
+            }
+            let mut out: Vec<(K, Vec<V>)> = acc.into_iter().collect();
+            out.sort_by(|a, b| a.0.cmp(&b.0));
+            PartValue::of(out)
+        });
+        let node = self.plan.add_node(RddNode {
+            id: 0,
+            op_name: "groupByKey",
+            partitions: parts,
+            compute: Compute::ShuffleRead { shuffle, combine },
+            work_per_item: Work::new(10.0, 64.0),
+            scale: parent.scale,
+            item_bytes: parent.item_bytes,
+            storage: parking_lot::RwLock::new(None),
+            source_dispatch_bytes: std::sync::atomic::AtomicU64::new(0),
+            partitioner: Some(parts as u64),
+            prefs: Vec::new(),
+        });
+        Rdd::from_node(self.plan.clone(), node)
+    }
+
+    /// `partitionBy(parts)`: hash-repartition by key.
+    pub fn partition_by(&self, parts: u32) -> Rdd<(K, V)> {
+        let parent = self.node();
+        let split = Arc::new(move |pv: &PartValue, n: u32| {
+            let mut buckets: Vec<Vec<(K, V)>> = (0..n).map(|_| Vec::new()).collect();
+            for (k, v) in pv.as_vec::<(K, V)>() {
+                buckets[partition_of(k, n) as usize].push((k.clone(), v.clone()));
+            }
+            buckets.into_iter().map(PartValue::of).collect::<Vec<_>>()
+        });
+        let shuffle = self.plan.add_shuffle(crate::plan::ShuffleDep {
+            parent: parent.id,
+            partitions: parts,
+            split,
+        });
+        let combine = Arc::new(move |buckets: Vec<PartValue>| {
+            let mut out: Vec<(K, V)> = Vec::new();
+            for b in &buckets {
+                out.extend(b.as_vec::<(K, V)>().iter().cloned());
+            }
+            out.sort_by(|a, b| a.0.cmp(&b.0));
+            PartValue::of(out)
+        });
+        let node = self.plan.add_node(RddNode {
+            id: 0,
+            op_name: "partitionBy",
+            partitions: parts,
+            compute: Compute::ShuffleRead { shuffle, combine },
+            work_per_item: Work::new(6.0, 48.0),
+            scale: parent.scale,
+            item_bytes: parent.item_bytes,
+            storage: parking_lot::RwLock::new(None),
+            source_dispatch_bytes: std::sync::atomic::AtomicU64::new(0),
+            partitioner: Some(parts as u64),
+            prefs: Vec::new(),
+        });
+        Rdd::from_node(self.plan.clone(), node)
+    }
+
+    /// `join(other, parts)`: inner join. When both sides already carry
+    /// the same hash partitioner with `parts` partitions the join is
+    /// **narrow** — each output partition zips the two aligned parent
+    /// partitions locally with no shuffle. Otherwise both sides shuffle.
+    pub fn join<W: Data>(&self, other: &Rdd<(K, W)>, parts: u32) -> Rdd<(K, (V, W))> {
+        let left = self.node();
+        let right = other.plan.node(other.id);
+        let co_partitioned = left.partitioner.is_some()
+            && left.partitioner == right.partitioner
+            && left.partitions == parts
+            && right.partitions == parts;
+        if co_partitioned {
+            let f = Arc::new(|l: &PartValue, r: &PartValue| {
+                PartValue::of(hash_join::<K, V, W>(
+                    l.as_vec::<(K, V)>(),
+                    r.as_vec::<(K, W)>(),
+                ))
+            });
+            let node = self.plan.add_node(RddNode {
+                id: 0,
+                op_name: "join(narrow)",
+                partitions: parts,
+                compute: Compute::CoPartitioned {
+                    left: left.id,
+                    right: right.id,
+                    f,
+                },
+                work_per_item: Work::new(14.0, 96.0),
+                scale: left.scale,
+                item_bytes: left.item_bytes + right.item_bytes,
+                storage: parking_lot::RwLock::new(None),
+            source_dispatch_bytes: std::sync::atomic::AtomicU64::new(0),
+                partitioner: left.partitioner,
+                prefs: Vec::new(),
+            });
+            return Rdd::from_node(self.plan.clone(), node);
+        }
+        // Wide join: shuffle both parents.
+        let lsplit = Arc::new(move |pv: &PartValue, n: u32| {
+            let mut buckets: Vec<Vec<(K, V)>> = (0..n).map(|_| Vec::new()).collect();
+            for (k, v) in pv.as_vec::<(K, V)>() {
+                buckets[partition_of(k, n) as usize].push((k.clone(), v.clone()));
+            }
+            buckets.into_iter().map(PartValue::of).collect::<Vec<_>>()
+        });
+        let rsplit = Arc::new(move |pv: &PartValue, n: u32| {
+            let mut buckets: Vec<Vec<(K, W)>> = (0..n).map(|_| Vec::new()).collect();
+            for (k, v) in pv.as_vec::<(K, W)>() {
+                buckets[partition_of(k, n) as usize].push((k.clone(), v.clone()));
+            }
+            buckets.into_iter().map(PartValue::of).collect::<Vec<_>>()
+        });
+        let ls = self.plan.add_shuffle(crate::plan::ShuffleDep {
+            parent: left.id,
+            partitions: parts,
+            split: lsplit,
+        });
+        let rs = self.plan.add_shuffle(crate::plan::ShuffleDep {
+            parent: right.id,
+            partitions: parts,
+            split: rsplit,
+        });
+        let combine = Arc::new(
+            |lbuckets: Vec<PartValue>, rbuckets: Vec<PartValue>| {
+                let mut l: Vec<(K, V)> = Vec::new();
+                for b in &lbuckets {
+                    l.extend(b.as_vec::<(K, V)>().iter().cloned());
+                }
+                let mut r: Vec<(K, W)> = Vec::new();
+                for b in &rbuckets {
+                    r.extend(b.as_vec::<(K, W)>().iter().cloned());
+                }
+                PartValue::of(hash_join::<K, V, W>(&l, &r))
+            },
+        );
+        let node = self.plan.add_node(RddNode {
+            id: 0,
+            op_name: "join(wide)",
+            partitions: parts,
+            compute: Compute::ShuffleJoin {
+                left: ls,
+                right: rs,
+                combine,
+            },
+            work_per_item: Work::new(16.0, 112.0),
+            scale: left.scale,
+            item_bytes: left.item_bytes + right.item_bytes,
+            storage: parking_lot::RwLock::new(None),
+            source_dispatch_bytes: std::sync::atomic::AtomicU64::new(0),
+            partitioner: Some(parts as u64),
+            prefs: Vec::new(),
+        });
+        Rdd::from_node(self.plan.clone(), node)
+    }
+}
+
+/// Deterministic inner hash join (sorted output).
+fn hash_join<K: Key, V: Data, W: Data>(l: &[(K, V)], r: &[(K, W)]) -> Vec<(K, (V, W))> {
+    let mut rmap: std::collections::HashMap<&K, Vec<&W>> = std::collections::HashMap::new();
+    for (k, w) in r {
+        rmap.entry(k).or_default().push(w);
+    }
+    let mut out: Vec<(K, (V, W))> = Vec::new();
+    for (k, v) in l {
+        if let Some(ws) = rmap.get(k) {
+            for w in ws {
+                out.push((k.clone(), (v.clone(), (*w).clone())));
+            }
+        }
+    }
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    out
+}
+
+/// Source constructors, callable with just a plan handle (the driver
+/// exposes them as `sc.parallelize` / `sc.hadoop_file`).
+pub(crate) mod sources {
+    use super::*;
+    use hpcbd_simnet::InputFormat;
+
+    /// `sc.parallelize(data, parts)`: slice a driver-side collection.
+    /// The slices ship with the tasks (dispatch cost ∝ slice bytes).
+    pub fn parallelize<T: Data>(
+        plan: &Arc<Plan>,
+        data: Vec<T>,
+        parts: u32,
+        item_bytes: u64,
+    ) -> Rdd<T> {
+        let data = Arc::new(data);
+        let n = data.len();
+        let parts = parts.max(1);
+        let per_part_bytes = (n as u64 * item_bytes) / parts as u64;
+        let data2 = data.clone();
+        let node = plan.add_node(RddNode {
+            id: 0,
+            op_name: "parallelize",
+            partitions: parts,
+            compute: Compute::Source(Arc::new(move |_ctx, p| {
+                let start = p as usize * n / parts as usize;
+                let end = (p as usize + 1) * n / parts as usize;
+                PartValue::of(data2[start..end].to_vec())
+            })),
+            work_per_item: Work::new(2.0, 16.0),
+            scale: 1.0,
+            item_bytes,
+            storage: parking_lot::RwLock::new(None),
+            source_dispatch_bytes: std::sync::atomic::AtomicU64::new(0),
+            partitioner: None,
+            prefs: Vec::new(),
+        });
+        // Record dispatch weight on the node via prefs-free channel:
+        // the driver reads `source_dispatch_bytes`.
+        node.source_dispatch_bytes
+            .store(per_part_bytes, std::sync::atomic::Ordering::Relaxed);
+        Rdd::from_node(plan.clone(), node)
+    }
+
+    /// `sc.textFile`-style source over an HDFS file: one partition per
+    /// block, preferring the block's replica nodes, parsing the file's
+    /// sample records via `format`.
+    pub fn hadoop_file<I: InputFormat>(
+        plan: &Arc<Plan>,
+        hdfs: &Hdfs,
+        path: &str,
+        format: Arc<I>,
+    ) -> Rdd<I::Rec> {
+        let file = hdfs
+            .stat(path)
+            .unwrap_or_else(|| panic!("hdfs file {path} not loaded"));
+        let blocks = file.blocks.clone();
+        let prefs: Vec<Vec<hpcbd_simnet::NodeId>> =
+            blocks.iter().map(|b| b.replicas.clone()).collect();
+        let hdfs = hdfs.clone();
+        let scale = format.logical_scale();
+        let record_work = format.record_work();
+        let bytes_per_record = {
+            // Average logical record size: derived from one sample block.
+            let sample = format.sample_records(blocks[0].offset, blocks[0].len);
+            if sample.is_empty() {
+                64
+            } else {
+                (blocks[0].len as f64 / (sample.len() as f64 * scale)).max(1.0) as u64
+            }
+        };
+        let node = plan.add_node(RddNode {
+            id: 0,
+            op_name: "hadoopFile",
+            partitions: blocks.len() as u32,
+            compute: Compute::Source(Arc::new(move |ctx, p| {
+                let block = &blocks[p as usize];
+                hdfs.read_block(ctx, block);
+                PartValue::of(format.sample_records(block.offset, block.len))
+            })),
+            work_per_item: record_work,
+            scale,
+            item_bytes: bytes_per_record,
+            storage: parking_lot::RwLock::new(None),
+            source_dispatch_bytes: std::sync::atomic::AtomicU64::new(0),
+            partitioner: None,
+            prefs,
+        });
+        Rdd::from_node(plan.clone(), node)
+    }
+
+    /// Source over a file replicated on every node's local scratch (the
+    /// paper's "Spark on local filesystem" configuration in Table II):
+    /// `parts` even byte-range partitions, no locality constraint (every
+    /// node has the file), no HDFS overheads.
+    pub fn local_file<I: InputFormat>(
+        plan: &Arc<Plan>,
+        path: &str,
+        size: u64,
+        parts: u32,
+        format: Arc<I>,
+    ) -> Rdd<I::Rec> {
+        let path = path.to_string();
+        let scale = format.logical_scale();
+        let record_work = format.record_work();
+        let node = plan.add_node(RddNode {
+            id: 0,
+            op_name: "localFile",
+            partitions: parts,
+            compute: Compute::Source(Arc::new(move |ctx, p| {
+                let chunk = size.div_ceil(parts as u64);
+                let offset = (p as u64 * chunk).min(size);
+                let len = chunk.min(size - offset);
+                // The file must exist on this node's scratch.
+                let entry = ctx
+                    .fs()
+                    .expect(hpcbd_simnet::Mount::Scratch(ctx.node()), &path);
+                debug_assert!(entry.logical_size >= size);
+                ctx.disk_read(len);
+                PartValue::of(format.sample_records(offset, len))
+            })),
+            work_per_item: record_work,
+            scale,
+            item_bytes: 64,
+            storage: parking_lot::RwLock::new(None),
+            source_dispatch_bytes: std::sync::atomic::AtomicU64::new(0),
+            partitioner: None,
+            prefs: Vec::new(),
+        });
+        Rdd::from_node(plan.clone(), node)
+    }
+}

@@ -1,0 +1,140 @@
+//! Shared variables: broadcast variables and accumulators.
+//!
+//! Sec. VI-B of the paper: "there is no chance of intercommunication of
+//! executors at run time, except for simple constructs such as
+//! Accumulators and Broadcast variables" — this module is exactly those
+//! two constructs.
+//!
+//! * A [`Broadcast`] ships one read-only value to every executor once
+//!   (charged as a control-plane transfer per node at creation, like
+//!   Spark's torrent broadcast), after which tasks read it for free.
+//! * An [`Accumulator`] is a write-only (from tasks) commutative counter
+//!   whose partial updates ride back to the driver inside task results.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A read-only value replicated to every executor.
+///
+/// Created with `SparkDriver::broadcast`; any task closure may capture
+/// and read it. The broadcast cost (value bytes to each node over the
+/// control plane) is charged once at creation.
+pub struct Broadcast<T> {
+    value: Arc<T>,
+    /// Logical serialized size, for the one-time distribution charge.
+    pub bytes: u64,
+}
+
+impl<T> Broadcast<T> {
+    pub(crate) fn new(value: T, bytes: u64) -> Broadcast<T> {
+        Broadcast {
+            value: Arc::new(value),
+            bytes,
+        }
+    }
+
+    /// Read the broadcast value (free at use sites — the data is already
+    /// on every node).
+    pub fn value(&self) -> &T {
+        &self.value
+    }
+}
+
+impl<T> Clone for Broadcast<T> {
+    fn clone(&self) -> Self {
+        Broadcast {
+            value: self.value.clone(),
+            bytes: self.bytes,
+        }
+    }
+}
+
+/// A `u64` sum accumulator (`sc.longAccumulator`). Task-side `add`s are
+/// lock-free; the driver reads the total after the action that ran the
+/// tasks completes, mirroring Spark's "updates visible after the action"
+/// semantics.
+#[derive(Clone, Default)]
+pub struct Accumulator {
+    total: Arc<AtomicU64>,
+}
+
+impl Accumulator {
+    /// Fresh zero-valued accumulator.
+    pub fn new() -> Accumulator {
+        Accumulator::default()
+    }
+
+    /// Add from inside a task closure.
+    pub fn add(&self, v: u64) {
+        self.total.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Driver-side read. Only well-defined after the action that ran the
+    /// contributing tasks has returned (tasks in this engine run to
+    /// completion before their action returns, so this is exact — unlike
+    /// real Spark, re-executed tasks are not double-counted because the
+    /// engine re-runs lost *work*, and lost work never reported).
+    pub fn value(&self) -> u64 {
+        self.total.load(Ordering::Relaxed)
+    }
+
+    /// Reset to zero (between experiments).
+    pub fn reset(&self) {
+        self.total.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SparkCluster, SparkConfig};
+
+    #[test]
+    fn broadcast_value_readable_in_tasks() {
+        let r = SparkCluster::new(2, SparkConfig::default()).run(|sc| {
+            let lookup = sc.broadcast((0..100u64).map(|i| i * 3).collect::<Vec<_>>(), 800);
+            let xs = sc.parallelize((0..100u64).collect(), 8);
+            let mapped = xs.map(move |i| lookup.value()[*i as usize]);
+            sc.reduce(&mapped, |a, b| a + b)
+        });
+        let expected: u64 = (0..100u64).map(|i| i * 3).sum();
+        assert_eq!(r.value, Some(expected));
+    }
+
+    #[test]
+    fn broadcast_charges_distribution_time() {
+        fn run(bytes: u64) -> u64 {
+            SparkCluster::new(4, SparkConfig::default())
+                .run(move |sc| {
+                    let t0 = sc.now();
+                    let _b = sc.broadcast(vec![0u8; 8], bytes);
+                    (sc.now() - t0).nanos()
+                })
+                .value
+        }
+        let small = run(1024);
+        let big = run(512 << 20);
+        assert!(big > small * 10, "512MB broadcast {big} vs 1KB {small}");
+    }
+
+    #[test]
+    fn accumulator_counts_task_side_adds() {
+        let r = SparkCluster::new(2, SparkConfig::default()).run(|sc| {
+            let acc = Accumulator::new();
+            let acc2 = acc.clone();
+            let xs = sc.parallelize((0..500u64).collect(), 8);
+            let evens = xs.filter(move |x| {
+                if x % 2 == 0 {
+                    acc2.add(1);
+                    true
+                } else {
+                    false
+                }
+            });
+            let n = sc.count(&evens);
+            (n, acc.value())
+        });
+        assert_eq!(r.value.0, 250);
+        assert_eq!(r.value.1, 250);
+    }
+}

@@ -1,0 +1,144 @@
+//! CPU cost model.
+//!
+//! Computation inside a simulated process is *real* Rust code (so results
+//! are correct), but the virtual time it is charged is derived from an
+//! abstract work description — the amount of work the modeled platform
+//! (a Comet node) would perform, at the modeled efficiency of the paradigm's
+//! language runtime (native C/C++ vs JVM).
+
+use crate::time::SimDuration;
+use crate::topology::NodeSpec;
+
+/// An abstract amount of CPU work: floating-point/integer operations plus
+/// memory traffic. Duration is the sum of both components (no overlap), a
+/// deliberately pessimistic roofline that suits the byte-crunching workloads
+/// reproduced here.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Work {
+    /// Scalar operations executed.
+    pub flops: f64,
+    /// Bytes moved through the memory hierarchy.
+    pub mem_bytes: f64,
+}
+
+impl Work {
+    /// No work.
+    pub const NONE: Work = Work {
+        flops: 0.0,
+        mem_bytes: 0.0,
+    };
+
+    /// Pure compute work.
+    #[inline]
+    pub fn flops(n: f64) -> Work {
+        Work {
+            flops: n,
+            mem_bytes: 0.0,
+        }
+    }
+
+    /// Pure memory-streaming work.
+    #[inline]
+    pub fn mem_bytes(n: f64) -> Work {
+        Work {
+            flops: 0.0,
+            mem_bytes: n,
+        }
+    }
+
+    /// Both components.
+    #[inline]
+    pub fn new(flops: f64, mem_bytes: f64) -> Work {
+        Work { flops, mem_bytes }
+    }
+
+    /// Sum of two work descriptions.
+    #[inline]
+    pub fn plus(self, other: Work) -> Work {
+        Work {
+            flops: self.flops + other.flops,
+            mem_bytes: self.mem_bytes + other.mem_bytes,
+        }
+    }
+
+    /// Work scaled by a factor (e.g. logical-to-sample scale of a dataset).
+    #[inline]
+    pub fn scaled(self, k: f64) -> Work {
+        Work {
+            flops: self.flops * k,
+            mem_bytes: self.mem_bytes * k,
+        }
+    }
+
+    /// Time to execute this work on one core of `node`, multiplied by the
+    /// paradigm's `runtime_factor` ([`RuntimeClass`]).
+    pub fn duration_on(&self, node: &NodeSpec, runtime_factor: f64) -> SimDuration {
+        let secs =
+            self.flops / node.flops_per_core + self.mem_bytes / node.mem_bw_per_core;
+        SimDuration::from_secs_f64(secs * runtime_factor)
+    }
+}
+
+/// The language-runtime efficiency class of a paradigm, expressed as a
+/// multiplier over native single-core execution time.
+///
+/// The paper's stacks split exactly this way (Sec. IV, "Operating system"):
+/// HPC frameworks compile to native code; Big Data frameworks run on the
+/// JVM, with boxing, garbage collection and interpretation overheads on
+/// record-at-a-time processing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RuntimeClass {
+    /// C/C++/Fortran compiled code (MPI, OpenMP, OpenSHMEM).
+    Native,
+    /// JVM bytecode operating on boxed records (Spark, Hadoop).
+    Jvm,
+}
+
+impl RuntimeClass {
+    /// Execution-time multiplier relative to native code.
+    ///
+    /// 2.8x for the JVM reflects measured gaps on text-parsing and
+    /// pointer-chasing record workloads (not tight numeric loops, where the
+    /// JIT narrows the gap — none of the reproduced benchmarks are such
+    /// loops on the Big Data side).
+    #[inline]
+    pub fn factor(self) -> f64 {
+        match self {
+            RuntimeClass::Native => 1.0,
+            RuntimeClass::Jvm => 2.8,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duration_combines_flops_and_bytes() {
+        let node = NodeSpec::comet();
+        let w = Work::new(node.flops_per_core, node.mem_bw_per_core);
+        // One second of flops + one second of memory = two seconds native.
+        let d = w.duration_on(&node, RuntimeClass::Native.factor());
+        assert_eq!(d.nanos(), 2_000_000_000);
+    }
+
+    #[test]
+    fn jvm_factor_multiplies() {
+        let node = NodeSpec::comet();
+        let w = Work::flops(node.flops_per_core);
+        let native = w.duration_on(&node, RuntimeClass::Native.factor());
+        let jvm = w.duration_on(&node, RuntimeClass::Jvm.factor());
+        let ratio = jvm.nanos() as f64 / native.nanos() as f64;
+        assert!((ratio - RuntimeClass::Jvm.factor()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_work_is_free_and_scaling_composes() {
+        let node = NodeSpec::comet();
+        assert_eq!(Work::NONE.duration_on(&node, 1.0).nanos(), 0);
+        let w = Work::new(10.0, 20.0).scaled(3.0).plus(Work::flops(2.0));
+        assert_eq!(w.flops, 32.0);
+        assert_eq!(w.mem_bytes, 60.0);
+    }
+}

@@ -1,0 +1,28 @@
+//! The dataset abstraction shared by every data-processing runtime.
+//!
+//! A dataset is backed by a (possibly huge) *logical* file. The
+//! simulation charges I/O and CPU for logical bytes and records, but
+//! materializes only a deterministic **sample**; `logical_scale` says how
+//! many logical records each sample record represents. This is the
+//! "content scale factor" substitution documented in DESIGN.md §2: an
+//! experiment "reads 80 GB" — paying 80 GB of simulated disk/network
+//! time — while parsing a tractable sample whose statistics match the
+//! full dataset by construction.
+
+use crate::cost::Work;
+
+/// A source of typed records for a byte range of a logical file.
+pub trait InputFormat: Send + Sync + 'static {
+    /// Materialized record type.
+    type Rec: Send + Sync + Clone + 'static;
+
+    /// Sample records for the byte range `[offset, offset + len)`.
+    /// Must be deterministic in `(offset, len)`.
+    fn sample_records(&self, offset: u64, len: u64) -> Vec<Self::Rec>;
+
+    /// Logical records represented by one sample record.
+    fn logical_scale(&self) -> f64;
+
+    /// CPU work to read + parse one *logical* record.
+    fn record_work(&self) -> Work;
+}

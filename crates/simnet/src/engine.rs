@@ -1,0 +1,1025 @@
+//! The conservative virtual-time execution engine.
+//!
+//! Every simulated process is an OS thread executing real Rust code. The
+//! engine enforces a single invariant: **at most one process runs at a
+//! time, and whenever a process performs a simulation-visible operation
+//! (message send/delivery, disk reservation, sleep), it is the process
+//! with the minimum virtual clock among all runnable processes.** The
+//! baton is passed through per-process condition variables; the ready
+//! queue is a binary heap ordered by `(virtual time, sequence number)`,
+//! so the whole simulation — including every reported timing — is
+//! bit-deterministic across runs.
+//!
+//! Between simulation-visible operations a process may run arbitrary real
+//! computation and advance its own clock locally ([`ProcCtx::compute`]) at
+//! zero synchronization cost; the conservative yield happens lazily at the
+//! next visible operation.
+
+use std::any::Any;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::collections::VecDeque;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::cost::Work;
+use crate::error::{DeadlockNote, RecvTimeout};
+use crate::fs::SimFs;
+use crate::message::{MatchSpec, Message, Payload, Tag};
+use crate::stats::ProcStats;
+use crate::time::{SimDuration, SimTime};
+use crate::topology::{NodeId, Topology};
+use crate::transport::Transport;
+
+/// Identifies a simulated process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Pid(pub u32);
+
+impl Pid {
+    /// Index into the process table.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for Pid {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// Immutable world state shared by every process: the hardware topology
+/// and the storage namespace.
+pub struct World {
+    /// Hardware description of the cluster.
+    pub topology: Topology,
+    /// Simulated storage namespace.
+    pub fs: SimFs,
+    /// NFS share characteristics (one server for the whole cluster).
+    pub nfs: crate::topology::DiskSpec,
+    /// Execution trace sink (empty unless `Sim::enable_tracing` ran).
+    pub(crate) trace: std::sync::OnceLock<Arc<crate::trace::Trace>>,
+}
+
+impl World {
+    /// Build a world over a topology with an empty filesystem.
+    pub fn new(topology: Topology) -> World {
+        World {
+            topology,
+            fs: SimFs::new(),
+            nfs: crate::topology::DiskSpec::nfs_share(),
+            trace: std::sync::OnceLock::new(),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WakeReason {
+    Turn,
+    Message,
+    Timeout,
+    Deadlock,
+}
+
+#[derive(Debug)]
+enum Status {
+    Ready,
+    Running,
+    Blocked {
+        spec: MatchSpec,
+        deadline: Option<SimTime>,
+    },
+    Done,
+}
+
+struct Slot {
+    m: Mutex<Option<(SimTime, WakeReason)>>,
+    cv: Condvar,
+}
+
+impl Slot {
+    fn new() -> Slot {
+        Slot {
+            m: Mutex::new(None),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn wake(&self, clock: SimTime, reason: WakeReason) {
+        let mut g = self.m.lock();
+        *g = Some((clock, reason));
+        self.cv.notify_one();
+    }
+
+    fn park(&self) -> (SimTime, WakeReason) {
+        let mut g = self.m.lock();
+        while g.is_none() {
+            self.cv.wait(&mut g);
+        }
+        g.take().unwrap()
+    }
+}
+
+struct ProcState {
+    name: String,
+    node: NodeId,
+    clock: SimTime,
+    gen: u64,
+    status: Status,
+    wake_reason: WakeReason,
+    mailbox: VecDeque<Message>,
+    slot: Arc<Slot>,
+    finish: Option<SimTime>,
+    stats: ProcStats,
+}
+
+#[derive(PartialEq, Eq)]
+struct Entry {
+    time: SimTime,
+    seq: u64,
+    pid: Pid,
+    gen: u64,
+}
+
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+struct Inner {
+    procs: Vec<ProcState>,
+    runnable: BinaryHeap<Reverse<Entry>>,
+    seq: u64,
+    live: usize,
+    deadlocked: bool,
+    /// Next-free time of each node's NIC (sender-side serialization).
+    nic_free: Vec<SimTime>,
+    /// Next-free time of each node's scratch disk.
+    disk_free: Vec<SimTime>,
+    /// Next-free time of the shared NFS server.
+    nfs_free: SimTime,
+    /// Messages sent to processes that had already finished.
+    dropped_msgs: u64,
+    /// (pid, message, was_deadlock) for every unwound process.
+    panics: Vec<PanicRecord>,
+}
+
+/// (pid, message, was_deadlock) of one unwound process.
+type PanicRecord = (Pid, String, bool);
+
+struct Engine {
+    inner: Mutex<Inner>,
+    done: Condvar,
+}
+
+impl Engine {
+    /// Push `pid` as runnable at `time`. Caller holds the lock.
+    fn push(g: &mut Inner, pid: Pid, time: SimTime) {
+        g.procs[pid.index()].gen += 1;
+        let gen = g.procs[pid.index()].gen;
+        g.seq += 1;
+        let seq = g.seq;
+        g.runnable.push(Reverse(Entry {
+            time,
+            seq,
+            pid,
+            gen,
+        }));
+    }
+
+    /// Pop the next valid runnable process, mark it Running and return it.
+    /// Returns `None` when nothing can run.
+    fn next_runnable(g: &mut Inner) -> Option<Pid> {
+        while let Some(Reverse(e)) = g.runnable.pop() {
+            let p = &mut g.procs[e.pid.index()];
+            if p.gen != e.gen {
+                continue; // stale entry
+            }
+            match p.status {
+                Status::Ready => {
+                    p.status = Status::Running;
+                    return Some(e.pid);
+                }
+                Status::Blocked {
+                    deadline: Some(_), ..
+                } => {
+                    // Generation matched, so this entry is the deadline we
+                    // pushed when blocking: the deadline fired before any
+                    // matching message was delivered.
+                    p.status = Status::Running;
+                    p.wake_reason = WakeReason::Timeout;
+                    p.clock = p.clock.max(e.time);
+                    return Some(e.pid);
+                }
+                _ => continue,
+            }
+        }
+        None
+    }
+
+    /// Pass the baton to the next runnable process, or detect completion /
+    /// deadlock. `self_pid` is the yielding process; if the next runnable
+    /// process is the yielder itself the baton is kept (fast path) and
+    /// `true` is returned.
+    fn dispatch_from(&self, g: &mut Inner, self_pid: Option<Pid>) -> bool {
+        match Engine::next_runnable(g) {
+            Some(pid) => {
+                if Some(pid) == self_pid {
+                    return true;
+                }
+                let p = &g.procs[pid.index()];
+                let slot = p.slot.clone();
+                let clock = p.clock;
+                let reason = p.wake_reason;
+                slot.wake(clock, reason);
+                false
+            }
+            None => {
+                if g.live > 0 && !g.deadlocked {
+                    // Everything alive is blocked without a deadline:
+                    // distributed deadlock. Unwind all blocked processes.
+                    g.deadlocked = true;
+                    let mut diag = String::new();
+                    for (i, p) in g.procs.iter().enumerate() {
+                        if let Status::Blocked { spec, .. } = &p.status {
+                            diag.push_str(&format!(
+                                "{} ({}) blocked at {} on recv {:?}; ",
+                                Pid(i as u32),
+                                p.name,
+                                p.clock,
+                                spec
+                            ));
+                        }
+                    }
+                    for p in g.procs.iter_mut() {
+                        if matches!(p.status, Status::Blocked { .. }) {
+                            p.status = Status::Running;
+                            p.wake_reason = WakeReason::Deadlock;
+                            p.slot.wake(p.clock, WakeReason::Deadlock);
+                        }
+                    }
+                    // Stash the diagnostic through the panics channel.
+                    g.panics.push((
+                        Pid(u32::MAX),
+                        format!("deadlock: {diag}"),
+                        true,
+                    ));
+                }
+                self.done.notify_all();
+                false
+            }
+        }
+    }
+
+    /// Deliver a message, waking the destination if it is blocked on a
+    /// matching receive. Caller holds the lock.
+    fn deliver(g: &mut Inner, dst: Pid, msg: Message) {
+        let arrival = msg.arrival;
+        let p = &mut g.procs[dst.index()];
+        match &p.status {
+            Status::Done => {
+                g.dropped_msgs += 1;
+            }
+            Status::Blocked { spec, .. } if spec.matches(&msg) => {
+                p.mailbox.push_back(msg);
+                p.status = Status::Ready;
+                p.wake_reason = WakeReason::Message;
+                // Clock stays at the block-time value; the receiver
+                // recomputes its resume clock from the matched message.
+                let t = p.clock.max(arrival);
+                Engine::push(g, dst, t);
+            }
+            _ => {
+                p.mailbox.push_back(msg);
+            }
+        }
+    }
+}
+
+/// Per-process context handed to each process closure. All simulation
+/// operations go through this handle.
+pub struct ProcCtx {
+    engine: Arc<Engine>,
+    world: Arc<World>,
+    proc_nodes: Arc<Vec<NodeId>>,
+    pid: Pid,
+    node: NodeId,
+    clock: SimTime,
+    stats: ProcStats,
+}
+
+impl ProcCtx {
+    /// This process's id.
+    #[inline]
+    pub fn pid(&self) -> Pid {
+        self.pid
+    }
+
+    /// The node this process is placed on.
+    #[inline]
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Node a process is placed on.
+    #[inline]
+    pub fn node_of(&self, pid: Pid) -> NodeId {
+        self.proc_nodes[pid.index()]
+    }
+
+    /// Whether `pid` shares this process's node.
+    #[inline]
+    pub fn is_local(&self, pid: Pid) -> bool {
+        self.node_of(pid) == self.node
+    }
+
+    /// Total number of processes in the simulation.
+    #[inline]
+    pub fn num_procs(&self) -> usize {
+        self.proc_nodes.len()
+    }
+
+    /// Current virtual time of this process.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.clock
+    }
+
+    /// Shared world state (topology + filesystem).
+    #[inline]
+    pub fn world(&self) -> &World {
+        &self.world
+    }
+
+    /// The simulated filesystem.
+    #[inline]
+    pub fn fs(&self) -> &SimFs {
+        &self.world.fs
+    }
+
+    /// Statistics collected so far by this process.
+    #[inline]
+    pub fn stats(&self) -> &ProcStats {
+        &self.stats
+    }
+
+    #[inline]
+    fn trace(&self) -> Option<&Arc<crate::trace::Trace>> {
+        self.world.trace.get()
+    }
+
+    /// Advance this process's clock by modeled computation: `work` executed
+    /// at `runtime_factor` times native single-core cost (see
+    /// [`crate::RuntimeClass`]). Purely local — no synchronization.
+    pub fn compute(&mut self, work: Work, runtime_factor: f64) {
+        let spec = &self.world.topology.node(self.node).spec;
+        let d = work.duration_on(spec, runtime_factor);
+        let t0 = self.clock;
+        self.clock += d;
+        self.stats.compute_time += d;
+        if let Some(tr) = self.trace() {
+            tr.record(self.pid, t0, self.clock, crate::trace::EventKind::Compute);
+        }
+    }
+
+    /// Advance this process's clock by a raw duration (framework-internal
+    /// overheads). Purely local.
+    pub fn advance(&mut self, d: SimDuration) {
+        self.clock += d;
+        self.stats.compute_time += d;
+    }
+
+    /// Advance the clock and yield, letting earlier processes run.
+    pub fn sleep(&mut self, d: SimDuration) {
+        self.clock += d;
+        self.become_min();
+    }
+
+    /// Yield until this process is the minimum-time runnable process.
+    /// All operations with global effects call this first, which is what
+    /// makes resource-reservation order independent of OS scheduling.
+    fn become_min(&mut self) {
+        let engine = self.engine.clone();
+        let mut g = engine.inner.lock();
+        if g.deadlocked {
+            drop(g);
+            panic::panic_any(DeadlockNote(format!(
+                "{} resumed during deadlock teardown",
+                self.pid
+            )));
+        }
+        let me = self.pid;
+        g.procs[me.index()].clock = self.clock;
+        g.procs[me.index()].status = Status::Ready;
+        Engine::push(&mut g, me, self.clock);
+        if self.engine.dispatch_from(&mut g, Some(me)) {
+            // Fast path: still the minimum; baton kept.
+            return;
+        }
+        let slot = g.procs[me.index()].slot.clone();
+        drop(g);
+        let (clock, reason) = slot.park();
+        self.clock = clock;
+        if reason == WakeReason::Deadlock {
+            panic::panic_any(DeadlockNote(format!("{} woken by deadlock", self.pid)));
+        }
+    }
+
+    /// Send a message. The sender is charged the transport's endpoint CPU
+    /// cost; the payload then occupies the sender NIC (serialized with
+    /// other transfers from this node) and arrives `latency` later.
+    /// Intra-node messages skip the NIC.
+    pub fn send(
+        &mut self,
+        dst: Pid,
+        tag: Tag,
+        bytes: u64,
+        payload: Payload,
+        transport: &Transport,
+    ) {
+        let cpu = transport.endpoint_cpu(transport.send_overhead, bytes);
+        let t0 = self.clock;
+        self.clock += cpu;
+        self.stats.compute_time += cpu;
+        self.stats.msgs_sent += 1;
+        self.stats.bytes_sent += bytes;
+        if let Some(tr) = self.trace() {
+            tr.record(
+                self.pid,
+                t0,
+                self.clock,
+                crate::trace::EventKind::Send { dst, bytes },
+            );
+        }
+        self.become_min();
+
+        let engine = self.engine.clone();
+        let mut g = engine.inner.lock();
+        let sent_at = self.clock;
+        let same_node = self.proc_nodes[dst.index()] == self.node;
+        let wire = transport.wire_time(bytes);
+        let arrival = if same_node {
+            sent_at + transport.latency + wire
+        } else {
+            let nic = &mut g.nic_free[self.node.index()];
+            let start = sent_at.max(*nic);
+            *nic = start + wire;
+            start + wire + transport.latency
+        };
+        let recv_cost = transport.endpoint_cpu(transport.recv_overhead, bytes);
+        let msg = Message {
+            src: self.pid,
+            tag,
+            bytes,
+            payload,
+            sent_at,
+            arrival,
+            recv_cost,
+        };
+        Engine::deliver(&mut g, dst, msg);
+    }
+
+    fn take_match(&mut self, spec: MatchSpec) -> Option<Message> {
+        let engine = self.engine.clone();
+        let mut g = engine.inner.lock();
+        let p = &mut g.procs[self.pid.index()];
+        let best = p
+            .mailbox
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| spec.matches(m))
+            .min_by_key(|(i, m)| (m.arrival, *i))
+            .map(|(i, _)| i);
+        best.and_then(|i| p.mailbox.remove(i))
+    }
+
+    fn finish_recv(&mut self, msg: Message, blocked_since: SimTime) -> Message {
+        let resume = self.clock.max(msg.arrival);
+        self.stats.wait_time += resume - blocked_since;
+        self.clock = resume + msg.recv_cost;
+        self.stats.compute_time += msg.recv_cost;
+        self.stats.msgs_recvd += 1;
+        self.stats.bytes_recvd += msg.bytes;
+        if let Some(tr) = self.trace() {
+            tr.record(
+                self.pid,
+                blocked_since,
+                self.clock,
+                crate::trace::EventKind::Recv {
+                    src: msg.src,
+                    bytes: msg.bytes,
+                },
+            );
+        }
+        msg
+    }
+
+    /// Receive the earliest-arriving message matching `spec`, blocking in
+    /// virtual time until one is delivered. Panics (unwinding the whole
+    /// simulation with a diagnostic) if no such message can ever arrive.
+    pub fn recv(&mut self, spec: MatchSpec) -> Message {
+        self.recv_deadline(spec, None)
+            .expect("recv without deadline cannot time out")
+    }
+
+    /// Like [`ProcCtx::recv`] but gives up at virtual `deadline`.
+    pub fn recv_timeout(
+        &mut self,
+        spec: MatchSpec,
+        timeout: SimDuration,
+    ) -> Result<Message, RecvTimeout> {
+        let deadline = self.clock + timeout;
+        self.recv_deadline(spec, Some(deadline))
+    }
+
+    /// Like [`ProcCtx::recv`] but gives up at an absolute virtual deadline.
+    pub fn recv_deadline(
+        &mut self,
+        spec: MatchSpec,
+        deadline: Option<SimTime>,
+    ) -> Result<Message, RecvTimeout> {
+        let blocked_since = self.clock;
+        if let Some(m) = self.take_match(spec) {
+            return Ok(self.finish_recv(m, blocked_since));
+        }
+        // Block.
+        let engine = self.engine.clone();
+        let slot;
+        {
+            let mut g = engine.inner.lock();
+            if g.deadlocked {
+                drop(g);
+                panic::panic_any(DeadlockNote(format!(
+                    "{} blocked during deadlock teardown",
+                    self.pid
+                )));
+            }
+            let me = self.pid;
+            let p = &mut g.procs[me.index()];
+            p.clock = self.clock;
+            p.status = Status::Blocked { spec, deadline };
+            slot = p.slot.clone();
+            if let Some(d) = deadline {
+                Engine::push(&mut g, me, d.max(self.clock));
+            } else {
+                // No heap entry: only a matching delivery can wake us.
+                p.gen += 1;
+            }
+            self.engine.dispatch_from(&mut g, None);
+        }
+        let (clock, reason) = slot.park();
+        self.clock = clock;
+        match reason {
+            WakeReason::Message => {
+                let m = self
+                    .take_match(spec)
+                    .expect("woken for message but no match in mailbox");
+                Ok(self.finish_recv(m, blocked_since))
+            }
+            WakeReason::Timeout => {
+                self.stats.wait_time += self.clock - blocked_since;
+                Err(RecvTimeout)
+            }
+            WakeReason::Deadlock => panic::panic_any(DeadlockNote(format!(
+                "{} blocked on {:?} forever",
+                self.pid, spec
+            ))),
+            WakeReason::Turn => unreachable!("blocked process woken with Turn"),
+        }
+    }
+
+    /// Non-blocking receive: a matching message whose arrival time is not
+    /// after this process's current clock.
+    pub fn try_recv(&mut self, spec: MatchSpec) -> Option<Message> {
+        let engine = self.engine.clone();
+        let now = self.clock;
+        let taken = {
+            let mut g = engine.inner.lock();
+            let p = &mut g.procs[self.pid.index()];
+            let best = p
+                .mailbox
+                .iter()
+                .enumerate()
+                .filter(|(_, m)| spec.matches(m) && m.arrival <= now)
+                .min_by_key(|(i, m)| (m.arrival, *i))
+                .map(|(i, _)| i);
+            best.and_then(|i| p.mailbox.remove(i))
+        };
+        taken.map(|m| self.finish_recv(m, now))
+    }
+
+    /// One-sided RDMA transfer (OpenSHMEM put/get, MPI RMA): the initiator
+    /// pays the endpoint overhead, occupies its NIC for the payload, and
+    /// blocks until remote completion (`latency` after the last byte).
+    /// The target process is never involved — its CPU clock is untouched,
+    /// which is exactly what RDMA hardware offload buys.
+    ///
+    /// `round_trips` is 1 for a put and 2 for a get or a fetching atomic.
+    pub fn one_sided_transfer(
+        &mut self,
+        target_node: NodeId,
+        bytes: u64,
+        transport: &Transport,
+        round_trips: u32,
+    ) {
+        let cpu = transport.endpoint_cpu(transport.send_overhead, bytes);
+        let t_op = self.clock;
+        self.clock += cpu;
+        self.stats.compute_time += cpu;
+        self.stats.msgs_sent += 1;
+        self.stats.bytes_sent += bytes;
+        self.become_min();
+        let wire = transport.wire_time(bytes);
+        let lat = SimDuration::from_nanos(
+            transport.latency.nanos() * round_trips.max(1) as u64,
+        );
+        if target_node == self.node {
+            self.clock += lat + wire;
+        } else {
+            let engine = self.engine.clone();
+            let mut g = engine.inner.lock();
+            let nic = &mut g.nic_free[self.node.index()];
+            let start = self.clock.max(*nic);
+            *nic = start + wire;
+            self.clock = start + wire + lat;
+        }
+        if let Some(tr) = self.trace() {
+            tr.record(
+                self.pid,
+                t_op,
+                self.clock,
+                crate::trace::EventKind::OneSided { bytes },
+            );
+        }
+    }
+
+    fn device_io(&mut self, bytes: u64, is_nfs: bool, is_write: bool) {
+        self.become_min();
+        let engine = self.engine.clone();
+        let mut g = engine.inner.lock();
+        let (spec, free): (crate::topology::DiskSpec, &mut SimTime) = if is_nfs {
+            (self.world.nfs, &mut g.nfs_free)
+        } else {
+            (
+                self.world.topology.node(self.node).spec.disk,
+                &mut g.disk_free[self.node.index()],
+            )
+        };
+        let bw = if is_write { spec.write_bw } else { spec.read_bw };
+        let dur = spec.request_overhead + SimDuration::from_secs_f64(bytes as f64 / bw);
+        let start = self.clock.max(*free);
+        *free = start + dur;
+        let finish = start + dur;
+        self.stats.disk_time += finish - self.clock;
+        let t0 = self.clock;
+        self.clock = finish;
+        if is_write {
+            self.stats.disk_write_bytes += bytes;
+        } else {
+            self.stats.disk_read_bytes += bytes;
+        }
+        if let Some(tr) = self.trace() {
+            let kind = match (is_nfs, is_write) {
+                (true, _) => crate::trace::EventKind::Nfs { bytes },
+                (false, true) => crate::trace::EventKind::DiskWrite { bytes },
+                (false, false) => crate::trace::EventKind::DiskRead { bytes },
+            };
+            tr.record(self.pid, t0, finish, kind);
+        }
+    }
+
+    /// Read `bytes` from this node's scratch disk (serialized with other
+    /// requests to the same device; the cost includes queueing).
+    pub fn disk_read(&mut self, bytes: u64) {
+        self.device_io(bytes, false, false);
+    }
+
+    /// Write `bytes` to this node's scratch disk.
+    pub fn disk_write(&mut self, bytes: u64) {
+        self.device_io(bytes, false, true);
+    }
+
+    /// Read `bytes` from the shared NFS server (one server, cluster-wide
+    /// contention).
+    pub fn nfs_read(&mut self, bytes: u64) {
+        self.device_io(bytes, true, false);
+    }
+
+    /// Write `bytes` to the shared NFS server.
+    pub fn nfs_write(&mut self, bytes: u64) {
+        self.device_io(bytes, true, true);
+    }
+}
+
+type ProcFn = Box<dyn FnOnce(&mut ProcCtx) -> Box<dyn Any + Send> + Send>;
+
+struct ProcSpawn {
+    node: NodeId,
+    name: String,
+    f: ProcFn,
+}
+
+/// Simulation builder: define a topology, spawn processes, run.
+pub struct Sim {
+    world: Arc<World>,
+    spawns: Vec<ProcSpawn>,
+}
+
+/// Final report of one process.
+#[derive(Debug)]
+pub struct ProcReport {
+    /// Process id.
+    pub pid: Pid,
+    /// Process name given at spawn.
+    pub name: String,
+    /// Node it ran on.
+    pub node: NodeId,
+    /// Virtual time its closure returned.
+    pub finish: SimTime,
+    /// Accumulated statistics.
+    pub stats: ProcStats,
+}
+
+/// Result of a completed simulation.
+pub struct SimReport {
+    /// Per-process reports, indexed by pid.
+    pub procs: Vec<ProcReport>,
+    /// Per-process return values, indexed by pid.
+    results: Vec<Option<Box<dyn Any + Send>>>,
+    /// Messages that were sent to already-finished processes.
+    pub dropped_msgs: u64,
+    /// The execution trace, when tracing was enabled.
+    pub trace: Option<Arc<crate::trace::Trace>>,
+}
+
+impl SimReport {
+    /// The virtual time at which the last process finished — the paper's
+    /// "execution time" of a run.
+    pub fn makespan(&self) -> SimTime {
+        self.procs
+            .iter()
+            .map(|p| p.finish)
+            .max()
+            .unwrap_or(SimTime::ZERO)
+    }
+
+    /// Take the typed return value of one process.
+    pub fn result<T: 'static>(&mut self, pid: Pid) -> T {
+        *self.results[pid.index()]
+            .take()
+            .unwrap_or_else(|| panic!("{pid} produced no result or it was already taken"))
+            .downcast::<T>()
+            .unwrap_or_else(|_| {
+                panic!(
+                    "{pid} result is not a {}",
+                    std::any::type_name::<T>()
+                )
+            })
+    }
+
+    /// Aggregate statistics over all processes.
+    pub fn total_stats(&self) -> ProcStats {
+        let mut total = ProcStats::default();
+        for p in &self.procs {
+            total.merge(&p.stats);
+        }
+        total
+    }
+}
+
+impl Sim {
+    /// New simulation over `topology`.
+    pub fn new(topology: Topology) -> Sim {
+        Sim {
+            world: Arc::new(World::new(topology)),
+            spawns: Vec::new(),
+        }
+    }
+
+    /// Access the world (to pre-populate the filesystem).
+    pub fn world(&self) -> &World {
+        &self.world
+    }
+
+    /// Turn on execution tracing for this run; every simulation-visible
+    /// operation records a timeline span. Returns the trace handle (also
+    /// available on the final [`SimReport`]).
+    pub fn enable_tracing(&mut self) -> Arc<crate::trace::Trace> {
+        self.world
+            .trace
+            .get_or_init(|| Arc::new(crate::trace::Trace::new()))
+            .clone()
+    }
+
+    /// Register a process on `node`. Processes start at virtual time zero
+    /// in registration order. Returns the process id.
+    pub fn spawn<T, F>(&mut self, node: NodeId, name: impl Into<String>, f: F) -> Pid
+    where
+        T: Send + 'static,
+        F: FnOnce(&mut ProcCtx) -> T + Send + 'static,
+    {
+        assert!(
+            node.index() < self.world.topology.len(),
+            "spawn on unknown {node}"
+        );
+        let pid = Pid(self.spawns.len() as u32);
+        self.spawns.push(ProcSpawn {
+            node,
+            name: name.into(),
+            f: Box::new(move |ctx| Box::new(f(ctx)) as Box<dyn Any + Send>),
+        });
+        pid
+    }
+
+    /// Run the simulation to completion and return the report.
+    ///
+    /// Panics if any process panicked (with that panic's message) or if a
+    /// distributed deadlock was detected (with a per-process diagnostic).
+    pub fn run(self) -> SimReport {
+        let n = self.spawns.len();
+        assert!(n > 0, "simulation has no processes");
+        let proc_nodes: Arc<Vec<NodeId>> =
+            Arc::new(self.spawns.iter().map(|s| s.node).collect());
+        let nodes = self.world.topology.len();
+        let engine = Arc::new(Engine {
+            inner: Mutex::new(Inner {
+                procs: self
+                    .spawns
+                    .iter()
+                    .map(|s| ProcState {
+                        name: s.name.clone(),
+                        node: s.node,
+                        clock: SimTime::ZERO,
+                        gen: 0,
+                        status: Status::Ready,
+                        wake_reason: WakeReason::Turn,
+                        mailbox: VecDeque::new(),
+                        slot: Arc::new(Slot::new()),
+                        finish: None,
+                        stats: ProcStats::default(),
+                    })
+                    .collect(),
+                runnable: BinaryHeap::new(),
+                seq: 0,
+                live: n,
+                deadlocked: false,
+                nic_free: vec![SimTime::ZERO; nodes],
+                disk_free: vec![SimTime::ZERO; nodes],
+                nfs_free: SimTime::ZERO,
+                dropped_msgs: 0,
+                panics: Vec::new(),
+            }),
+            done: Condvar::new(),
+        });
+
+        type ResultSlots = Vec<Option<Box<dyn Any + Send>>>;
+        let results: Arc<Mutex<ResultSlots>> =
+            Arc::new(Mutex::new((0..n).map(|_| None).collect()));
+
+        let mut handles = Vec::with_capacity(n);
+        for (i, spawn) in self.spawns.into_iter().enumerate() {
+            let pid = Pid(i as u32);
+            let engine = engine.clone();
+            let world = self.world.clone();
+            let proc_nodes = proc_nodes.clone();
+            let results = results.clone();
+            let slot = engine.inner.lock().procs[i].slot.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("sim-{}", spawn.name))
+                .stack_size(1 << 21)
+                .spawn(move || {
+                    // Wait for the first baton.
+                    let (clock, reason) = slot.park();
+                    let mut ctx = ProcCtx {
+                        engine: engine.clone(),
+                        world,
+                        proc_nodes,
+                        pid,
+                        node: spawn.node,
+                        clock,
+                        stats: ProcStats::default(),
+                    };
+                    if reason == WakeReason::Deadlock {
+                        // Simulation tore down before we ever ran.
+                        finish_proc(&engine, &mut ctx, None);
+                        return;
+                    }
+                    let f = spawn.f;
+                    let outcome =
+                        panic::catch_unwind(AssertUnwindSafe(|| f(&mut ctx)));
+                    match outcome {
+                        Ok(val) => {
+                            results.lock()[pid.index()] = Some(val);
+                            finish_proc(&engine, &mut ctx, None);
+                        }
+                        Err(payload) => {
+                            let (msg, was_deadlock) = describe_panic(payload.as_ref());
+                            finish_proc(&engine, &mut ctx, Some((msg, was_deadlock)));
+                        }
+                    }
+                })
+                .expect("spawn simulation thread");
+            handles.push(handle);
+        }
+
+        // Hand the first baton to the earliest process and wait for the end.
+        {
+            let mut g = engine.inner.lock();
+            for i in 0..n {
+                let t = g.procs[i].clock;
+                Engine::push(&mut g, Pid(i as u32), t);
+            }
+            engine.dispatch_from(&mut g, None);
+            while g.live > 0 {
+                engine.done.wait(&mut g);
+            }
+        }
+        for h in handles {
+            let _ = h.join();
+        }
+
+        let g = engine.inner.lock();
+        // Report application panics first; deadlock only if nothing else.
+        if let Some((pid, msg, _)) = g
+            .panics
+            .iter()
+            .find(|(_, _, was_deadlock)| !*was_deadlock)
+            .cloned()
+        {
+            panic!("simulated process {pid} panicked: {msg}");
+        }
+        if let Some((_, msg, _)) = g.panics.first().cloned() {
+            panic!("{msg}");
+        }
+        let procs = g
+            .procs
+            .iter()
+            .enumerate()
+            .map(|(i, p)| ProcReport {
+                pid: Pid(i as u32),
+                name: p.name.clone(),
+                node: p.node,
+                finish: p.finish.unwrap_or(p.clock),
+                stats: p.stats.clone(),
+            })
+            .collect();
+        let dropped = g.dropped_msgs;
+        drop(g);
+        let results = Arc::try_unwrap(results)
+            .map(|m| m.into_inner())
+            .unwrap_or_else(|arc| {
+                let mut g = arc.lock();
+                g.iter_mut().map(|o| o.take()).collect()
+            });
+        SimReport {
+            procs,
+            results,
+            dropped_msgs: dropped,
+            trace: self.world.trace.get().cloned(),
+        }
+    }
+}
+
+fn describe_panic(payload: &(dyn Any + Send)) -> (String, bool) {
+    if let Some(note) = payload.downcast_ref::<DeadlockNote>() {
+        (note.0.clone(), true)
+    } else if let Some(s) = payload.downcast_ref::<&str>() {
+        ((*s).to_string(), false)
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        (s.clone(), false)
+    } else {
+        ("<non-string panic payload>".to_string(), false)
+    }
+}
+
+fn finish_proc(engine: &Arc<Engine>, ctx: &mut ProcCtx, panic_info: Option<(String, bool)>) {
+    let mut g = engine.inner.lock();
+    let pid = ctx.pid;
+    {
+        let p = &mut g.procs[pid.index()];
+        p.status = Status::Done;
+        p.finish = Some(ctx.clock);
+        p.clock = ctx.clock;
+        p.stats = std::mem::take(&mut ctx.stats);
+        p.gen += 1; // invalidate any stale heap entries
+    }
+    if let Some((msg, was_deadlock)) = panic_info {
+        g.panics.push((pid, msg, was_deadlock));
+    }
+    g.live -= 1;
+    if g.live == 0 {
+        engine.done.notify_all();
+    } else if !g.deadlocked {
+        engine.dispatch_from(&mut g, None);
+    }
+}

@@ -1,0 +1,29 @@
+//! Error and diagnostic types surfaced by the engine.
+
+use std::fmt;
+
+/// Returned by [`crate::ProcCtx::recv_deadline`] when the virtual deadline
+/// passes before a matching message is delivered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvTimeout;
+
+impl fmt::Display for RecvTimeout {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "virtual-time receive deadline expired")
+    }
+}
+
+impl std::error::Error for RecvTimeout {}
+
+/// Panic payload used when the engine detects that every live process is
+/// blocked with no pending wakeup — a distributed deadlock. Processes
+/// unwound for this reason carry this payload so that `Sim::run` can tell a
+/// deadlock apart from an application panic and report the right error.
+#[derive(Debug, Clone)]
+pub struct DeadlockNote(pub String);
+
+impl fmt::Display for DeadlockNote {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "simulation deadlock: {}", self.0)
+    }
+}

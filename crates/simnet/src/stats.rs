@@ -1,0 +1,68 @@
+//! Per-process and aggregate execution statistics.
+
+use crate::time::SimDuration;
+
+/// Counters accumulated by one simulated process.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ProcStats {
+    /// Messages sent.
+    pub msgs_sent: u64,
+    /// Logical payload bytes sent.
+    pub bytes_sent: u64,
+    /// Messages received.
+    pub msgs_recvd: u64,
+    /// Logical payload bytes received.
+    pub bytes_recvd: u64,
+    /// Bytes read from the local disk.
+    pub disk_read_bytes: u64,
+    /// Bytes written to the local disk.
+    pub disk_write_bytes: u64,
+    /// Virtual time spent in modeled computation.
+    pub compute_time: SimDuration,
+    /// Virtual time spent blocked waiting for messages.
+    pub wait_time: SimDuration,
+    /// Virtual time spent in disk operations (including queueing).
+    pub disk_time: SimDuration,
+}
+
+impl ProcStats {
+    /// Merge another process's counters into this one (for aggregation).
+    pub fn merge(&mut self, other: &ProcStats) {
+        self.msgs_sent += other.msgs_sent;
+        self.bytes_sent += other.bytes_sent;
+        self.msgs_recvd += other.msgs_recvd;
+        self.bytes_recvd += other.bytes_recvd;
+        self.disk_read_bytes += other.disk_read_bytes;
+        self.disk_write_bytes += other.disk_write_bytes;
+        self.compute_time += other.compute_time;
+        self.wait_time += other.wait_time;
+        self.disk_time += other.disk_time;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_sums_counters() {
+        let mut a = ProcStats {
+            msgs_sent: 1,
+            bytes_sent: 10,
+            compute_time: SimDuration::from_micros(5),
+            ..Default::default()
+        };
+        let b = ProcStats {
+            msgs_sent: 2,
+            bytes_sent: 30,
+            compute_time: SimDuration::from_micros(7),
+            wait_time: SimDuration::from_nanos(3),
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.msgs_sent, 3);
+        assert_eq!(a.bytes_sent, 40);
+        assert_eq!(a.compute_time, SimDuration::from_micros(12));
+        assert_eq!(a.wait_time, SimDuration::from_nanos(3));
+    }
+}

@@ -1,0 +1,227 @@
+//! Hardware topology: nodes, NICs, disks and the fabric connecting them.
+//!
+//! The topology is deliberately simple — a set of homogeneous (or
+//! heterogeneous) nodes on a non-blocking fabric. Congestion effects that
+//! matter for the reproduced experiments (NIC serialization at endpoints,
+//! disk contention between co-located processes) are modeled; full fat-tree
+//! congestion is not, matching the paper's use of Comet's oversubscription-
+//! free islands.
+
+use crate::time::SimDuration;
+
+/// Identifies a node in the simulated cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Index into the topology's node table.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "node{}", self.0)
+    }
+}
+
+/// Performance characteristics of one node's local storage device.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiskSpec {
+    /// Sequential read bandwidth, bytes per second.
+    pub read_bw: f64,
+    /// Sequential write bandwidth, bytes per second.
+    pub write_bw: f64,
+    /// Fixed per-request overhead (seek / queueing / syscall).
+    pub request_overhead: SimDuration,
+    /// Capacity in bytes (Comet scratch: 320 GB SSD).
+    pub capacity: u64,
+}
+
+impl DiskSpec {
+    /// A local SSD resembling Comet's 320 GB scratch device.
+    pub fn comet_scratch_ssd() -> DiskSpec {
+        DiskSpec {
+            read_bw: 900.0e6,
+            write_bw: 450.0e6,
+            request_overhead: SimDuration::from_micros(80),
+            capacity: 320 * 1000 * 1000 * 1000,
+        }
+    }
+
+    /// An NFS-backed shared mount (project storage); far slower and shared.
+    pub fn nfs_share() -> DiskSpec {
+        DiskSpec {
+            read_bw: 250.0e6,
+            write_bw: 120.0e6,
+            request_overhead: SimDuration::from_millis(1),
+            capacity: u64::MAX,
+        }
+    }
+}
+
+/// Performance characteristics of one compute node.
+///
+/// Defaults mirror Table I of the paper (one Comet node): 2 sockets x 12
+/// cores of Xeon E5-2680v3 at 2.5 GHz, 960 GFlop/s peak, 128 GB DDR4,
+/// FDR InfiniBand, 320 GB local SSD.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeSpec {
+    /// Human-readable model name, reported by Table I.
+    pub model: String,
+    /// Number of sockets.
+    pub sockets: u32,
+    /// Physical cores per socket.
+    pub cores_per_socket: u32,
+    /// Core clock in GHz (reporting only; compute costs use `flops_per_core`).
+    pub clock_ghz: f64,
+    /// *Effective* scalar flop rate per core, flops/second. Peak is
+    /// 40 GFlop/s/core on Comet; real scalar codes see a small fraction.
+    pub flops_per_core: f64,
+    /// Memory capacity in bytes.
+    pub mem_capacity: u64,
+    /// Per-core achievable memory bandwidth, bytes/second.
+    pub mem_bw_per_core: f64,
+    /// Local scratch storage.
+    pub disk: DiskSpec,
+}
+
+impl NodeSpec {
+    /// The Comet node of Table I.
+    pub fn comet() -> NodeSpec {
+        NodeSpec {
+            model: "Intel Xeon E5-2680v3".to_string(),
+            sockets: 2,
+            cores_per_socket: 12,
+            clock_ghz: 2.5,
+            // 2.5 GHz scalar pipeline; ~1.2 sustained flops/cycle for the
+            // mixed integer/float record processing in these benchmarks.
+            flops_per_core: 3.0e9,
+            mem_capacity: 128 * 1024 * 1024 * 1024,
+            mem_bw_per_core: 5.0e9,
+            disk: DiskSpec::comet_scratch_ssd(),
+        }
+    }
+
+    /// Total physical cores on the node.
+    #[inline]
+    pub fn cores(&self) -> u32 {
+        self.sockets * self.cores_per_socket
+    }
+
+    /// Peak node flop rate (reporting only), flops/second.
+    #[inline]
+    pub fn peak_flops(&self) -> f64 {
+        // Table I reports 960 GFlop/s: 24 cores x 2.5 GHz x 16 flops/cycle.
+        self.cores() as f64 * self.clock_ghz * 1e9 * 16.0
+    }
+}
+
+/// One node instance inside a topology.
+#[derive(Debug, Clone)]
+pub struct Node {
+    /// This node's id.
+    pub id: NodeId,
+    /// Hardware description.
+    pub spec: NodeSpec,
+}
+
+/// A cluster of nodes on a shared fabric.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    nodes: Vec<Node>,
+}
+
+impl Topology {
+    /// A homogeneous cluster of `n` nodes with the given spec.
+    pub fn homogeneous(n: u32, spec: NodeSpec) -> Topology {
+        assert!(n > 0, "topology needs at least one node");
+        Topology {
+            nodes: (0..n)
+                .map(|i| Node {
+                    id: NodeId(i),
+                    spec: spec.clone(),
+                })
+                .collect(),
+        }
+    }
+
+    /// A cluster of `n` Comet nodes (the paper's platform).
+    pub fn comet(n: u32) -> Topology {
+        Topology::homogeneous(n, NodeSpec::comet())
+    }
+
+    /// Build from an explicit node list (heterogeneous clusters).
+    pub fn from_specs(specs: Vec<NodeSpec>) -> Topology {
+        assert!(!specs.is_empty(), "topology needs at least one node");
+        Topology {
+            nodes: specs
+                .into_iter()
+                .enumerate()
+                .map(|(i, spec)| Node {
+                    id: NodeId(i as u32),
+                    spec,
+                })
+                .collect(),
+        }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the cluster has no nodes (never true after construction).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Look up a node.
+    #[inline]
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// Iterate over all nodes.
+    pub fn nodes(&self) -> impl Iterator<Item = &Node> {
+        self.nodes.iter()
+    }
+
+    /// All node ids, in order.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes.iter().map(|n| n.id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comet_matches_table_1() {
+        let spec = NodeSpec::comet();
+        assert_eq!(spec.cores(), 24);
+        assert_eq!(spec.sockets, 2);
+        assert!((spec.peak_flops() - 960.0e9).abs() < 1.0);
+        assert_eq!(spec.mem_capacity, 128 * 1024 * 1024 * 1024);
+    }
+
+    #[test]
+    fn homogeneous_builder_assigns_sequential_ids() {
+        let topo = Topology::comet(4);
+        assert_eq!(topo.len(), 4);
+        let ids: Vec<u32> = topo.node_ids().map(|n| n.0).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+        assert_eq!(topo.node(NodeId(2)).id, NodeId(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn empty_topology_rejected() {
+        let _ = Topology::comet(0);
+    }
+}

@@ -1,0 +1,158 @@
+//! Network transport cost models.
+//!
+//! A transport is a LogGP-flavoured parameterization of one way of moving a
+//! message between two processes: fixed wire latency, endpoint software
+//! overheads (charged to the sender's / receiver's CPU clock), streaming
+//! bandwidth (serialized at the sender's NIC), and a per-byte CPU cost for
+//! stacks that copy or (de)serialize payloads in software.
+//!
+//! The three named transports mirror the communication paths in the paper:
+//!
+//! * [`Transport::rdma_verbs`] — native InfiniBand FDR verbs. MPI and
+//!   OpenSHMEM use this for everything; the Spark-RDMA shuffle engine uses
+//!   it for shuffle data only.
+//! * [`Transport::ipoib_socket`] — TCP sockets over IP-over-InfiniBand, the
+//!   default Spark/Hadoop data path on Comet.
+//! * [`Transport::java_socket_control`] — the JVM socket RPC path used for
+//!   orchestration (driver<->executor control, Hadoop heartbeats). Same wire
+//!   as IPoIB but with JVM serialization and RPC dispatch overheads; the
+//!   paper stresses that even Spark-RDMA keeps using this path for control.
+
+use crate::time::SimDuration;
+
+/// Cost parameters for one message transport.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Transport {
+    /// Wire propagation + switching latency per message.
+    pub latency: SimDuration,
+    /// CPU time charged to the sender before the payload hits the NIC.
+    pub send_overhead: SimDuration,
+    /// CPU time charged to the receiver when it consumes the message.
+    pub recv_overhead: SimDuration,
+    /// Streaming bandwidth through one endpoint NIC, bytes/second.
+    pub bandwidth: f64,
+    /// Per-byte CPU cost (copies, (de)serialization), seconds/byte, applied
+    /// at both endpoints.
+    pub cpu_per_byte: f64,
+    /// Short name used in reports.
+    pub name: &'static str,
+}
+
+impl Transport {
+    /// Native RDMA over FDR InfiniBand (56 Gb/s signalling, ~6.4 GB/s
+    /// effective): microsecond latency, negligible per-byte CPU.
+    pub fn rdma_verbs() -> Transport {
+        Transport {
+            latency: SimDuration::from_nanos(1_900),
+            send_overhead: SimDuration::from_nanos(300),
+            recv_overhead: SimDuration::from_nanos(300),
+            bandwidth: 6.4e9,
+            cpu_per_byte: 0.0,
+            name: "rdma-verbs",
+        }
+    }
+
+    /// TCP over IPoIB: kernel stack latency and roughly a fifth of the
+    /// verbs bandwidth (observed on Comet-class FDR fabrics).
+    pub fn ipoib_socket() -> Transport {
+        Transport {
+            latency: SimDuration::from_micros(18),
+            send_overhead: SimDuration::from_micros(12),
+            recv_overhead: SimDuration::from_micros(12),
+            bandwidth: 1.3e9,
+            cpu_per_byte: 0.25e-9,
+            name: "ipoib-socket",
+        }
+    }
+
+    /// JVM socket RPC used for cluster orchestration: IPoIB wire plus
+    /// serialization and dispatch costs of the JVM RPC layers.
+    pub fn java_socket_control() -> Transport {
+        Transport {
+            latency: SimDuration::from_micros(18),
+            send_overhead: SimDuration::from_micros(110),
+            recv_overhead: SimDuration::from_micros(90),
+            bandwidth: 1.1e9,
+            cpu_per_byte: 1.2e-9,
+            name: "java-socket",
+        }
+    }
+
+    /// Loopback TCP on one node: what a local HDFS block read costs when
+    /// short-circuit reads are off (the Hadoop 2.x default) — kernel
+    /// socket hops and stream copies, no wire.
+    pub fn loopback_socket() -> Transport {
+        Transport {
+            latency: SimDuration::from_micros(15),
+            send_overhead: SimDuration::from_micros(8),
+            recv_overhead: SimDuration::from_micros(8),
+            bandwidth: 2.5e9,
+            cpu_per_byte: 0.3e-9,
+            name: "loopback-socket",
+        }
+    }
+
+    /// Intra-node transfer through shared memory.
+    pub fn shared_memory() -> Transport {
+        Transport {
+            latency: SimDuration::from_nanos(400),
+            send_overhead: SimDuration::from_nanos(150),
+            recv_overhead: SimDuration::from_nanos(150),
+            bandwidth: 8.0e9,
+            cpu_per_byte: 0.0,
+            name: "shm",
+        }
+    }
+
+    /// Time the payload occupies the sender NIC.
+    #[inline]
+    pub fn wire_time(&self, bytes: u64) -> SimDuration {
+        SimDuration::from_secs_f64(bytes as f64 / self.bandwidth)
+    }
+
+    /// CPU time charged at one endpoint for `bytes` of payload.
+    #[inline]
+    pub fn endpoint_cpu(&self, overhead: SimDuration, bytes: u64) -> SimDuration {
+        overhead + SimDuration::from_secs_f64(bytes as f64 * self.cpu_per_byte)
+    }
+
+    /// End-to-end latency of an uncontended message of `bytes`, excluding
+    /// endpoint CPU overheads. Useful for analytical sanity checks.
+    #[inline]
+    pub fn uncontended_transfer(&self, bytes: u64) -> SimDuration {
+        self.latency + self.wire_time(bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verbs_beats_sockets_on_both_axes() {
+        let v = Transport::rdma_verbs();
+        let s = Transport::ipoib_socket();
+        let j = Transport::java_socket_control();
+        assert!(v.latency < s.latency && s.latency <= j.latency);
+        assert!(v.bandwidth > s.bandwidth && s.bandwidth >= j.bandwidth);
+        assert!(v.send_overhead < s.send_overhead && s.send_overhead < j.send_overhead);
+    }
+
+    #[test]
+    fn wire_time_scales_linearly() {
+        let v = Transport::rdma_verbs();
+        let t1 = v.wire_time(1 << 20).nanos();
+        let t2 = v.wire_time(2 << 20).nanos();
+        // Within rounding of a nanosecond per call.
+        assert!((t2 as i64 - 2 * t1 as i64).abs() <= 2);
+    }
+
+    #[test]
+    fn large_rdma_message_dominated_by_bandwidth() {
+        let v = Transport::rdma_verbs();
+        let xfer = v.uncontended_transfer(64 << 20); // 64 MiB
+        let pure_bw = v.wire_time(64 << 20);
+        let ratio = xfer.nanos() as f64 / pure_bw.nanos() as f64;
+        assert!(ratio < 1.01, "latency should be negligible, ratio={ratio}");
+    }
+}

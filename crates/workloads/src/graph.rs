@@ -1,0 +1,274 @@
+//! The PageRank input graph and a sequential reference solver.
+//!
+//! Stands in for BigDataBench's million-vertex web graph (Sec. V-D):
+//! a deterministic directed graph with a power-law out-degree
+//! distribution. The same graph object backs the MPI, Spark and
+//! OpenSHMEM PageRank implementations and the sequential oracle.
+
+use hpcbd_simnet::{InputFormat, Work};
+
+use crate::splitmix64;
+
+/// A deterministic directed graph with power-law out-degrees.
+#[derive(Debug, Clone)]
+pub struct PowerLawGraph {
+    /// Vertex count.
+    pub vertices: u32,
+    /// Generator seed.
+    pub seed: u64,
+    /// Power-law exponent knob: out-degree of vertex `v` is
+    /// `max(1, base / (1 + rank(v))^0.5)`-ish; larger `base` = denser.
+    pub base_degree: u32,
+}
+
+impl PowerLawGraph {
+    /// Build a graph description (edges are generated lazily).
+    pub fn new(vertices: u32, seed: u64, base_degree: u32) -> PowerLawGraph {
+        assert!(vertices > 0);
+        PowerLawGraph {
+            vertices,
+            seed,
+            base_degree,
+        }
+    }
+
+    /// The paper's 1,000,000-vertex PageRank input, scaled 1:100 for
+    /// materialization (10k sample vertices, average degree ≈ 16 like a
+    /// web-graph crawl). All costing multiplies by the scale.
+    pub fn paper_1m_sample() -> (PowerLawGraph, u64) {
+        (PowerLawGraph::new(10_000, 0xBDB, 8), 100)
+    }
+
+    /// Out-degree of vertex `v` (power-law-ish, deterministic):
+    /// `base / sqrt(rank(v)/n)` — average degree ≈ `2 * base`, maximum
+    /// ≈ `base * sqrt(n)`.
+    pub fn out_degree(&self, v: u32) -> u32 {
+        // Permute v so high-degree vertices are spread across the id
+        // space, then apply the heavy-tailed profile.
+        let r = (splitmix64(self.seed, v as u64) % self.vertices as u64) as u32;
+        let d = (self.base_degree as f64
+            / ((1.0 + r as f64) / self.vertices as f64).sqrt())
+        .ceil() as u32;
+        d.clamp(1, self.vertices.saturating_sub(1).max(1))
+    }
+
+    /// Out-neighbours of `v`.
+    pub fn neighbours(&self, v: u32) -> Vec<u32> {
+        let d = self.out_degree(v);
+        (0..d)
+            .map(|k| {
+                let h = splitmix64(self.seed ^ 0xA5A5_A5A5, ((v as u64) << 24) | k as u64);
+                let mut u = (h % self.vertices as u64) as u32;
+                if u == v {
+                    u = (u + 1) % self.vertices;
+                }
+                u
+            })
+            .collect()
+    }
+
+    /// All edges, in vertex order.
+    pub fn edges(&self) -> Vec<(u32, u32)> {
+        (0..self.vertices)
+            .flat_map(|v| self.neighbours(v).into_iter().map(move |u| (v, u)))
+            .collect()
+    }
+
+    /// Total edge count.
+    pub fn edge_count(&self) -> u64 {
+        (0..self.vertices).map(|v| self.out_degree(v) as u64).sum()
+    }
+
+    /// Adjacency lists for all vertices (index = vertex id).
+    pub fn adjacency(&self) -> Vec<Vec<u32>> {
+        (0..self.vertices).map(|v| self.neighbours(v)).collect()
+    }
+}
+
+/// Average serialized bytes of one edge in a text edge-list file.
+pub const EDGE_BYTES: u64 = 16;
+
+/// Edge-list file view of a graph, for the Spark/Hadoop paths: logical
+/// size `edge_count * EDGE_BYTES * scale`, sample records are the real
+/// edges.
+#[derive(Debug, Clone)]
+pub struct EdgeListFile {
+    /// The sample graph.
+    pub graph: PowerLawGraph,
+    /// Logical edges represented by one sample edge.
+    pub scale: u64,
+    edges_per_byte_hint: u64,
+}
+
+impl EdgeListFile {
+    /// Wrap a graph as a logical edge-list file.
+    pub fn new(graph: PowerLawGraph, scale: u64) -> EdgeListFile {
+        EdgeListFile {
+            graph,
+            scale,
+            edges_per_byte_hint: EDGE_BYTES,
+        }
+    }
+
+    /// Logical file size in bytes.
+    pub fn logical_size(&self) -> u64 {
+        self.graph.edge_count() * self.scale * self.edges_per_byte_hint
+    }
+}
+
+impl InputFormat for EdgeListFile {
+    type Rec = (u32, u32);
+
+    fn sample_records(&self, offset: u64, len: u64) -> Vec<(u32, u32)> {
+        // Partition the *vertex* space proportionally to the byte range
+        // (records of one vertex stay together, like lines in a split).
+        let total = self.logical_size();
+        if total == 0 || len == 0 || offset >= total {
+            return Vec::new();
+        }
+        // Consistent boundary rule (ceil at both ends) so adjacent byte
+        // ranges partition the vertex space exactly.
+        let n = self.graph.vertices as u64;
+        let v0 = (offset * n).div_ceil(total);
+        let v1 = (((offset + len).min(total)) * n).div_ceil(total);
+        (v0..v1)
+            .flat_map(|v| {
+                self.graph
+                    .neighbours(v as u32)
+                    .into_iter()
+                    .map(move |u| (v as u32, u))
+            })
+            .collect()
+    }
+
+    fn logical_scale(&self) -> f64 {
+        self.scale as f64
+    }
+
+    fn record_work(&self) -> Work {
+        Work::new(40.0, EDGE_BYTES as f64 * 2.0)
+    }
+}
+
+/// Sequential PageRank oracle: `iters` power iterations with damping
+/// 0.85, dangling-free (every vertex has out-degree >= 1). Returns the
+/// rank vector.
+pub fn pagerank_reference(graph: &PowerLawGraph, iters: u32) -> Vec<f64> {
+    let n = graph.vertices as usize;
+    let adj = graph.adjacency();
+    let mut ranks = vec![1.0f64; n];
+    for _ in 0..iters {
+        let mut contrib = vec![0.0f64; n];
+        for (v, outs) in adj.iter().enumerate() {
+            let share = ranks[v] / outs.len() as f64;
+            for u in outs {
+                contrib[*u as usize] += share;
+            }
+        }
+        for (r, c) in ranks.iter_mut().zip(&contrib) {
+            *r = 0.15 + 0.85 * c;
+        }
+    }
+    ranks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn g() -> PowerLawGraph {
+        PowerLawGraph::new(1000, 3, 8)
+    }
+
+    #[test]
+    fn degrees_are_deterministic_and_bounded() {
+        let graph = g();
+        for v in 0..graph.vertices {
+            let d = graph.out_degree(v);
+            assert!(d >= 1 && d < graph.vertices);
+            assert_eq!(graph.neighbours(v).len(), d as usize);
+            assert_eq!(graph.neighbours(v), graph.neighbours(v));
+        }
+    }
+
+    #[test]
+    fn no_self_loops() {
+        let graph = g();
+        for (v, u) in graph.edges() {
+            assert_ne!(v, u);
+        }
+    }
+
+    #[test]
+    fn degree_distribution_is_heavy_tailed() {
+        let graph = g();
+        let mut degs: Vec<u32> = (0..graph.vertices).map(|v| graph.out_degree(v)).collect();
+        degs.sort_unstable_by(|a, b| b.cmp(a));
+        // Top vertex has much higher degree than the median.
+        let median = degs[degs.len() / 2];
+        assert!(
+            degs[0] >= median * 5,
+            "top degree {} vs median {median}",
+            degs[0]
+        );
+    }
+
+    #[test]
+    fn edge_count_matches_edges() {
+        let graph = g();
+        assert_eq!(graph.edge_count(), graph.edges().len() as u64);
+    }
+
+    #[test]
+    fn pagerank_conserves_mass_approximately() {
+        let graph = g();
+        let ranks = pagerank_reference(&graph, 10);
+        let total: f64 = ranks.iter().sum();
+        let n = graph.vertices as f64;
+        // With damping 0.15/0.85 and no dangling mass loss, total ~ n.
+        assert!(
+            (total - n).abs() / n < 0.05,
+            "total rank {total} vs n {n}"
+        );
+        assert!(ranks.iter().all(|r| *r > 0.0));
+    }
+
+    #[test]
+    fn pagerank_converges() {
+        let graph = g();
+        let a = pagerank_reference(&graph, 40);
+        let b = pagerank_reference(&graph, 41);
+        let diff: f64 = a.iter().zip(&b).map(|(x, y)| (x - y).abs()).sum();
+        assert!((diff / graph.vertices as f64) < 1e-2, "residual {diff}");
+        let early = pagerank_reference(&graph, 5);
+        let early_diff: f64 = a.iter().zip(&early).map(|(x, y)| (x - y).abs()).sum();
+        assert!(early_diff > diff, "iteration must reduce the residual");
+    }
+
+    #[test]
+    fn edge_list_ranges_partition_edges() {
+        let f = EdgeListFile::new(g(), 100);
+        let total = f.logical_size();
+        let whole = f.sample_records(0, total);
+        let mut parts = Vec::new();
+        let chunk = total / 7;
+        let mut off = 0;
+        while off < total {
+            let len = chunk.min(total - off);
+            parts.extend(f.sample_records(off, len));
+            off += len;
+        }
+        assert_eq!(parts.len(), whole.len());
+        let mut a = parts;
+        let mut b = whole;
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn paper_graph_has_expected_scale() {
+        let (graph, scale) = PowerLawGraph::paper_1m_sample();
+        assert_eq!(graph.vertices as u64 * scale, 1_000_000);
+    }
+}

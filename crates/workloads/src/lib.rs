@@ -1,0 +1,44 @@
+//! `hpcbd-workloads` — deterministic synthetic datasets for every
+//! benchmark in the study.
+//!
+//! Real inputs (the 80 GB StackExchange dump, the 8/80 GB read files, the
+//! million-vertex PageRank graph) cannot exist in this environment, so
+//! each is replaced by a deterministic generator that (a) reports the
+//! paper's logical sizes to the cost models and (b) materializes a small
+//! sample whose statistics are known in closed form, so correctness can
+//! be asserted exactly. See DESIGN.md §2.
+
+#![warn(missing_docs)]
+
+pub mod graph;
+pub mod seismic;
+pub mod stackexchange;
+
+pub use graph::{pagerank_reference, PowerLawGraph};
+pub use seismic::{SeismicSurvey, Trace};
+pub use stackexchange::{Post, PostKind, StackExchangeDataset};
+
+/// SplitMix64: the deterministic pseudo-random kernel every generator
+/// uses. Stateless — value `i` of stream `seed` is `splitmix64(seed, i)`.
+#[inline]
+pub fn splitmix64(seed: u64, i: u64) -> u64 {
+    let mut z = seed.wrapping_add(i.wrapping_mul(0x9E3779B97F4A7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic_and_disperses() {
+        assert_eq!(splitmix64(1, 42), splitmix64(1, 42));
+        assert_ne!(splitmix64(1, 42), splitmix64(2, 42));
+        assert_ne!(splitmix64(1, 42), splitmix64(1, 43));
+        // Bits spread: low bit roughly balanced over 1000 draws.
+        let ones: u32 = (0..1000).map(|i| (splitmix64(7, i) & 1) as u32).sum();
+        assert!((400..600).contains(&ones), "low-bit ones = {ones}");
+    }
+}

@@ -1,0 +1,37 @@
+//! The StackExchange AnswersCount benchmark (the paper's Sec. V-C) at
+//! example scale: a 2 GB synthetic Q&A dump processed by all four
+//! paradigms, with the oracle check.
+//!
+//! Run with: `cargo run --example answers_count`
+
+use hpcbd::cluster::Placement;
+use hpcbd::core::bench_answers;
+use hpcbd::workloads::stackexchange::RECORD_BYTES;
+use hpcbd::workloads::StackExchangeDataset;
+
+fn main() {
+    println!("== AnswersCount: average answers per question, 2 GB ==\n");
+    let size = 2u64 << 30;
+    let records = size / RECORD_BYTES;
+    let ds = StackExchangeDataset::new(0xE7A, size, records / 25_000);
+    let placement = Placement::new(2, 4);
+
+    let (q, a) = ds.oracle_counts(0, ds.logical_size);
+    let oracle = a as f64 / q as f64;
+    println!("oracle            : {oracle:.4} answers/question\n");
+
+    let (t, avg) = bench_answers::openmp_answers(&ds, 8);
+    println!("OpenMP (8 threads): {avg:.4} in {t:.3}s (one node)");
+
+    let (t, avg) = bench_answers::mpi_answers(&ds, placement).expect("chunks fit");
+    println!("MPI (2x4 ranks)   : {avg:.4} in {t:.3}s");
+
+    let (t, avg) = bench_answers::spark_answers(&ds, placement);
+    println!("Spark (2x4 execs) : {avg:.4} in {t:.3}s");
+
+    let (t, avg) = bench_answers::hadoop_answers(&ds, placement);
+    println!("Hadoop (2x4 slots): {avg:.4} in {t:.3}s");
+
+    println!("\nSame answer everywhere; very different cost profiles —");
+    println!("run `cargo run -p hpcbd-bench --bin fig4` for the full sweep.");
+}

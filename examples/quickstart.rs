@@ -1,0 +1,78 @@
+//! Quickstart: the whole stack in one file.
+//!
+//! Builds a 4-node simulated Comet cluster and runs the same word-count
+//! style computation three ways — MPI, Spark, and raw simnet processes —
+//! printing each paradigm's result and virtual execution time.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use hpcbd::cluster::Placement;
+use hpcbd::minimpi::{mpirun, ReduceOp};
+use hpcbd::minspark::{SparkCluster, SparkConfig};
+use hpcbd::simnet::{MatchSpec, NodeId, Payload, Pid, Sim, Topology, Transport};
+
+fn main() {
+    println!("== hpcbd quickstart: one computation, three paradigms ==\n");
+    let n: u64 = 100_000;
+    let expected: u64 = (0..n).map(|i| i * i % 1000).sum();
+
+    // --- 1. Raw simnet: two processes and a message. -------------------
+    let mut sim = Sim::new(Topology::comet(2));
+    let compute = sim.spawn(NodeId(0), "compute", move |ctx| {
+        let sum: u64 = (0..n).map(|i| i * i % 1000).sum();
+        ctx.compute(hpcbd::simnet::Work::new(n as f64 * 4.0, n as f64 * 8.0), 1.0);
+        ctx.send(
+            Pid(1),
+            1,
+            8,
+            Payload::value(sum),
+            &Transport::rdma_verbs(),
+        );
+        sum
+    });
+    sim.spawn(NodeId(1), "sink", |ctx| {
+        let m = ctx.recv(MatchSpec::tag(1));
+        *m.expect_value::<u64>()
+    });
+    let mut report = sim.run();
+    let raw = report.result::<u64>(compute);
+    println!(
+        "simnet  : sum = {raw:>12}   virtual time = {}",
+        report.makespan()
+    );
+    assert_eq!(raw, expected);
+
+    // --- 2. MPI: 4 nodes x 4 ranks, local sums + allreduce. ------------
+    let placement = Placement::new(4, 4);
+    let out = mpirun(placement, move |rank| {
+        let (me, p) = (rank.rank() as u64, rank.size() as u64);
+        let local: u64 = (0..n).filter(|i| i % p == me).map(|i| i * i % 1000).sum();
+        let per_rank = (n / p) as f64;
+        rank.ctx()
+            .compute(hpcbd::simnet::Work::new(per_rank * 4.0, per_rank * 8.0), 1.0);
+        rank.allreduce(ReduceOp::Sum, &[local])[0]
+    });
+    println!(
+        "MPI     : sum = {:>12}   virtual time = {}",
+        out.results[0],
+        out.elapsed()
+    );
+    assert_eq!(out.results[0], expected);
+
+    // --- 3. Spark: the same fold as a lazy RDD action. -----------------
+    let result = SparkCluster::new(4, SparkConfig::default()).run(move |sc| {
+        let xs = sc.parallelize((0..n).collect(), 16);
+        let squares = xs.map(|i| i * i % 1000);
+        sc.reduce(&squares, |a, b| a + b)
+    });
+    println!(
+        "Spark   : sum = {:>12}   virtual time = {}",
+        result.value.unwrap(),
+        result.elapsed
+    );
+    assert_eq!(result.value.unwrap(), expected);
+
+    println!("\nAll three agree. Note the virtual-time gap between the");
+    println!("native runtimes and the JVM-modeled Spark stack — the core");
+    println!("trade-off the reproduced paper quantifies.");
+}

@@ -1,0 +1,18 @@
+//! Umbrella crate re-exporting the full `hpcbd` study stack.
+//!
+//! `hpcbd` is a from-scratch Rust reproduction of the CLUSTER 2016 paper
+//! "A Comparative Survey of the HPC and Big Data Paradigms: Analysis and
+//! Experiments". See `DESIGN.md` at the repository root for the system
+//! inventory and the per-experiment index.
+
+pub use hpcbd_cluster as cluster;
+pub use hpcbd_core as core;
+pub use hpcbd_metrics as metrics;
+pub use hpcbd_minhdfs as minhdfs;
+pub use hpcbd_minimpi as minimpi;
+pub use hpcbd_minmapreduce as minmapreduce;
+pub use hpcbd_minomp as minomp;
+pub use hpcbd_minshmem as minshmem;
+pub use hpcbd_minspark as minspark;
+pub use hpcbd_simnet as simnet;
+pub use hpcbd_workloads as workloads;

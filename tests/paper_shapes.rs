@@ -1,0 +1,145 @@
+//! Integration tests asserting the *shapes* of every reproduced result
+//! (DESIGN.md §4's expected-shape list) on scaled-down configurations.
+//! These are the cross-crate, end-to-end checks; per-module correctness
+//! lives in each crate's unit tests.
+
+use hpcbd::cluster::Placement;
+use hpcbd::core::{bench_answers, bench_fileread, bench_pagerank, bench_reduce};
+use hpcbd::minspark::ShuffleEngine;
+use hpcbd::workloads::StackExchangeDataset;
+
+fn placement() -> Placement {
+    Placement::new(2, 4)
+}
+
+fn small_ds(size: u64) -> StackExchangeDataset {
+    let records = size / hpcbd::workloads::stackexchange::RECORD_BYTES;
+    StackExchangeDataset::new(0x517A, size, (records / 15_000).max(1))
+}
+
+#[test]
+fn fig3_shape_mpi_wins_by_orders_of_magnitude_and_grows_with_size() {
+    let mpi_small = bench_reduce::mpi_reduce_latency(placement(), 1, 5);
+    let mpi_large = bench_reduce::mpi_reduce_latency(placement(), 262_144, 5);
+    let spark = bench_reduce::spark_reduce_latency(placement(), 1, false);
+    let spark_rdma = bench_reduce::spark_reduce_latency(placement(), 1, true);
+    assert!(mpi_small.latency_us < mpi_large.latency_us);
+    assert!(spark.latency_us > 100.0 * mpi_small.latency_us);
+    // RDMA shuffle engine is irrelevant to a reduce action.
+    let ratio = spark.latency_us / spark_rdma.latency_us;
+    assert!((0.8..1.25).contains(&ratio), "ratio {ratio}");
+}
+
+#[test]
+fn table2_shape_mpi_then_local_then_hdfs() {
+    let size = 2u64 << 30;
+    let (hdfs_t, hdfs_n) = bench_fileread::spark_hdfs_read(placement(), size, 2);
+    let (local_t, local_n) = bench_fileread::spark_local_read(placement(), size);
+    let (mpi_t, mpi_n) = bench_fileread::mpi_read(placement(), size).unwrap();
+    assert!(mpi_t < local_t && local_t < hdfs_t);
+    // The HDFS layer costs a moderate premium, not a blowup.
+    let overhead = hdfs_t / local_t;
+    assert!((1.02..2.0).contains(&overhead), "overhead {overhead}");
+    // All three count the same logical records.
+    assert!(((hdfs_n as f64 - mpi_n as f64).abs() / mpi_n as f64) < 0.01);
+    assert!(((local_n as f64 - mpi_n as f64).abs() / mpi_n as f64) < 0.01);
+}
+
+#[test]
+fn table2_shape_mpi_chunk_limit() {
+    // 80 GB with 16 ranks: the int-typed MPI-IO count must overflow.
+    let err = bench_fileread::mpi_read(placement(), 80 << 30).unwrap_err();
+    assert!(err.contains("MAX_INT"));
+}
+
+#[test]
+fn fig4_shape_spark_beats_hadoop_and_scales() {
+    let ds = small_ds(2 << 30);
+    let (spark_2, a1) = bench_answers::spark_answers(&ds, Placement::new(2, 4));
+    let (spark_4, a2) = bench_answers::spark_answers(&ds, Placement::new(4, 4));
+    let (hadoop_2, a3) = bench_answers::hadoop_answers(&ds, Placement::new(2, 4));
+    assert!(spark_2 < hadoop_2, "spark {spark_2} vs hadoop {hadoop_2}");
+    assert!(spark_4 < spark_2, "spark must scale: {spark_4} vs {spark_2}");
+    let (q, a) = ds.oracle_counts(0, ds.logical_size);
+    let oracle = a as f64 / q as f64;
+    for avg in [a1, a2, a3] {
+        assert!((avg - oracle).abs() / oracle < 0.02);
+    }
+}
+
+#[test]
+fn fig6_shape_mpi_far_below_spark_and_rdma_marginal() {
+    let input = bench_pagerank::PagerankInput::small();
+    let (mpi_t, _) = bench_pagerank::mpi_pagerank(&input, placement());
+    let (spark_t, _) = bench_pagerank::spark_pagerank(
+        &input,
+        placement(),
+        bench_pagerank::SparkVariant::BigDataBenchTuned,
+        ShuffleEngine::Socket,
+    );
+    let (rdma_t, _) = bench_pagerank::spark_pagerank(
+        &input,
+        placement(),
+        bench_pagerank::SparkVariant::BigDataBenchTuned,
+        ShuffleEngine::Rdma,
+    );
+    assert!(mpi_t * 5.0 < spark_t, "mpi {mpi_t} vs spark {spark_t}");
+    // Tuned variant: RDMA does not significantly improve.
+    assert!(rdma_t <= spark_t);
+    assert!(spark_t / rdma_t < 1.4, "tuned RDMA gain should be marginal");
+}
+
+#[test]
+fn fig7_shape_hibench_shuffles_more_than_tuned() {
+    let input = bench_pagerank::PagerankInput::small();
+    let (tuned_t, _) = bench_pagerank::spark_pagerank(
+        &input,
+        placement(),
+        bench_pagerank::SparkVariant::BigDataBenchTuned,
+        ShuffleEngine::Socket,
+    );
+    let (hibench_t, _) = bench_pagerank::spark_pagerank(
+        &input,
+        placement(),
+        bench_pagerank::SparkVariant::HiBench,
+        ShuffleEngine::Socket,
+    );
+    assert!(
+        hibench_t > tuned_t,
+        "HiBench {hibench_t} must exceed tuned {tuned_t}"
+    );
+}
+
+#[test]
+fn every_pagerank_flavor_is_deterministic_end_to_end() {
+    let input = bench_pagerank::PagerankInput::small();
+    let (t1, r1) = bench_pagerank::mpi_pagerank(&input, placement());
+    let (t2, r2) = bench_pagerank::mpi_pagerank(&input, placement());
+    assert_eq!(t1, t2);
+    assert_eq!(r1, r2);
+    let (s1, v1) = bench_pagerank::spark_pagerank(
+        &input,
+        placement(),
+        bench_pagerank::SparkVariant::BigDataBenchTuned,
+        ShuffleEngine::Socket,
+    );
+    let (s2, v2) = bench_pagerank::spark_pagerank(
+        &input,
+        placement(),
+        bench_pagerank::SparkVariant::BigDataBenchTuned,
+        ShuffleEngine::Socket,
+    );
+    assert_eq!(s1, s2);
+    assert_eq!(v1, v2);
+}
+
+#[test]
+fn openmp_cannot_leave_one_node_but_mpi_can() {
+    // The structural difference Fig. 4 encodes: OpenMP results exist
+    // only on one node; the MPI job runs the same computation across
+    // nodes and gets the same answer.
+    let ds = small_ds(1 << 30);
+    let (_, omp_avg) = bench_answers::openmp_answers(&ds, 16);
+    let (_, mpi_avg) = bench_answers::mpi_answers(&ds, Placement::new(4, 2)).unwrap();
+    assert!((omp_avg - mpi_avg).abs() < 1e-9);
+}
