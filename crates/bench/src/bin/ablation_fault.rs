@@ -5,7 +5,7 @@
 use hpcbd_cluster::Placement;
 use hpcbd_core::bench_pagerank::{PagerankInput, SparkVariant};
 use hpcbd_minimpi::{mpirun, Checkpointer, ReduceOp};
-use hpcbd_minspark::{ShuffleEngine, SparkConfig, SparkCluster, StorageLevel};
+use hpcbd_minspark::{ShuffleEngine, SparkCluster, SparkConfig, StorageLevel};
 use hpcbd_simnet::{SimDuration, SimTime, Work};
 use std::sync::Arc;
 
@@ -68,7 +68,9 @@ fn spark_with_executor_loss(
         .run(move |sc| {
             let t0 = sc.now();
             let edges = sc.hadoop_file("/graph/edges", Arc::new(file));
-            let links = edges.group_by_key(parts).persist(StorageLevel::MemoryAndDisk);
+            let links = edges
+                .group_by_key(parts)
+                .persist(StorageLevel::MemoryAndDisk);
             let mut ranks = links.map_values(|_| 1.0f64);
             for _ in 0..input.iters {
                 let contribs = links.join(&ranks, parts).values().flat_map_with_cost(
@@ -109,8 +111,10 @@ fn main() {
         (spark_fault / spark_clean - 1.0) * 100.0);
     println!("MPI iterative           clean: {mpi_clean:.3}s   with rank failure:  {mpi_fault:.3}s  (+{:.0}%)",
         (mpi_fault / mpi_clean - 1.0) * 100.0);
-    println!("MPI without checkpoints clean: {mpi_no_ck_clean:.3}s  (checkpoint overhead {:.0}%)",
-        (mpi_clean / mpi_no_ck_clean - 1.0) * 100.0);
+    println!(
+        "MPI without checkpoints clean: {mpi_no_ck_clean:.3}s  (checkpoint overhead {:.0}%)",
+        (mpi_clean / mpi_no_ck_clean - 1.0) * 100.0
+    );
     println!();
     println!("shape: Spark recovers by recomputing only the lost partitions");
     println!("(lineage), paying nothing in the failure-free run; MPI pays the");

@@ -2,7 +2,9 @@
 //! OpenSHMEM suits irregular communication like graph codes).
 
 use hpcbd_cluster::Placement;
-use hpcbd_core::bench_pagerank::{mpi_pagerank, shmem_pagerank, spark_pagerank, PagerankInput, SparkVariant};
+use hpcbd_core::bench_pagerank::{
+    mpi_pagerank, shmem_pagerank, spark_pagerank, PagerankInput, SparkVariant,
+};
 use hpcbd_core::ResultTable;
 use hpcbd_minspark::ShuffleEngine;
 

@@ -2,7 +2,11 @@ use hpcbd_cluster::Placement;
 use hpcbd_core::bench_pagerank::{mpi_pagerank, PagerankInput};
 fn main() {
     let input = PagerankInput::paper();
-    println!("vertices={} edges={}", input.graph.vertices, input.graph.edge_count());
+    println!(
+        "vertices={} edges={}",
+        input.graph.vertices,
+        input.graph.edge_count()
+    );
     let (t, ranks) = mpi_pagerank(&input, Placement::new(1, 16));
     println!("ok t={t} ranks={}", ranks.len());
 }

@@ -30,12 +30,21 @@ fn main() {
     ];
     let mut table = ResultTable::new(
         "Table III — code size of the benchmark implementations",
-        &["benchmark", "paradigm", "LoC", "boilerplate", "boilerplate %"],
+        &[
+            "benchmark",
+            "paradigm",
+            "LoC",
+            "boilerplate",
+            "boilerplate %",
+        ],
     );
     for (bench, region, spec) in regions {
         let src = [ANSWERS_SRC, PAGERANK_SRC, FILEREAD_SRC, REDUCE_SRC]
             .iter()
-            .find_map(|s| analyze_region(s, region, &spec))
+            .find_map(|s| {
+                analyze_region(s, region, &spec)
+                    .unwrap_or_else(|e| panic!("table3 marker error: {e}"))
+            })
             .unwrap_or_else(|| panic!("region {region} not found"));
         table.push_row(vec![
             bench.to_string(),

@@ -60,10 +60,7 @@ pub fn comet_summary() -> Vec<(String, String)> {
     vec![
         ("Processor type".into(), spec.model.clone()),
         ("Sockets #".into(), spec.sockets.to_string()),
-        (
-            "Cores/socket".into(),
-            spec.cores_per_socket.to_string(),
-        ),
+        ("Cores/socket".into(), spec.cores_per_socket.to_string()),
         ("Clock speed".into(), format!("{} GHz", spec.clock_ghz)),
         (
             "Flop speed".into(),

@@ -44,12 +44,9 @@ fn native_scan_work() -> Work {
 pub fn openmp_answers(ds: &StackExchangeDataset, threads: u32) -> (f64, f64) {
     let ds = ds.clone();
     let mut sim = Sim::new(Topology::comet(1));
-    sim.world().fs.replicate_to_scratch(
-        [NodeId(0)],
-        "posts.txt",
-        ds.logical_size,
-        None,
-    );
+    sim.world()
+        .fs
+        .replicate_to_scratch([NodeId(0)], "posts.txt", ds.logical_size, None);
     let proc = sim.spawn(NodeId(0), "omp-main", move |ctx| {
         let t0 = ctx.now();
         // Sequential read of the whole file from local scratch.
@@ -89,10 +86,7 @@ pub fn openmp_answers(ds: &StackExchangeDataset, threads: u32) -> (f64, f64) {
 
 /// MPI with parallel I/O on `placement`.
 // TABLE3-BEGIN: answers-mpi
-pub fn mpi_answers(
-    ds: &StackExchangeDataset,
-    placement: Placement,
-) -> Result<(f64, f64), String> {
+pub fn mpi_answers(ds: &StackExchangeDataset, placement: Placement) -> Result<(f64, f64), String> {
     let ds = Arc::new(ds.clone());
     let mut sim = Sim::new(Topology::comet(placement.nodes));
     sim.world().fs.replicate_to_scratch(

@@ -82,12 +82,9 @@ pub fn spark_local_read(placement: Placement, size: u64) -> (f64, u64) {
 pub fn mpi_read(placement: Placement, size: u64) -> Result<(f64, u64), String> {
     let ds = Arc::new(dataset(size));
     let mut sim = Sim::new(Topology::comet(placement.nodes));
-    sim.world().fs.replicate_to_scratch(
-        (0..placement.nodes).map(NodeId),
-        "input.dat",
-        size,
-        None,
-    );
+    sim.world()
+        .fs
+        .replicate_to_scratch((0..placement.nodes).map(NodeId), "input.dat", size, None);
     let job = MpiJob::spawn(&mut sim, placement, move |rank| {
         let t0 = rank.now();
         let file = rank.file_open_all("input.dat").map_err(|e| e.to_string())?;
@@ -95,8 +92,10 @@ pub fn mpi_read(placement: Placement, size: u64) -> Result<(f64, u64), String> {
         // Count records in the chunk: a newline scan in native code.
         let sample = ds.sample_records(offset, len);
         let scale = ds.logical_scale();
-        rank.ctx()
-            .compute(Work::new(12.0, 800.0).scaled(sample.len() as f64 * scale), 1.0);
+        rank.ctx().compute(
+            Work::new(12.0, 800.0).scaled(sample.len() as f64 * scale),
+            1.0,
+        );
         let local = (sample.len() as f64 * scale) as u64;
         let total = rank.allreduce(hpcbd_minimpi::ReduceOp::Sum, &[local]);
         Ok::<(f64, u64), String>(((rank.now() - t0).as_secs_f64(), total[0]))

@@ -55,7 +55,12 @@ pub fn ablation_offload(bytes: u64, intensities: &[f64]) -> ResultTable {
             "A8 — offload trade-off, {} GB working set (flops/byte sweep)",
             bytes >> 30
         ),
-        &["flops/byte", "host (24 cores)", "discrete GPU", "unified many-core"],
+        &[
+            "flops/byte",
+            "host (24 cores)",
+            "discrete GPU",
+            "unified many-core",
+        ],
     );
     for &fpb in intensities {
         t.push_row(vec![

@@ -108,8 +108,7 @@ pub fn mpi_pagerank(input: &PagerankInput, placement: Placement) -> (f64, Vec<f6
         let me = rank.rank();
         // Block partition [r*n/p, (r+1)*n/p); `owner` is its exact
         // integer inverse (validated against the bounds in the tests).
-        let owner =
-            |v: u32| -> u32 { (((v as u64 + 1) * p as u64 - 1) / n as u64) as u32 };
+        let owner = |v: u32| -> u32 { (((v as u64 + 1) * p as u64 - 1) / n as u64) as u32 };
         let v0 = (me as u64 * n as u64 / p as u64) as u32;
         let v1 = ((me as u64 + 1) * n as u64 / p as u64) as u32;
         let adj: Vec<Vec<u32>> = (v0..v1).map(|v| input.graph.neighbours(v)).collect();
@@ -129,8 +128,7 @@ pub fn mpi_pagerank(input: &PagerankInput, placement: Placement) -> (f64, Vec<f6
                 }
             }
             rank.ctx().compute(
-                PagerankInput::native_edge_work()
-                    .scaled(local_edges as f64 * input.scale as f64),
+                PagerankInput::native_edge_work().scaled(local_edges as f64 * input.scale as f64),
                 1.0,
             );
             let incoming = rank.alltoall(buckets);
@@ -222,9 +220,7 @@ pub fn spark_pagerank_run(
             // neighbour list (boxed Java collections are fat on the wire).
             let adj_item_bytes = 24 + 16 * avg_degree;
             let links: Rdd<(u32, Vec<u32>)> = match variant {
-                SparkVariant::BigDataBenchTuned => {
-                    grouped.persist(StorageLevel::MemoryAndDisk)
-                }
+                SparkVariant::BigDataBenchTuned => grouped.persist(StorageLevel::MemoryAndDisk),
                 // `map` drops the partitioner: joins go wide, like the
                 // HiBench code whose layout Spark cannot reuse — and the
                 // whole adjacency travels in every one of them.
@@ -240,14 +236,10 @@ pub fn spark_pagerank_run(
                     .join(&ranks, parts)
                     .values()
                     // Contributions are slim (vertex, share) pairs.
-                    .flat_map_with_cost(
-                        hpcbd_simnet::Work::new(8.0, 48.0),
-                        24,
-                        |(dsts, rank)| {
-                            let share = rank / dsts.len() as f64;
-                            dsts.iter().map(|d| (*d, share)).collect()
-                        },
-                    );
+                    .flat_map_with_cost(hpcbd_simnet::Work::new(8.0, 48.0), 24, |(dsts, rank)| {
+                        let share = rank / dsts.len() as f64;
+                        dsts.iter().map(|d| (*d, share)).collect()
+                    });
                 if variant == SparkVariant::BigDataBenchTuned {
                     // "This caching is not done in HiBench" — Fig. 5.
                     contribs.persist(StorageLevel::MemoryAndDisk);
@@ -280,8 +272,7 @@ pub fn shmem_pagerank(input: &PagerankInput, placement: Placement) -> (f64, Vec<
             let n = input.graph.vertices;
             let p = pe.npes();
             let me = pe.pe();
-            let owner =
-                |v: u32| -> u32 { (((v as u64 + 1) * p as u64 - 1) / n as u64) as u32 };
+            let owner = |v: u32| -> u32 { (((v as u64 + 1) * p as u64 - 1) / n as u64) as u32 };
             let bounds = |r: u32| -> (u32, u32) {
                 (
                     (r as u64 * n as u64 / p as u64) as u32,
@@ -339,8 +330,7 @@ pub fn shmem_pagerank(input: &PagerankInput, placement: Placement) -> (f64, Vec<
                     }
                 }
                 pe.ctx().compute(
-                    Work::new(4.0, 24.0)
-                        .scaled(local_edges as f64 * input.scale as f64),
+                    Work::new(4.0, 24.0).scaled(local_edges as f64 * input.scale as f64),
                     1.0,
                 );
                 for (r, c) in ranks.iter_mut().zip(&contrib) {
@@ -415,10 +405,7 @@ pub fn persist_ablation(input: &PagerankInput, placement: Placement) -> (f64, f6
             })
             .value
     }
-    (
-        run(input, placement, true),
-        run(input, placement, false),
-    )
+    (run(input, placement, true), run(input, placement, false))
 }
 
 /// Reproduce Fig. 6: BigDataBench PageRank — MPI vs Spark vs Spark-RDMA.
@@ -472,17 +459,9 @@ pub fn figure7(input: &PagerankInput, node_counts: &[u32], ppn: u32) -> ResultTa
             SparkVariant::HiBench,
             ShuffleEngine::Socket,
         );
-        let (rdma_t, _) = spark_pagerank(
-            input,
-            placement,
-            SparkVariant::HiBench,
-            ShuffleEngine::Rdma,
-        );
-        t.push_row(vec![
-            nodes.to_string(),
-            fmt_secs(spark_t),
-            fmt_secs(rdma_t),
-        ]);
+        let (rdma_t, _) =
+            spark_pagerank(input, placement, SparkVariant::HiBench, ShuffleEngine::Rdma);
+        t.push_row(vec![nodes.to_string(), fmt_secs(spark_t), fmt_secs(rdma_t)]);
     }
     t
 }
@@ -567,11 +546,9 @@ mod tests {
             SparkVariant::BigDataBenchTuned,
             ShuffleEngine::Socket,
         );
-        let hibench =
-            spark_pagerank_run(&input, p, SparkVariant::HiBench, ShuffleEngine::Socket);
+        let hibench = spark_pagerank_run(&input, p, SparkVariant::HiBench, ShuffleEngine::Socket);
         assert!(
-            hibench.metrics.shuffle_bytes_total()
-                > 2 * tuned.metrics.shuffle_bytes_total(),
+            hibench.metrics.shuffle_bytes_total() > 2 * tuned.metrics.shuffle_bytes_total(),
             "hibench {} vs tuned {}",
             hibench.metrics.shuffle_bytes_total(),
             tuned.metrics.shuffle_bytes_total()

@@ -40,11 +40,7 @@ pub fn mpi_reduce_latency(placement: Placement, elements: usize, iters: u32) -> 
         rank.barrier();
         (rank.now() - t0).as_secs_f64()
     });
-    let worst = out
-        .results
-        .iter()
-        .cloned()
-        .fold(0.0f64, f64::max);
+    let worst = out.results.iter().cloned().fold(0.0f64, f64::max);
     ReducePoint {
         bytes: elements as u64 * 4,
         latency_us: worst / iters as f64 * 1e6,
@@ -56,11 +52,7 @@ pub fn mpi_reduce_latency(placement: Placement, elements: usize, iters: u32) -> 
 /// `procs x elements` floats reduced to one scalar (the paper's Fig. 2
 /// construction), timed from the driver around the action only.
 // TABLE3-BEGIN: reduce-spark
-pub fn spark_reduce_latency(
-    placement: Placement,
-    elements: usize,
-    rdma: bool,
-) -> ReducePoint {
+pub fn spark_reduce_latency(placement: Placement, elements: usize, rdma: bool) -> ReducePoint {
     let mut config = SparkConfig::with_shuffle(if rdma {
         ShuffleEngine::Rdma
     } else {

@@ -85,7 +85,9 @@ pub fn seismic_scan(
         // The migration kernel over the logical traces in range.
         let sample = survey.sample_records(offset, len);
         rank.ctx().compute(
-            survey.record_work().scaled(sample.len() as f64 * survey.scale as f64),
+            survey
+                .record_work()
+                .scaled(sample.len() as f64 * survey.scale as f64),
             1.0,
         );
         let local: f64 = sample.iter().map(SeismicSurvey::kernel).sum();
@@ -105,11 +107,7 @@ pub fn seismic_scan(
 // TABLE3-END: seismic-mpi
 
 /// The A7 table: read time per storage layout across node counts.
-pub fn ablation_seismic(
-    survey: &SeismicSurvey,
-    node_counts: &[u32],
-    ppn: u32,
-) -> ResultTable {
+pub fn ablation_seismic(survey: &SeismicSurvey, node_counts: &[u32], ppn: u32) -> ResultTable {
     let mut t = ResultTable::new(
         format!(
             "A7 — seismic survey scan, {} GB logical, {ppn} readers/node",

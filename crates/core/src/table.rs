@@ -49,7 +49,9 @@ impl ResultTable {
         self.rows[row][col]
             .trim_end_matches(|c: char| !c.is_ascii_digit())
             .parse()
-            .unwrap_or_else(|_| panic!("cell ({row},{col}) = {:?} not numeric", self.rows[row][col]))
+            .unwrap_or_else(|_| {
+                panic!("cell ({row},{col}) = {:?} not numeric", self.rows[row][col])
+            })
     }
 }
 

@@ -48,9 +48,24 @@ impl BoilerplateSpec {
         BoilerplateSpec {
             paradigm: "MPI",
             patterns: vec![
-                "mpirun", "MpiJob", "Placement::", "barrier", ".send(", ".recv", "sendrecv",
-                "allreduce", "bcast", "scatter", "gather", "alltoall", "file_open_all",
-                "read_at_all", "read_chunked_all", "rank.rank()", "rank.size()", "pid_of",
+                "mpirun",
+                "MpiJob",
+                "Placement::",
+                "barrier",
+                ".send(",
+                ".recv",
+                "sendrecv",
+                "allreduce",
+                "bcast",
+                "scatter",
+                "gather",
+                "alltoall",
+                "file_open_all",
+                "read_at_all",
+                "read_chunked_all",
+                "rank.rank()",
+                "rank.size()",
+                "pid_of",
                 "Checkpointer",
             ],
         }
@@ -62,7 +77,11 @@ impl BoilerplateSpec {
         BoilerplateSpec {
             paradigm: "OpenMP",
             patterns: vec![
-                "OmpPool::new", "Schedule::", "num_threads", "critical", "OmpModel",
+                "OmpPool::new",
+                "Schedule::",
+                "num_threads",
+                "critical",
+                "OmpModel",
                 "charge_region",
             ],
         }
@@ -73,9 +92,21 @@ impl BoilerplateSpec {
         BoilerplateSpec {
             paradigm: "OpenSHMEM",
             patterns: vec![
-                "shmem_run", "ShmemJob", "Placement::", ".malloc", "barrier_all", ".put(",
-                ".get(", "put_signal", "wait_signal", "sum_to_all", "broadcast", "collect(",
-                "atomic_fetch_add", "pe.pe()", "pe.npes()",
+                "shmem_run",
+                "ShmemJob",
+                "Placement::",
+                ".malloc",
+                "barrier_all",
+                ".put(",
+                ".get(",
+                "put_signal",
+                "wait_signal",
+                "sum_to_all",
+                "broadcast",
+                "collect(",
+                "atomic_fetch_add",
+                "pe.pe()",
+                "pe.npes()",
             ],
         }
     }
@@ -87,8 +118,15 @@ impl BoilerplateSpec {
         BoilerplateSpec {
             paradigm: "Spark",
             patterns: vec![
-                "SparkCluster::", "SparkConfig", "with_hdfs", "hdfs_file", "scratch_file",
-                ".run(", "persist(", "StorageLevel::", "executors_per_node",
+                "SparkCluster::",
+                "SparkConfig",
+                "with_hdfs",
+                "hdfs_file",
+                "scratch_file",
+                ".run(",
+                "persist(",
+                "StorageLevel::",
+                "executors_per_node",
             ],
         }
     }
@@ -99,9 +137,21 @@ impl BoilerplateSpec {
         BoilerplateSpec {
             paradigm: "Hadoop",
             patterns: vec![
-                "MrJobBuilder::", "JobConf", "HdfsConfig", ".conf(", ".hdfs(", ".combiner(",
-                ".map_work(", ".reduce_work(", ".run(", "slots_per_node", "reduce_tasks",
-                "InputFormat", "sample_records", "logical_scale", "record_work",
+                "MrJobBuilder::",
+                "JobConf",
+                "HdfsConfig",
+                ".conf(",
+                ".hdfs(",
+                ".combiner(",
+                ".map_work(",
+                ".reduce_work(",
+                ".run(",
+                "slots_per_node",
+                "reduce_tasks",
+                "InputFormat",
+                "sample_records",
+                "logical_scale",
+                "record_work",
             ],
         }
     }
@@ -132,11 +182,41 @@ pub fn analyze_source(source: &str, spec: &BoilerplateSpec) -> CodeStats {
     }
 }
 
+/// A `TABLE3-BEGIN` marker was found without its matching `TABLE3-END`.
+///
+/// Treated as a hard error rather than "region absent": silently
+/// returning `None` here would make Table III drop a paradigm row
+/// whenever a marker comment is truncated or mistyped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnterminatedRegion {
+    /// Name of the region whose END marker is missing.
+    pub region: String,
+}
+
+impl std::fmt::Display for UnterminatedRegion {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "TABLE3-BEGIN: {} has no matching TABLE3-END marker",
+            self.region
+        )
+    }
+}
+
+impl std::error::Error for UnterminatedRegion {}
+
 /// Analyze a delimited region of a larger file: the lines between
 /// `// TABLE3-BEGIN: <name>` and `// TABLE3-END: <name>` markers, which
 /// is how the per-paradigm benchmark implementations in `hpcbd-core`
 /// mark the code Table III measures.
-pub fn analyze_region(source: &str, region: &str, spec: &BoilerplateSpec) -> Option<CodeStats> {
+///
+/// Returns `Ok(None)` when the region does not appear in `source` at
+/// all, and [`UnterminatedRegion`] when a BEGIN marker is never closed.
+pub fn analyze_region(
+    source: &str,
+    region: &str,
+    spec: &BoilerplateSpec,
+) -> Result<Option<CodeStats>, UnterminatedRegion> {
     let begin = format!("TABLE3-BEGIN: {region}");
     let end = format!("TABLE3-END: {region}");
     let mut inside = false;
@@ -147,14 +227,20 @@ pub fn analyze_region(source: &str, region: &str, spec: &BoilerplateSpec) -> Opt
             continue;
         }
         if line.contains(&end) {
-            return Some(analyze_source(&body, spec));
+            return Ok(Some(analyze_source(&body, spec)));
         }
         if inside {
             body.push_str(line);
             body.push('\n');
         }
     }
-    None
+    if inside {
+        Err(UnterminatedRegion {
+            region: region.to_string(),
+        })
+    } else {
+        Ok(None)
+    }
 }
 
 #[cfg(test)]
@@ -189,10 +275,28 @@ mod tests {
                    let total = work();\n\
                    // TABLE3-END: demo\n\
                    fn after() {}\n";
-        let s = analyze_region(src, "demo", &BoilerplateSpec::openmp()).unwrap();
+        let s = analyze_region(src, "demo", &BoilerplateSpec::openmp())
+            .unwrap()
+            .unwrap();
         assert_eq!(s.total_loc, 2);
         assert_eq!(s.boilerplate_loc, 1);
-        assert!(analyze_region(src, "missing", &BoilerplateSpec::openmp()).is_none());
+        assert_eq!(
+            analyze_region(src, "missing", &BoilerplateSpec::openmp()),
+            Ok(None)
+        );
+    }
+
+    #[test]
+    fn unterminated_region_is_a_hard_error() {
+        let src = "// TABLE3-BEGIN: demo\nlet pool = OmpPool::new(8);\n";
+        let err = analyze_region(src, "demo", &BoilerplateSpec::openmp()).unwrap_err();
+        assert_eq!(err.region, "demo");
+        assert!(err.to_string().contains("no matching TABLE3-END"));
+        // A different region name is simply absent, not unterminated.
+        assert_eq!(
+            analyze_region(src, "other", &BoilerplateSpec::openmp()),
+            Ok(None)
+        );
     }
 
     #[test]
@@ -204,7 +308,11 @@ mod tests {
             BoilerplateSpec::spark(),
             BoilerplateSpec::hadoop(),
         ] {
-            assert!(!spec.patterns.is_empty(), "{} has no patterns", spec.paradigm);
+            assert!(
+                !spec.patterns.is_empty(),
+                "{} has no patterns",
+                spec.paradigm
+            );
         }
     }
 

@@ -62,7 +62,11 @@ impl Hdfs {
     ///
     /// `fail_node_at`: optional fault injection — `(node, time)` makes
     /// that node's datanode die silently at the given virtual time.
-    pub fn deploy(sim: &mut Sim, config: HdfsConfig, fail_node_at: Option<(NodeId, SimTime)>) -> Hdfs {
+    pub fn deploy(
+        sim: &mut Sim,
+        config: HdfsConfig,
+        fail_node_at: Option<(NodeId, SimTime)>,
+    ) -> Hdfs {
         let nodes = sim.world().topology.len() as u32;
         let dead: Arc<RwLock<HashSet<NodeId>>> = Arc::new(RwLock::new(HashSet::new()));
         let mut datanode_pids = Vec::new();
@@ -216,9 +220,8 @@ impl Hdfs {
     pub fn read_block(&self, ctx: &mut ProcCtx, block: &HdfsBlock) -> NodeId {
         let me = ctx.node();
         let overhead = self.config.per_block_overhead;
-        let checksum = SimDuration::from_secs_f64(
-            block.len as f64 * self.config.checksum_cpu_per_byte,
-        );
+        let checksum =
+            SimDuration::from_secs_f64(block.len as f64 * self.config.checksum_cpu_per_byte);
         let candidates = self.alive_replicas(block, Some(me));
         assert!(
             !candidates.is_empty(),
@@ -338,11 +341,7 @@ fn fxhash(s: &str) -> u64 {
     h
 }
 
-fn datanode_loop(
-    ctx: &mut ProcCtx,
-    fail_at: Option<SimTime>,
-    dead: Arc<RwLock<HashSet<NodeId>>>,
-) {
+fn datanode_loop(ctx: &mut ProcCtx, fail_at: Option<SimTime>, dead: Arc<RwLock<HashSet<NodeId>>>) {
     let ipoib = Transport::ipoib_socket();
     loop {
         let msg = match fail_at {
@@ -370,7 +369,13 @@ fn datanode_loop(
                 } else {
                     ipoib
                 };
-                ctx.send(*reply_to, DN_REPLY_BASE + block_id, *len, Payload::Empty, &tr);
+                ctx.send(
+                    *reply_to,
+                    DN_REPLY_BASE + block_id,
+                    *len,
+                    Payload::Empty,
+                    &tr,
+                );
             }
             DnRequest::Shutdown => return,
         }

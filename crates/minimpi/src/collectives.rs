@@ -83,12 +83,7 @@ impl MpiRank<'_> {
     /// MPI_Reduce: binomial tree combining towards `root`. Every rank
     /// passes its contribution; the root returns the combined vector,
     /// non-roots return `None`.
-    pub fn reduce<T: MpiScalar>(
-        &mut self,
-        root: u32,
-        op: ReduceOp,
-        data: &[T],
-    ) -> Option<Vec<T>> {
+    pub fn reduce<T: MpiScalar>(&mut self, root: u32, op: ReduceOp, data: &[T]) -> Option<Vec<T>> {
         let tag = self.next_coll_tag();
         let n = self.size();
         let me = self.rank();
@@ -488,7 +483,14 @@ mod tests {
     fn scatter_gather_roundtrip() {
         let out = mpirun(Placement::new(2, 2), |rank| {
             let root_buf: Vec<i64> = (0..16).collect();
-            let mine = rank.scatter(0, if rank.rank() == 0 { Some(&root_buf) } else { None });
+            let mine = rank.scatter(
+                0,
+                if rank.rank() == 0 {
+                    Some(&root_buf)
+                } else {
+                    None
+                },
+            );
             assert_eq!(mine.len(), 4);
             assert_eq!(mine[0], rank.rank() as i64 * 4);
             rank.gather(0, &mine)

@@ -127,7 +127,13 @@ impl MpiRank<'_> {
             .stat(mount, path)
             .ok_or_else(|| MpiIoError::FileNotFound(path.to_string()))?;
         // Open cost: one metadata request.
-        let overhead = self.ctx.world().topology.node(self.ctx.node()).spec.disk
+        let overhead = self
+            .ctx
+            .world()
+            .topology
+            .node(self.ctx.node())
+            .spec
+            .disk
             .request_overhead;
         self.ctx.advance(overhead);
         Ok(MpiFile {
@@ -141,7 +147,7 @@ impl MpiRank<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    
+
     use hpcbd_cluster::Placement;
     use hpcbd_simnet::NodeId;
 
@@ -193,9 +199,7 @@ mod tests {
         });
         assert_eq!(
             out.results[0],
-            Err(MpiIoError::CountOverflow {
-                requested: 8 << 30
-            })
+            Err(MpiIoError::CountOverflow { requested: 8 << 30 })
         );
     }
 
@@ -211,9 +215,7 @@ mod tests {
     #[test]
     fn missing_file_is_reported() {
         let out = with_file(Placement::new(1, 2), 10, |rank| {
-            rank.file_open_all("not-there")
-                .err()
-                .map(|e| e.to_string())
+            rank.file_open_all("not-there").err().map(|e| e.to_string())
         });
         assert!(out.results[0].as_ref().unwrap().contains("no such file"));
     }

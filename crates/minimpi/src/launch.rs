@@ -3,7 +3,7 @@
 use std::sync::Arc;
 
 use hpcbd_cluster::{ClusterSpec, Placement, RankMap};
-use hpcbd_simnet::{Pid, ProcCtx, Sim, SimReport, SimTime};
+use hpcbd_simnet::{Execution, Pid, ProcCtx, Sim, SimReport, SimTime};
 
 use crate::rank::MpiRank;
 
@@ -96,8 +96,37 @@ where
     mpirun_on(&ClusterSpec::comet(placement.nodes), placement, f)
 }
 
+/// [`mpirun`] with an explicit engine execution mode (the virtual-time
+/// results are bit-identical across modes; see
+/// [`hpcbd_simnet::parallel`]).
+pub fn mpirun_with<T, F>(placement: Placement, exec: Execution, f: F) -> MpiOutput<T>
+where
+    T: Send + 'static,
+    F: Fn(&mut MpiRank) -> T + Send + Sync + 'static,
+{
+    mpirun_impl(
+        &ClusterSpec::comet(placement.nodes),
+        placement,
+        Some(exec),
+        f,
+    )
+}
+
 /// [`mpirun`] with an explicit cluster description.
 pub fn mpirun_on<T, F>(cluster: &ClusterSpec, placement: Placement, f: F) -> MpiOutput<T>
+where
+    T: Send + 'static,
+    F: Fn(&mut MpiRank) -> T + Send + Sync + 'static,
+{
+    mpirun_impl(cluster, placement, None, f)
+}
+
+fn mpirun_impl<T, F>(
+    cluster: &ClusterSpec,
+    placement: Placement,
+    exec: Option<Execution>,
+    f: F,
+) -> MpiOutput<T>
 where
     T: Send + 'static,
     F: Fn(&mut MpiRank) -> T + Send + Sync + 'static,
@@ -109,6 +138,9 @@ where
         cluster.nodes
     );
     let mut sim = Sim::new(cluster.topology());
+    if let Some(exec) = exec {
+        sim.set_execution(exec);
+    }
     let job = MpiJob::spawn(&mut sim, placement, f);
     let mut report = sim.run();
     let results = job.results::<T>(&mut report);

@@ -39,7 +39,7 @@ pub mod subcomm;
 pub use checkpoint::Checkpointer;
 pub use datatype::{MpiScalar, ReduceOp};
 pub use io::{MpiFile, MpiIoError};
-pub use launch::{mpirun, mpirun_on, MpiJob, MpiOutput};
+pub use launch::{mpirun, mpirun_on, mpirun_with, MpiJob, MpiOutput};
 pub use nonblocking::MpiRequest;
 pub use rank::MpiRank;
 pub use rma::{MpiWin, WinStore};

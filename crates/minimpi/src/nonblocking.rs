@@ -54,10 +54,7 @@ impl MpiRank<'_> {
 
     /// `MPI_Waitall`: complete a batch, returning receive payloads in
     /// request order.
-    pub fn waitall<T: MpiScalar>(
-        &mut self,
-        reqs: Vec<MpiRequest<T>>,
-    ) -> Vec<Option<Arc<Vec<T>>>> {
+    pub fn waitall<T: MpiScalar>(&mut self, reqs: Vec<MpiRequest<T>>) -> Vec<Option<Arc<Vec<T>>>> {
         reqs.into_iter().map(|r| self.wait(r)).collect()
     }
 }

@@ -121,10 +121,16 @@ impl MpiRank<'_> {
         let bytes = (data.len() as u64 * T::BYTES) as f64 * self.bytes_scale;
         let node = self.placement().node_of_rank(target);
         let tr = self.rdma_transport();
-        self.ctx().one_sided_transfer(node, bytes as u64, &tr, 1);
-        self.win_store().with_mut(win.id, target, |buf: &mut Vec<T>| {
-            buf[offset..offset + data.len()].copy_from_slice(data);
-        });
+        let store = self.win_store();
+        // Window mutation inside the transfer's commit window: remote
+        // memory effects apply in virtual-time order in both execution
+        // modes.
+        self.ctx()
+            .one_sided_transfer_with(node, bytes as u64, &tr, 1, || {
+                store.with_mut(win.id, target, |buf: &mut Vec<T>| {
+                    buf[offset..offset + data.len()].copy_from_slice(data);
+                });
+            });
     }
 
     /// `MPI_Get`: one-sided read from `target`'s window.
@@ -138,9 +144,13 @@ impl MpiRank<'_> {
         let bytes = (len as u64 * T::BYTES) as f64 * self.bytes_scale;
         let node = self.placement().node_of_rank(target);
         let tr = self.rdma_transport();
-        self.ctx().one_sided_transfer(node, bytes as u64, &tr, 2);
-        self.win_store()
-            .with(win.id, target, |buf: &Vec<T>| buf[offset..offset + len].to_vec())
+        let store = self.win_store();
+        self.ctx()
+            .one_sided_transfer_with(node, bytes as u64, &tr, 2, || {
+                store.with(win.id, target, |buf: &Vec<T>| {
+                    buf[offset..offset + len].to_vec()
+                })
+            })
     }
 
     /// `MPI_Accumulate` with a predefined op: element-wise combine `data`
@@ -157,19 +167,23 @@ impl MpiRank<'_> {
         let bytes = (data.len() as u64 * T::BYTES) as f64 * self.bytes_scale;
         let node = self.placement().node_of_rank(target);
         let tr = self.rdma_transport();
+        let store = self.win_store();
         // Accumulate needs the round trip (fetch-op at the target HCA).
-        self.ctx().one_sided_transfer(node, bytes as u64, &tr, 2);
-        self.win_store().with_mut(win.id, target, |buf: &mut Vec<T>| {
-            for (i, v) in data.iter().enumerate() {
-                buf[offset + i] = op.apply(buf[offset + i], *v);
-            }
-        });
+        self.ctx()
+            .one_sided_transfer_with(node, bytes as u64, &tr, 2, || {
+                store.with_mut(win.id, target, |buf: &mut Vec<T>| {
+                    for (i, v) in data.iter().enumerate() {
+                        buf[offset + i] = op.apply(buf[offset + i], *v);
+                    }
+                });
+            });
     }
 
     /// Read this rank's own window contents (local load).
     pub fn win_local<T: MpiScalar>(&mut self, win: &MpiWin<T>) -> Vec<T> {
         let me = self.rank();
-        self.win_store().with(win.id, me, |buf: &Vec<T>| buf.clone())
+        self.win_store()
+            .with(win.id, me, |buf: &Vec<T>| buf.clone())
     }
 }
 

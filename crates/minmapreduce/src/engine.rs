@@ -134,6 +134,7 @@ pub struct MrJobBuilder<I: InputFormat, K2, V2> {
     hdfs_config: HdfsConfig,
     fail_worker: Option<(u32, u32)>,
     slow_worker: Option<(u32, f64)>,
+    execution: Option<hpcbd_simnet::Execution>,
 }
 
 impl<I, K2, V2> MrJobBuilder<I, K2, V2>
@@ -164,7 +165,16 @@ where
             hdfs_config: HdfsConfig::default(),
             fail_worker: None,
             slow_worker: None,
+            execution: None,
         }
+    }
+
+    /// Select the engine execution mode for this run (virtual-time
+    /// results are bit-identical across modes; see
+    /// [`hpcbd_simnet::parallel`]).
+    pub fn execution(mut self, exec: hpcbd_simnet::Execution) -> Self {
+        self.execution = Some(exec);
+        self
     }
 
     /// Set the job configuration.
@@ -218,6 +228,9 @@ where
     pub fn run(self, nodes: u32) -> MrResult<K2, V2> {
         let cluster = ClusterSpec::comet(nodes);
         let mut sim = Sim::new(cluster.topology());
+        if let Some(exec) = self.execution {
+            sim.set_execution(exec);
+        }
         let hdfs = Hdfs::deploy(&mut sim, self.hdfs_config, None);
         hdfs.load_file_instant(&self.input_path, self.input_size, None);
 
@@ -300,8 +313,7 @@ where
         .expect("input file loaded before job start");
     let worker_pids: Vec<Pid> = job.worker_pids.read().clone();
     let nworkers = worker_pids.len() as u32;
-    let worker_node =
-        |w: u32| -> NodeId { NodeId(w / conf.slots_per_node) };
+    let worker_node = |w: u32| -> NodeId { NodeId(w / conf.slots_per_node) };
 
     let mut locality = LocalityStats::default();
     let mut alive: Vec<bool> = vec![true; nworkers as usize];
@@ -593,8 +605,7 @@ where
                 // Spill to local disk (the defining Hadoop cost).
                 let mut total_logical = 0u64;
                 for (p, pairs) in out.into_iter().enumerate() {
-                    let logical =
-                        (pairs.len() as f64 * scale * PAIR_BYTES as f64) as u64;
+                    let logical = (pairs.len() as f64 * scale * PAIR_BYTES as f64) as u64;
                     total_logical += logical;
                     job.outputs
                         .pairs
@@ -663,12 +674,7 @@ where
                             SHUF_REPLY + ((mt as u64) << 8) + *partition as u64,
                         ));
                     }
-                    if let Some(pairs) = job
-                        .outputs
-                        .pairs
-                        .read()
-                        .get(&(mt, *partition))
-                    {
+                    if let Some(pairs) = job.outputs.pairs.read().get(&(mt, *partition)) {
                         all.extend(pairs.iter().cloned());
                     }
                 }
@@ -682,8 +688,7 @@ where
                 let reduced = combine_pairs(all, &job.reducer);
                 ctx.compute(job.reduce_work.scaled(n_logical), jvm_factor);
                 // Output to HDFS (replicated write).
-                let out_logical =
-                    (reduced.len() as f64 * scale * PAIR_BYTES as f64) as u64;
+                let out_logical = (reduced.len() as f64 * scale * PAIR_BYTES as f64) as u64;
                 job.hdfs.write_file(
                     ctx,
                     &format!("{}/part-r-{partition:05}", job.input_path),

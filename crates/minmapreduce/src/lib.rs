@@ -81,11 +81,7 @@ mod tests {
         }
     }
 
-    fn count_job(
-        nodes: u32,
-        blocks: u64,
-        keys: u64,
-    ) -> MrResult<u64, u64> {
+    fn count_job(nodes: u32, blocks: u64, keys: u64) -> MrResult<u64, u64> {
         MrJobBuilder::new(
             Arc::new(Synth { keys, scale: 1.0 }),
             "/in",
@@ -121,8 +117,7 @@ mod tests {
         let keys = 5;
         let result = count_job(2, blocks, keys);
         let oracle = oracle_counts(blocks, keys);
-        let got: std::collections::HashMap<u64, u64> =
-            result.pairs.iter().cloned().collect();
+        let got: std::collections::HashMap<u64, u64> = result.pairs.iter().cloned().collect();
         assert_eq!(got, oracle);
         assert_eq!(
             result.locality.local_maps + result.locality.remote_maps,
@@ -164,10 +159,8 @@ mod tests {
         })
         .run(2);
         let without = count_job(2, blocks, keys);
-        let a: std::collections::HashMap<u64, u64> =
-            with_combiner.pairs.iter().cloned().collect();
-        let b: std::collections::HashMap<u64, u64> =
-            without.pairs.iter().cloned().collect();
+        let a: std::collections::HashMap<u64, u64> = with_combiner.pairs.iter().cloned().collect();
+        let b: std::collections::HashMap<u64, u64> = without.pairs.iter().cloned().collect();
         assert_eq!(a, b, "combiner must not change results");
     }
 
@@ -197,8 +190,7 @@ mod tests {
         .run(2);
         assert!(result.locality.reexecuted_maps >= 1);
         let oracle = oracle_counts(blocks, keys);
-        let got: std::collections::HashMap<u64, u64> =
-            result.pairs.iter().cloned().collect();
+        let got: std::collections::HashMap<u64, u64> = result.pairs.iter().cloned().collect();
         assert_eq!(got, oracle, "results survive a worker failure");
     }
 
@@ -206,7 +198,10 @@ mod tests {
     fn speculative_execution_rescues_stragglers() {
         fn run(speculative: bool) -> (hpcbd_simnet::SimTime, MrResult<u64, u64>) {
             let r = MrJobBuilder::new(
-                Arc::new(Synth { keys: 5, scale: 200_000.0 }),
+                Arc::new(Synth {
+                    keys: 5,
+                    scale: 200_000.0,
+                }),
                 "/in",
                 8 * (32 << 20),
                 |k: &u64| vec![(*k, 1u64)],
@@ -246,7 +241,10 @@ mod tests {
     fn speculation_is_a_noop_without_stragglers() {
         let normal = count_job(2, 8, 5);
         let r = MrJobBuilder::new(
-            Arc::new(Synth { keys: 5, scale: 1.0 }),
+            Arc::new(Synth {
+                keys: 5,
+                scale: 1.0,
+            }),
             "/in",
             8 * (32 << 20),
             |k: &u64| vec![(*k, 1u64)],
@@ -271,7 +269,10 @@ mod tests {
     #[test]
     fn scale_factor_multiplies_time_not_results() {
         let slow = MrJobBuilder::new(
-            Arc::new(Synth { keys: 4, scale: 1000.0 }),
+            Arc::new(Synth {
+                keys: 4,
+                scale: 1000.0,
+            }),
             "/in",
             4 * (32 << 20),
             |k: &u64| vec![(*k, 1u64)],
@@ -283,7 +284,10 @@ mod tests {
         })
         .run(2);
         let fast = MrJobBuilder::new(
-            Arc::new(Synth { keys: 4, scale: 1.0 }),
+            Arc::new(Synth {
+                keys: 4,
+                scale: 1.0,
+            }),
             "/in",
             4 * (32 << 20),
             |k: &u64| vec![(*k, 1u64)],

@@ -59,12 +59,9 @@ impl OmpModel {
             _ => 1.0,
         };
         let chunks = schedule.chunk_count(n, threads as usize) as u64;
-        let sched_cost = SimDuration::from_nanos(
-            self.chunk_overhead.nanos() * chunks / threads as u64,
-        );
-        self.fork_join
-            + sched_cost
-            + SimDuration::from_secs_f64(ideal.as_secs_f64() * imbalance)
+        let sched_cost =
+            SimDuration::from_nanos(self.chunk_overhead.nanos() * chunks / threads as u64);
+        self.fork_join + sched_cost + SimDuration::from_secs_f64(ideal.as_secs_f64() * imbalance)
     }
 
     /// Charge a region to a simulated process's clock.

@@ -53,12 +53,8 @@ impl OmpPool {
     /// Chunk-granular `parallel for`: `body` receives whole index ranges,
     /// letting callers amortize per-iteration work (the form the
     /// AnswersCount benchmark uses to parse record blocks).
-    pub fn parallel_for_chunks<F>(
-        &self,
-        range: std::ops::Range<u64>,
-        schedule: Schedule,
-        body: F,
-    ) where
+    pub fn parallel_for_chunks<F>(&self, range: std::ops::Range<u64>, schedule: Schedule, body: F)
+    where
         F: Fn(std::ops::Range<u64>) + Sync,
     {
         let n = (range.end - range.start) as usize;
@@ -140,18 +136,24 @@ impl OmpPool {
         F: Fn(u64) -> T + Sync,
         R: Fn(T, T) -> T + Sync + Send,
     {
-        let partials: Mutex<Vec<T>> = Mutex::new(Vec::new());
+        // Partials are keyed by chunk start and folded in index order:
+        // threads complete in arbitrary wall-clock order, and combining
+        // in completion order would make non-commutative (e.g. float)
+        // reductions vary run to run.
+        let partials: Mutex<Vec<(u64, T)>> = Mutex::new(Vec::new());
         self.parallel_for_chunks(range, schedule, |chunk| {
+            let key = chunk.start;
             let mut acc = identity.clone();
             for i in chunk {
                 acc = combine(acc, body(i));
             }
-            partials.lock().push(acc);
+            partials.lock().push((key, acc));
         });
+        let mut partials = partials.into_inner();
+        partials.sort_by_key(|&(start, _)| start);
         partials
-            .into_inner()
             .into_iter()
-            .fold(identity, combine)
+            .fold(identity, |acc, (_, p)| combine(acc, p))
     }
 
     /// `#pragma omp critical`: run `f` under the team-wide mutex.

@@ -161,8 +161,8 @@ pub fn target_offload_once(
     bytes_out: u64,
     work: Work,
 ) -> SimDuration {
-    let d = device.transfer_time(bytes_in) + device.kernel_time(work)
-        + device.transfer_time(bytes_out);
+    let d =
+        device.transfer_time(bytes_in) + device.kernel_time(work) + device.transfer_time(bytes_out);
     ctx.advance(d);
     d
 }
@@ -172,9 +172,7 @@ mod tests {
     use super::*;
     use hpcbd_simnet::{NodeId, Sim, Topology};
 
-    fn on_node<T: Send + 'static>(
-        f: impl FnOnce(&mut ProcCtx) -> T + Send + 'static,
-    ) -> T {
+    fn on_node<T: Send + 'static>(f: impl FnOnce(&mut ProcCtx) -> T + Send + 'static) -> T {
         let mut sim = Sim::new(Topology::comet(1));
         let p = sim.spawn(NodeId(0), "host", f);
         sim.run().result::<T>(p)
@@ -187,7 +185,10 @@ mod tests {
         let host_time = w.duration_on(&host, 1.0).as_secs_f64() * (1.0 / 24.0f64.recip()); // one core
         let gpu = Device::discrete_gpu();
         let gpu_time = gpu.kernel_time(w).as_secs_f64();
-        assert!(gpu_time * 10.0 < host_time, "gpu {gpu_time} host {host_time}");
+        assert!(
+            gpu_time * 10.0 < host_time,
+            "gpu {gpu_time} host {host_time}"
+        );
     }
 
     #[test]

@@ -248,8 +248,7 @@ mod tests {
         // values and compare to the closed form.
         const N: usize = 8;
         let pool = OmpPool::new(4);
-        let grid: Arc<Vec<AtomicU64>> =
-            Arc::new((0..N * N).map(|_| AtomicU64::new(0)).collect());
+        let grid: Arc<Vec<AtomicU64>> = Arc::new((0..N * N).map(|_| AtomicU64::new(0)).collect());
         pool.task_scope(|s| {
             for i in 0..N {
                 for j in 0..N {
@@ -274,9 +273,7 @@ mod tests {
             }
         });
         // grid[i][j] = C(i+j, i).
-        let binom = |n: u64, k: u64| -> u64 {
-            (1..=k).fold(1u64, |acc, x| acc * (n - k + x) / x)
-        };
+        let binom = |n: u64, k: u64| -> u64 { (1..=k).fold(1u64, |acc, x| acc * (n - k + x) / x) };
         for i in 0..N {
             for j in 0..N {
                 assert_eq!(

@@ -161,9 +161,9 @@ impl PeCtx<'_> {
     fn accumulate_scratch(&mut self, arr: &SymArray<f64>, scratch: &SymArray<f64>, offset: usize) {
         let me = self.pe();
         let len = arr.len();
-        let incoming =
-            self.heaps
-                .with(me, scratch, |v| v[offset..offset + len].to_vec());
+        let incoming = self
+            .heaps
+            .with(me, scratch, |v| v[offset..offset + len].to_vec());
         let work = hpcbd_simnet::Work::new(len as f64, len as f64 * 16.0);
         self.ctx.compute(work, 1.0);
         self.heaps.with_mut(me, arr, |v| {

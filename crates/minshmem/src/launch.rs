@@ -3,7 +3,7 @@
 use std::sync::Arc;
 
 use hpcbd_cluster::{ClusterSpec, Placement, RankMap};
-use hpcbd_simnet::{Pid, ProcCtx, Sim, SimReport, SimTime};
+use hpcbd_simnet::{Execution, Pid, ProcCtx, Sim, SimReport, SimTime};
 
 use crate::heap::SymHeaps;
 use crate::pe::PeCtx;
@@ -78,13 +78,45 @@ where
     shmem_run_on(&ClusterSpec::comet(placement.nodes), placement, f)
 }
 
+/// [`shmem_run`] with an explicit engine execution mode (virtual-time
+/// results are bit-identical across modes; see
+/// [`hpcbd_simnet::parallel`]).
+pub fn shmem_run_with<T, F>(placement: Placement, exec: Execution, f: F) -> ShmemOutput<T>
+where
+    T: Send + 'static,
+    F: Fn(&mut PeCtx) -> T + Send + Sync + 'static,
+{
+    shmem_run_impl(
+        &ClusterSpec::comet(placement.nodes),
+        placement,
+        Some(exec),
+        f,
+    )
+}
+
 /// [`shmem_run`] on an explicit cluster.
 pub fn shmem_run_on<T, F>(cluster: &ClusterSpec, placement: Placement, f: F) -> ShmemOutput<T>
 where
     T: Send + 'static,
     F: Fn(&mut PeCtx) -> T + Send + Sync + 'static,
 {
+    shmem_run_impl(cluster, placement, None, f)
+}
+
+fn shmem_run_impl<T, F>(
+    cluster: &ClusterSpec,
+    placement: Placement,
+    exec: Option<Execution>,
+    f: F,
+) -> ShmemOutput<T>
+where
+    T: Send + 'static,
+    F: Fn(&mut PeCtx) -> T + Send + Sync + 'static,
+{
     let mut sim = Sim::new(cluster.topology());
+    if let Some(exec) = exec {
+        sim.set_execution(exec);
+    }
     let job = ShmemJob::spawn(&mut sim, placement, f);
     let mut report = sim.run();
     let results = job.results::<T>(&mut report);

@@ -38,5 +38,5 @@ pub mod launch;
 pub mod pe;
 
 pub use heap::{SymArray, SymHeaps};
-pub use launch::{shmem_run, shmem_run_on, ShmemJob, ShmemOutput};
+pub use launch::{shmem_run, shmem_run_on, shmem_run_with, ShmemJob, ShmemOutput};
 pub use pe::PeCtx;

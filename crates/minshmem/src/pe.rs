@@ -147,10 +147,16 @@ impl<'a> PeCtx<'a> {
     ) {
         let bytes = (std::mem::size_of_val(src) as f64 * self.bytes_scale) as u64;
         let node = self.placement.node_of_rank(target_pe);
-        self.ctx.one_sided_transfer(node, bytes, &self.rdma, 1);
-        self.heaps.with_mut(target_pe, arr, |v| {
-            v[offset..offset + src.len()].copy_from_slice(src);
-        });
+        // The heap store happens inside the transfer's commit window so
+        // remote-memory effects land in virtual-time order even when
+        // other PEs execute concurrently.
+        let heaps = &self.heaps;
+        self.ctx
+            .one_sided_transfer_with(node, bytes, &self.rdma, 1, || {
+                heaps.with_mut(target_pe, arr, |v| {
+                    v[offset..offset + src.len()].copy_from_slice(src);
+                });
+            });
     }
 
     /// `shmem_get`: one-sided read of `len` elements at `offset` from
@@ -162,12 +168,13 @@ impl<'a> PeCtx<'a> {
         len: usize,
         target_pe: u32,
     ) -> Vec<T> {
-        let bytes =
-            ((len * std::mem::size_of::<T>()) as f64 * self.bytes_scale) as u64;
+        let bytes = ((len * std::mem::size_of::<T>()) as f64 * self.bytes_scale) as u64;
         let node = self.placement.node_of_rank(target_pe);
-        self.ctx.one_sided_transfer(node, bytes, &self.rdma, 2);
-        self.heaps
-            .with(target_pe, arr, |v| v[offset..offset + len].to_vec())
+        let heaps = &self.heaps;
+        self.ctx
+            .one_sided_transfer_with(node, bytes, &self.rdma, 2, || {
+                heaps.with(target_pe, arr, |v| v[offset..offset + len].to_vec())
+            })
     }
 
     /// `shmem_atomic_fetch_add` on one `u64` slot of `target_pe`'s array.
@@ -179,12 +186,15 @@ impl<'a> PeCtx<'a> {
         target_pe: u32,
     ) -> u64 {
         let node = self.placement.node_of_rank(target_pe);
-        self.ctx.one_sided_transfer(node, 8, &self.rdma, 2);
-        self.heaps.with_mut(target_pe, arr, |v| {
-            let old = v[index];
-            v[index] += value;
-            old
-        })
+        let heaps = &self.heaps;
+        self.ctx
+            .one_sided_transfer_with(node, 8, &self.rdma, 2, || {
+                heaps.with_mut(target_pe, arr, |v| {
+                    let old = v[index];
+                    v[index] += value;
+                    old
+                })
+            })
     }
 
     /// `shmem_atomic_compare_swap`: if slot `index` of `target_pe`'s
@@ -199,14 +209,17 @@ impl<'a> PeCtx<'a> {
         target_pe: u32,
     ) -> u64 {
         let node = self.placement.node_of_rank(target_pe);
-        self.ctx.one_sided_transfer(node, 16, &self.rdma, 2);
-        self.heaps.with_mut(target_pe, arr, |v| {
-            let old = v[index];
-            if old == expected {
-                v[index] = desired;
-            }
-            old
-        })
+        let heaps = &self.heaps;
+        self.ctx
+            .one_sided_transfer_with(node, 16, &self.rdma, 2, || {
+                heaps.with_mut(target_pe, arr, |v| {
+                    let old = v[index];
+                    if old == expected {
+                        v[index] = desired;
+                    }
+                    old
+                })
+            })
     }
 
     /// `shmem_put_signal`: a put followed by a signal delivery the target

@@ -117,10 +117,7 @@ mod tests {
 
     #[test]
     fn engines_pick_transports() {
-        assert_eq!(
-            ShuffleEngine::Socket.data_transport().name,
-            "ipoib-socket"
-        );
+        assert_eq!(ShuffleEngine::Socket.data_transport().name, "ipoib-socket");
         assert_eq!(ShuffleEngine::Rdma.data_transport().name, "rdma-verbs");
     }
 

@@ -301,11 +301,8 @@ impl<'a> SparkDriver<'a> {
             if outcome.fetch_failures.is_empty() {
                 break;
             }
-            let mut shuffles: Vec<ShuffleId> = outcome
-                .fetch_failures
-                .iter()
-                .map(|(_, s, _)| *s)
-                .collect();
+            let mut shuffles: Vec<ShuffleId> =
+                outcome.fetch_failures.iter().map(|(_, s, _)| *s).collect();
             shuffles.sort();
             shuffles.dedup();
             for s in shuffles {
@@ -360,9 +357,8 @@ impl<'a> SparkDriver<'a> {
 
     fn block_owner(&self, rdd: RddId, part: u32) -> Option<ExecId> {
         // The block store tracks one owner per (rdd, part).
-        (0..self.alive.len() as u32).find(|e| {
-            self.alive[*e as usize] && self.app.blocks.get(rdd, part, *e).is_some()
-        })
+        (0..self.alive.len() as u32)
+            .find(|e| self.alive[*e as usize] && self.app.blocks.get(rdd, part, *e).is_some())
     }
 
     fn run_wave(&mut self, tasks: Vec<TaskSpec>) -> WaveOutcome {
@@ -405,9 +401,8 @@ impl<'a> SparkDriver<'a> {
                         .and_then(|e| free.iter().position(|f| *f == e))
                         .or_else(|| {
                             if waited >= 2 || pref_exec.is_none() {
-                                free.iter().position(|f| {
-                                    pref_nodes.contains(&self.app.node_of_exec(*f))
-                                })
+                                free.iter()
+                                    .position(|f| pref_nodes.contains(&self.app.node_of_exec(*f)))
                             } else {
                                 None
                             }
@@ -519,10 +514,7 @@ impl<'a> SparkDriver<'a> {
                             .is_ok();
                         if !ok {
                             self.alive[e as usize] = false;
-                            crate::metrics::SparkMetrics::add(
-                                &self.app.metrics.executors_lost,
-                                1,
-                            );
+                            crate::metrics::SparkMetrics::add(&self.app.metrics.executors_lost, 1);
                             self.app.blocks.invalidate_executor(e);
                             let _lost = self.app.shuffles.invalidate_executor(e);
                             if let Some((_, task)) = in_flight.remove(&seq) {
@@ -548,8 +540,13 @@ impl<'a> SparkDriver<'a> {
         let control = self.app.config.control_transport();
         let execs: Vec<Pid> = self.app.exec_pids.read().clone();
         for pid in execs {
-            self.ctx
-                .send(pid, EXEC_TAG, 32, Payload::value(ExecCmd::Shutdown), &control);
+            self.ctx.send(
+                pid,
+                EXEC_TAG,
+                32,
+                Payload::value(ExecCmd::Shutdown),
+                &control,
+            );
         }
         let services: Vec<Pid> = self.app.service_pids.read().clone();
         for pid in services {

@@ -65,8 +65,7 @@ pub(crate) enum TaskKind {
     Action(ActionFn),
 }
 
-pub(crate) type ActionFn =
-    Arc<dyn Fn(&mut ProcCtx, f64, PartValue) -> PartValue + Send + Sync>;
+pub(crate) type ActionFn = Arc<dyn Fn(&mut ProcCtx, f64, PartValue) -> PartValue + Send + Sync>;
 
 /// Executor -> driver completion messages.
 pub(crate) enum ExecMsg {
@@ -137,7 +136,13 @@ pub(crate) fn executor_loop(ctx: &mut ProcCtx, app: Arc<AppShared>, me: ExecId) 
                         64,
                     ),
                 };
-                ctx.send(driver, DRIVER_TAG, reply.1, Payload::value(reply.0), &control);
+                ctx.send(
+                    driver,
+                    DRIVER_TAG,
+                    reply.1,
+                    Payload::value(reply.0),
+                    &control,
+                );
             }
         }
     }
@@ -164,8 +169,7 @@ fn run_task(
             let sized: Vec<(PartValue, u64)> = buckets
                 .into_iter()
                 .map(|b| {
-                    let bytes =
-                        (b.items as f64 * parent.scale * parent.item_bytes as f64) as u64;
+                    let bytes = (b.items as f64 * parent.scale * parent.item_bytes as f64) as u64;
                     (b, bytes)
                 })
                 .collect();
@@ -215,18 +219,12 @@ pub(crate) fn materialize(
     let value = match &node.compute {
         Compute::Source(f) => {
             let pv = f(ctx, part);
-            ctx.compute(
-                node.work_per_item.scaled(pv.items as f64 * node.scale),
-                jvm,
-            );
+            ctx.compute(node.work_per_item.scaled(pv.items as f64 * node.scale), jvm);
             pv
         }
         Compute::Narrow { parent, f } => {
             let pv = materialize(ctx, app, me, *parent, part)?;
-            ctx.compute(
-                node.work_per_item.scaled(pv.items as f64 * node.scale),
-                jvm,
-            );
+            ctx.compute(node.work_per_item.scaled(pv.items as f64 * node.scale), jvm);
             f(&pv)
         }
         Compute::ShuffleRead { shuffle, combine } => {
@@ -242,8 +240,8 @@ pub(crate) fn materialize(
         } => {
             let lb = fetch_shuffle(ctx, app, me, *left, part)?;
             let rb = fetch_shuffle(ctx, app, me, *right, part)?;
-            let items: usize =
-                lb.iter().map(|b| b.items).sum::<usize>() + rb.iter().map(|b| b.items).sum::<usize>();
+            let items: usize = lb.iter().map(|b| b.items).sum::<usize>()
+                + rb.iter().map(|b| b.items).sum::<usize>();
             ctx.compute(node.work_per_item.scaled(items as f64 * node.scale), jvm);
             combine(lb, rb)
         }
@@ -283,9 +281,7 @@ pub(crate) fn materialize(
     };
     if let Some(level) = persisted {
         let bytes = (value.items as f64 * node.scale * node.item_bytes as f64) as u64;
-        let outcome = app
-            .blocks
-            .put(rdd, part, me, value.clone(), bytes, level);
+        let outcome = app.blocks.put(rdd, part, me, value.clone(), bytes, level);
         match outcome {
             CacheOutcome::Disk => ctx.disk_write(bytes),
             CacheOutcome::Memory | CacheOutcome::MemoryAfterEviction => {
@@ -317,8 +313,7 @@ fn fetch_shuffle(
     // Bytes needed from each remote source node.
     let mut remote: std::collections::BTreeMap<NodeId, u64> = std::collections::BTreeMap::new();
     for map_part in 0..parent_parts {
-        let Some((value, bytes, owner)) = app.shuffles.get_bucket(shuffle, map_part, part)
-        else {
+        let Some((value, bytes, owner)) = app.shuffles.get_bucket(shuffle, map_part, part) else {
             return Err(FetchFail { shuffle, map_part });
         };
         let owner_node = app.node_of_exec(owner);
@@ -344,10 +339,7 @@ fn fetch_shuffle(
             Payload::value((shuffle as u64, part, bytes, ctx.pid())),
             &data_tr,
         );
-        let tag = SERVICE_REPLY
-            | ((shuffle as u64) << 24)
-            | ((node.0 as u64) << 12)
-            | part as u64;
+        let tag = SERVICE_REPLY | ((shuffle as u64) << 24) | ((node.0 as u64) << 12) | part as u64;
         let _ = ctx.recv(MatchSpec::tag(tag));
     }
     Ok(out)
@@ -374,10 +366,7 @@ pub(crate) fn shuffle_service_loop(ctx: &mut ProcCtx, app: Arc<AppShared>) {
         if bytes > 0 {
             ctx.compute(Work::mem_bytes(bytes as f64), 1.0);
         }
-        let tag = SERVICE_REPLY
-            | (shuffle << 24)
-            | ((my_node.0 as u64) << 12)
-            | reduce_part as u64;
+        let tag = SERVICE_REPLY | (shuffle << 24) | ((my_node.0 as u64) << 12) | reduce_part as u64;
         ctx.send(reply_to, tag, bytes.max(1), Payload::Empty, &data_tr);
     }
 }

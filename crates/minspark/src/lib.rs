@@ -42,8 +42,8 @@ pub mod config;
 pub mod driver;
 pub mod executor;
 pub mod metrics;
-pub mod plan;
 pub mod ops_extra;
+pub mod plan;
 pub mod rdd;
 pub mod session;
 pub mod shared;
@@ -196,8 +196,7 @@ mod tests {
             // itself the paper's Fig. 3 observation.
             let config = SparkConfig::with_shuffle(engine);
             let r = SparkCluster::new(4, config).run(|sc| {
-                let pairs: Vec<(u32, u64)> =
-                    (0..20_000).map(|i| (i % 1000, i as u64)).collect();
+                let pairs: Vec<(u32, u64)> = (0..20_000).map(|i| (i % 1000, i as u64)).collect();
                 let rdd = sc.parallelize_with_bytes(pairs, 16, 50_000);
                 let red = rdd.group_by_key(16);
                 sc.count(&red)

@@ -116,9 +116,7 @@ impl<T: Data> Rdd<T> {
             true,
             move |v: &Vec<T>| {
                 v.iter()
-                    .filter(|x| {
-                        (hpcbd_simnet::det_hash(&(seed, *x)) >> 32) as u32 <= threshold
-                    })
+                    .filter(|x| (hpcbd_simnet::det_hash(&(seed, *x)) >> 32) as u32 <= threshold)
                     .cloned()
                     .collect()
             },
@@ -129,13 +127,9 @@ impl<T: Data> Rdd<T> {
 impl<K: Key, V: Data> Rdd<(K, V)> {
     /// `keys()`.
     pub fn keys(&self) -> Rdd<K> {
-        self.narrow(
-            "keys",
-            Work::new(1.0, 16.0),
-            8,
-            false,
-            |v: &Vec<(K, V)>| v.iter().map(|(k, _)| k.clone()).collect(),
-        )
+        self.narrow("keys", Work::new(1.0, 16.0), 8, false, |v: &Vec<(K, V)>| {
+            v.iter().map(|(k, _)| k.clone()).collect()
+        })
     }
 
     /// `sortByKey(numPartitions)`: range-free simplification — hash
@@ -159,11 +153,7 @@ impl<K: Key, V: Data> Rdd<(K, V)> {
 
     /// `cogroup(other, numPartitions)`: full outer grouping of both
     /// sides by key.
-    pub fn cogroup<W: Data>(
-        &self,
-        other: &Rdd<(K, W)>,
-        parts: u32,
-    ) -> Rdd<CoGrouped<K, V, W>> {
+    pub fn cogroup<W: Data>(&self, other: &Rdd<(K, W)>, parts: u32) -> Rdd<CoGrouped<K, V, W>> {
         let left = self.plan.node(self.id);
         let right = self.plan.node(other.id);
         let lsplit = Arc::new(move |pv: &PartValue, n: u32| {
@@ -190,23 +180,21 @@ impl<K: Key, V: Data> Rdd<(K, V)> {
             partitions: parts,
             split: rsplit,
         });
-        let combine = Arc::new(
-            |lb: Vec<PartValue>, rb: Vec<PartValue>| {
-                let mut groups: std::collections::BTreeMap<K, (Vec<V>, Vec<W>)> =
-                    std::collections::BTreeMap::new();
-                for b in &lb {
-                    for (k, v) in b.as_vec::<(K, V)>() {
-                        groups.entry(k.clone()).or_default().0.push(v.clone());
-                    }
+        let combine = Arc::new(|lb: Vec<PartValue>, rb: Vec<PartValue>| {
+            let mut groups: std::collections::BTreeMap<K, (Vec<V>, Vec<W>)> =
+                std::collections::BTreeMap::new();
+            for b in &lb {
+                for (k, v) in b.as_vec::<(K, V)>() {
+                    groups.entry(k.clone()).or_default().0.push(v.clone());
                 }
-                for b in &rb {
-                    for (k, w) in b.as_vec::<(K, W)>() {
-                        groups.entry(k.clone()).or_default().1.push(w.clone());
-                    }
+            }
+            for b in &rb {
+                for (k, w) in b.as_vec::<(K, W)>() {
+                    groups.entry(k.clone()).or_default().1.push(w.clone());
                 }
-                PartValue::of(groups.into_iter().collect::<Vec<_>>())
-            },
-        );
+            }
+            PartValue::of(groups.into_iter().collect::<Vec<_>>())
+        });
         let node = self.plan.add_node(RddNode {
             id: 0,
             op_name: "cogroup",

@@ -33,8 +33,7 @@ pub type SplitFn = Arc<dyn Fn(&PartValue, u32) -> Vec<PartValue> + Send + Sync>;
 /// A type-erased merge of fetched shuffle buckets.
 pub type CombineFn = Arc<dyn Fn(Vec<PartValue>) -> PartValue + Send + Sync>;
 /// A type-erased merge of two shuffles' buckets (wide joins).
-pub type JoinCombineFn =
-    Arc<dyn Fn(Vec<PartValue>, Vec<PartValue>) -> PartValue + Send + Sync>;
+pub type JoinCombineFn = Arc<dyn Fn(Vec<PartValue>, Vec<PartValue>) -> PartValue + Send + Sync>;
 
 /// One partition's materialized data: a `Vec<T>` behind `Any`, plus the
 /// sample item count.
@@ -259,9 +258,7 @@ mod tests {
             id: 0,
             op_name: "source",
             partitions: parts,
-            compute: Compute::Source(Arc::new(|_ctx, p| {
-                PartValue::of(vec![p as u64])
-            })),
+            compute: Compute::Source(Arc::new(|_ctx, p| PartValue::of(vec![p as u64]))),
             work_per_item: Work::NONE,
             scale: 1.0,
             item_bytes: 8,

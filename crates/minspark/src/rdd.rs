@@ -100,9 +100,13 @@ impl<T: Data> Rdd<T> {
 
     /// `map`: one output element per input element.
     pub fn map<U: Data>(&self, f: impl Fn(&T) -> U + Send + Sync + 'static) -> Rdd<U> {
-        self.narrow("map", Work::new(4.0, 32.0), self.node().item_bytes, false, move |v| {
-            v.iter().map(&f).collect()
-        })
+        self.narrow(
+            "map",
+            Work::new(4.0, 32.0),
+            self.node().item_bytes,
+            false,
+            move |v| v.iter().map(&f).collect(),
+        )
     }
 
     /// `map` with an explicit per-logical-item CPU cost (for benchmarks
@@ -119,10 +123,7 @@ impl<T: Data> Rdd<T> {
     }
 
     /// `flatMap`.
-    pub fn flat_map<U: Data>(
-        &self,
-        f: impl Fn(&T) -> Vec<U> + Send + Sync + 'static,
-    ) -> Rdd<U> {
+    pub fn flat_map<U: Data>(&self, f: impl Fn(&T) -> Vec<U> + Send + Sync + 'static) -> Rdd<U> {
         self.flat_map_with_cost(Work::new(8.0, 48.0), self.node().item_bytes, f)
     }
 
@@ -374,7 +375,7 @@ impl<K: Key, V: Data> Rdd<(K, V)> {
                 scale: left.scale,
                 item_bytes: left.item_bytes + right.item_bytes,
                 storage: parking_lot::RwLock::new(None),
-            source_dispatch_bytes: std::sync::atomic::AtomicU64::new(0),
+                source_dispatch_bytes: std::sync::atomic::AtomicU64::new(0),
                 partitioner: left.partitioner,
                 prefs: Vec::new(),
             });
@@ -405,19 +406,17 @@ impl<K: Key, V: Data> Rdd<(K, V)> {
             partitions: parts,
             split: rsplit,
         });
-        let combine = Arc::new(
-            |lbuckets: Vec<PartValue>, rbuckets: Vec<PartValue>| {
-                let mut l: Vec<(K, V)> = Vec::new();
-                for b in &lbuckets {
-                    l.extend(b.as_vec::<(K, V)>().iter().cloned());
-                }
-                let mut r: Vec<(K, W)> = Vec::new();
-                for b in &rbuckets {
-                    r.extend(b.as_vec::<(K, W)>().iter().cloned());
-                }
-                PartValue::of(hash_join::<K, V, W>(&l, &r))
-            },
-        );
+        let combine = Arc::new(|lbuckets: Vec<PartValue>, rbuckets: Vec<PartValue>| {
+            let mut l: Vec<(K, V)> = Vec::new();
+            for b in &lbuckets {
+                l.extend(b.as_vec::<(K, V)>().iter().cloned());
+            }
+            let mut r: Vec<(K, W)> = Vec::new();
+            for b in &rbuckets {
+                r.extend(b.as_vec::<(K, W)>().iter().cloned());
+            }
+            PartValue::of(hash_join::<K, V, W>(&l, &r))
+        });
         let node = self.plan.add_node(RddNode {
             id: 0,
             op_name: "join(wide)",

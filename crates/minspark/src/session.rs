@@ -6,7 +6,7 @@ use std::sync::Arc;
 
 use hpcbd_cluster::ClusterSpec;
 use hpcbd_minhdfs::{Hdfs, HdfsConfig};
-use hpcbd_simnet::{NodeId, Sim, SimReport, SimTime};
+use hpcbd_simnet::{Execution, NodeId, Sim, SimReport, SimTime};
 
 use crate::config::SparkConfig;
 use crate::driver::SparkDriver;
@@ -23,6 +23,7 @@ pub struct SparkCluster {
     hdfs_config: Option<HdfsConfig>,
     hdfs_files: Vec<FileSeed>,
     scratch_files: Vec<FileSeed>,
+    execution: Option<Execution>,
 }
 
 /// What a finished application produced.
@@ -46,7 +47,16 @@ impl SparkCluster {
             hdfs_config: None,
             hdfs_files: Vec::new(),
             scratch_files: Vec::new(),
+            execution: None,
         }
+    }
+
+    /// Select the engine execution mode for this run (virtual-time
+    /// results are bit-identical across modes; see
+    /// [`hpcbd_simnet::parallel`]).
+    pub fn execution(mut self, exec: Execution) -> SparkCluster {
+        self.execution = Some(exec);
+        self
     }
 
     /// Deploy HDFS with this configuration.
@@ -87,6 +97,9 @@ impl SparkCluster {
     {
         let cluster = ClusterSpec::comet(self.nodes);
         let mut sim = Sim::new(cluster.topology());
+        if let Some(exec) = self.execution {
+            sim.set_execution(exec);
+        }
         let hdfs = self
             .hdfs_config
             .map(|cfg| Hdfs::deploy(&mut sim, cfg, None));

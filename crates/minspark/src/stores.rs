@@ -198,7 +198,11 @@ impl ShuffleStore {
                 },
             );
         }
-        self.done.write().entry(shuffle).or_default().insert(map_part);
+        self.done
+            .write()
+            .entry(shuffle)
+            .or_default()
+            .insert(map_part);
     }
 
     /// Whether a map partition's output is available.

@@ -73,8 +73,7 @@ impl Work {
     /// Time to execute this work on one core of `node`, multiplied by the
     /// paradigm's `runtime_factor` ([`RuntimeClass`]).
     pub fn duration_on(&self, node: &NodeSpec, runtime_factor: f64) -> SimDuration {
-        let secs =
-            self.flops / node.flops_per_core + self.mem_bytes / node.mem_bw_per_core;
+        let secs = self.flops / node.flops_per_core + self.mem_bytes / node.mem_bw_per_core;
         SimDuration::from_secs_f64(secs * runtime_factor)
     }
 }

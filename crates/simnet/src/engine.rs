@@ -1,19 +1,39 @@
 //! The conservative virtual-time execution engine.
 //!
 //! Every simulated process is an OS thread executing real Rust code. The
-//! engine enforces a single invariant: **at most one process runs at a
-//! time, and whenever a process performs a simulation-visible operation
-//! (message send/delivery, disk reservation, sleep), it is the process
-//! with the minimum virtual clock among all runnable processes.** The
-//! baton is passed through per-process condition variables; the ready
-//! queue is a binary heap ordered by `(virtual time, sequence number)`,
-//! so the whole simulation — including every reported timing — is
-//! bit-deterministic across runs.
+//! engine enforces a single invariant: **whenever a process performs a
+//! simulation-visible operation (message send/delivery, disk
+//! reservation, sleep), it is the process with the minimum virtual clock
+//! among all runnable processes, and those commit windows are totally
+//! ordered.** The commit token is passed through per-process condition
+//! variables; the ready queue is a binary heap ordered by
+//! `(virtual time, pid, generation)`, a key chosen to be independent of
+//! the wall-clock order in which entries are pushed — which is what lets
+//! the same heap drive both execution modes below bit-identically.
 //!
-//! Between simulation-visible operations a process may run arbitrary real
-//! computation and advance its own clock locally ([`ProcCtx::compute`]) at
-//! zero synchronization cost; the conservative yield happens lazily at the
-//! next visible operation.
+//! Between simulation-visible operations a process runs arbitrary real
+//! computation and advances its own clock locally ([`ProcCtx::compute`])
+//! at zero synchronization cost; the conservative yield happens lazily
+//! at the next visible operation.
+//!
+//! # Execution modes
+//!
+//! * [`Execution::Sequential`] (default): at most one process executes
+//!   at a time. A process keeps the token from its commit window through
+//!   the following compute segment, exactly like a classic baton-passing
+//!   conservative simulator.
+//! * [`Execution::Parallel`]: after a process finishes the *commit* part
+//!   of a visible operation (its mutation of shared simulation state),
+//!   the token is released immediately and the process runs its next
+//!   compute segment concurrently with other released processes — real
+//!   Rust work overlaps on real cores. Ordering is preserved by a
+//!   conservative lookahead rule: a released process `q` whose last
+//!   commit ended at virtual time `lb_q` can only re-enter the ready
+//!   queue at `(t, q)` with `t >= lb_q`, so the scheduler may grant a
+//!   queued entry `e` whenever `(e.time, e.pid) < (lb_q, q)` for every
+//!   in-flight `q`. Under that rule every grant decision is identical to
+//!   the sequential schedule, making virtual times, results, and stats
+//!   **bit-identical** across modes (see DESIGN.md §"Parallel engine").
 
 use std::any::Any;
 use std::cmp::Reverse;
@@ -28,6 +48,7 @@ use crate::cost::Work;
 use crate::error::{DeadlockNote, RecvTimeout};
 use crate::fs::SimFs;
 use crate::message::{MatchSpec, Message, Payload, Tag};
+use crate::parallel::{default_execution, Execution};
 use crate::stats::ProcStats;
 use crate::time::{SimDuration, SimTime};
 use crate::topology::{NodeId, Topology};
@@ -136,17 +157,21 @@ struct ProcState {
     stats: ProcStats,
 }
 
-#[derive(PartialEq, Eq)]
+/// Ready-queue entry. Ordered by `(time, pid, gen)` — a key that does
+/// NOT depend on push order, so the pop sequence is identical whether
+/// entries arrive in sequential baton order or out of order from
+/// concurrently released processes (the heart of the cross-mode
+/// bit-determinism argument).
+#[derive(Clone, Copy, PartialEq, Eq)]
 struct Entry {
     time: SimTime,
-    seq: u64,
     pid: Pid,
     gen: u64,
 }
 
 impl Ord for Entry {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.time, self.seq).cmp(&(other.time, other.seq))
+        (self.time, self.pid, self.gen).cmp(&(other.time, other.pid, other.gen))
     }
 }
 
@@ -159,9 +184,17 @@ impl PartialOrd for Entry {
 struct Inner {
     procs: Vec<ProcState>,
     runnable: BinaryHeap<Reverse<Entry>>,
-    seq: u64,
     live: usize,
     deadlocked: bool,
+    /// Execution mode for this run.
+    exec: Execution,
+    /// Current commit-token holder: the one process allowed to mutate
+    /// shared simulation state. `None` while the token is being passed.
+    turn: Option<Pid>,
+    /// Released processes still running a compute segment, with the
+    /// lower bound on the virtual time of their next ready-queue entry
+    /// (their clock at release; clocks only move forward).
+    inflight: Vec<(Pid, SimTime)>,
     /// Next-free time of each node's NIC (sender-side serialization).
     nic_free: Vec<SimTime>,
     /// Next-free time of each node's scratch disk.
@@ -183,106 +216,99 @@ struct Engine {
 }
 
 impl Engine {
-    /// Push `pid` as runnable at `time`. Caller holds the lock.
+    /// Push `pid` as runnable at `time`, invalidating any earlier entry
+    /// for it. Caller holds the lock.
     fn push(g: &mut Inner, pid: Pid, time: SimTime) {
         g.procs[pid.index()].gen += 1;
         let gen = g.procs[pid.index()].gen;
-        g.seq += 1;
-        let seq = g.seq;
-        g.runnable.push(Reverse(Entry {
-            time,
-            seq,
-            pid,
-            gen,
-        }));
+        g.runnable.push(Reverse(Entry { time, pid, gen }));
     }
 
-    /// Pop the next valid runnable process, mark it Running and return it.
-    /// Returns `None` when nothing can run.
-    fn next_runnable(g: &mut Inner) -> Option<Pid> {
-        while let Some(Reverse(e)) = g.runnable.pop() {
-            let p = &mut g.procs[e.pid.index()];
-            if p.gen != e.gen {
-                continue; // stale entry
+    /// Grant the commit token to the next runnable process if the
+    /// conservative frontier allows it; otherwise detect completion or
+    /// deadlock. Caller holds the lock. Idempotent: safe to call after
+    /// any state change that might enable a grant.
+    fn try_dispatch(&self, g: &mut Inner) {
+        if g.turn.is_some() || g.deadlocked {
+            return;
+        }
+        loop {
+            let cand = match g.runnable.peek() {
+                None => break,
+                Some(&Reverse(e)) => e,
+            };
+            if g.procs[cand.pid.index()].gen != cand.gen {
+                g.runnable.pop(); // stale entry
+                continue;
             }
-            match p.status {
+            // Conservative lookahead frontier: an in-flight process q
+            // re-enters the queue at some (t, q) with t >= lb_q. Grant
+            // `cand` only if no such future entry could order before it;
+            // otherwise wait for the in-flight set to drain.
+            if g.inflight
+                .iter()
+                .any(|&(q, lb)| (cand.time, cand.pid) >= (lb, q))
+            {
+                return;
+            }
+            g.runnable.pop();
+            let p = &mut g.procs[cand.pid.index()];
+            match &p.status {
                 Status::Ready => {
                     p.status = Status::Running;
-                    return Some(e.pid);
                 }
                 Status::Blocked {
                     deadline: Some(_), ..
                 } => {
-                    // Generation matched, so this entry is the deadline we
+                    // Generation matched, so this entry is the deadline
                     // pushed when blocking: the deadline fired before any
                     // matching message was delivered.
                     p.status = Status::Running;
                     p.wake_reason = WakeReason::Timeout;
-                    p.clock = p.clock.max(e.time);
-                    return Some(e.pid);
+                    p.clock = p.clock.max(cand.time);
                 }
-                _ => continue,
+                _ => continue, // defensive: not grantable
             }
+            g.turn = Some(cand.pid);
+            let slot = p.slot.clone();
+            let clock = p.clock;
+            let reason = p.wake_reason;
+            slot.wake(clock, reason);
+            return;
         }
-        None
-    }
-
-    /// Pass the baton to the next runnable process, or detect completion /
-    /// deadlock. `self_pid` is the yielding process; if the next runnable
-    /// process is the yielder itself the baton is kept (fast path) and
-    /// `true` is returned.
-    fn dispatch_from(&self, g: &mut Inner, self_pid: Option<Pid>) -> bool {
-        match Engine::next_runnable(g) {
-            Some(pid) => {
-                if Some(pid) == self_pid {
-                    return true;
-                }
-                let p = &g.procs[pid.index()];
-                let slot = p.slot.clone();
-                let clock = p.clock;
-                let reason = p.wake_reason;
-                slot.wake(clock, reason);
-                false
-            }
-            None => {
-                if g.live > 0 && !g.deadlocked {
-                    // Everything alive is blocked without a deadline:
-                    // distributed deadlock. Unwind all blocked processes.
-                    g.deadlocked = true;
-                    let mut diag = String::new();
-                    for (i, p) in g.procs.iter().enumerate() {
-                        if let Status::Blocked { spec, .. } = &p.status {
-                            diag.push_str(&format!(
-                                "{} ({}) blocked at {} on recv {:?}; ",
-                                Pid(i as u32),
-                                p.name,
-                                p.clock,
-                                spec
-                            ));
-                        }
-                    }
-                    for p in g.procs.iter_mut() {
-                        if matches!(p.status, Status::Blocked { .. }) {
-                            p.status = Status::Running;
-                            p.wake_reason = WakeReason::Deadlock;
-                            p.slot.wake(p.clock, WakeReason::Deadlock);
-                        }
-                    }
-                    // Stash the diagnostic through the panics channel.
-                    g.panics.push((
-                        Pid(u32::MAX),
-                        format!("deadlock: {diag}"),
-                        true,
+        // Nothing grantable. With compute still in flight this is a
+        // transient state; with nothing in flight and live processes it
+        // is a distributed deadlock.
+        if g.inflight.is_empty() && g.live > 0 && !g.deadlocked {
+            g.deadlocked = true;
+            let mut diag = String::new();
+            for (i, p) in g.procs.iter().enumerate() {
+                if let Status::Blocked { spec, .. } = &p.status {
+                    diag.push_str(&format!(
+                        "{} ({}) blocked at {} on recv {:?}; ",
+                        Pid(i as u32),
+                        p.name,
+                        p.clock,
+                        spec
                     ));
                 }
-                self.done.notify_all();
-                false
             }
+            for p in g.procs.iter_mut() {
+                if matches!(p.status, Status::Blocked { .. }) {
+                    p.status = Status::Running;
+                    p.wake_reason = WakeReason::Deadlock;
+                    p.slot.wake(p.clock, WakeReason::Deadlock);
+                }
+            }
+            // Stash the diagnostic through the panics channel.
+            g.panics
+                .push((Pid(u32::MAX), format!("deadlock: {diag}"), true));
         }
+        self.done.notify_all();
     }
 
     /// Deliver a message, waking the destination if it is blocked on a
-    /// matching receive. Caller holds the lock.
+    /// matching receive. Caller holds the lock (and the commit token).
     fn deliver(g: &mut Inner, dst: Pid, msg: Message) {
         let arrival = msg.arrival;
         let p = &mut g.procs[dst.index()];
@@ -380,7 +406,8 @@ impl ProcCtx {
 
     /// Advance this process's clock by modeled computation: `work` executed
     /// at `runtime_factor` times native single-core cost (see
-    /// [`crate::RuntimeClass`]). Purely local — no synchronization.
+    /// [`crate::RuntimeClass`]). Purely local — no synchronization; in
+    /// parallel mode this is the code that overlaps across cores.
     pub fn compute(&mut self, work: Work, runtime_factor: f64) {
         let spec = &self.world.topology.node(self.node).spec;
         let d = work.duration_on(spec, runtime_factor);
@@ -403,36 +430,87 @@ impl ProcCtx {
     pub fn sleep(&mut self, d: SimDuration) {
         self.clock += d;
         self.become_min();
+        self.release_turn();
     }
 
-    /// Yield until this process is the minimum-time runnable process.
-    /// All operations with global effects call this first, which is what
-    /// makes resource-reservation order independent of OS scheduling.
-    fn become_min(&mut self) {
+    /// Align: enter the ready queue at the current clock and wait for the
+    /// commit token, i.e. until this process is the minimum-time runnable
+    /// process. Returns `false` if the simulation is tearing down from a
+    /// deadlock (the caller must not touch shared state).
+    fn align_quiet(&mut self) -> bool {
         let engine = self.engine.clone();
-        let mut g = engine.inner.lock();
-        if g.deadlocked {
-            drop(g);
+        let slot;
+        {
+            let mut g = engine.inner.lock();
+            if g.deadlocked {
+                return false;
+            }
+            let me = self.pid;
+            if g.turn == Some(me) {
+                // Sequential mode (or a kept token): pass it through the
+                // queue so the globally minimal process gets it next.
+                g.turn = None;
+            }
+            g.inflight.retain(|&(q, _)| q != me);
+            let p = &mut g.procs[me.index()];
+            p.clock = self.clock;
+            p.status = Status::Ready;
+            p.wake_reason = WakeReason::Turn;
+            slot = p.slot.clone();
+            Engine::push(&mut g, me, self.clock);
+            engine.try_dispatch(&mut g);
+        }
+        let (clock, reason) = slot.park();
+        self.clock = clock;
+        reason != WakeReason::Deadlock
+    }
+
+    /// Yield until this process is the minimum-time runnable process and
+    /// holds the commit token. All operations with global effects call
+    /// this first, which is what makes resource-reservation order
+    /// independent of OS scheduling.
+    fn become_min(&mut self) {
+        if !self.align_quiet() {
             panic::panic_any(DeadlockNote(format!(
-                "{} resumed during deadlock teardown",
+                "{} woken during deadlock teardown",
                 self.pid
             )));
         }
-        let me = self.pid;
-        g.procs[me.index()].clock = self.clock;
-        g.procs[me.index()].status = Status::Ready;
-        Engine::push(&mut g, me, self.clock);
-        if self.engine.dispatch_from(&mut g, Some(me)) {
-            // Fast path: still the minimum; baton kept.
+    }
+
+    /// Release the commit token after a visible operation's shared-state
+    /// mutation, entering the in-flight set so the next compute segment
+    /// can overlap with other processes. No-op in sequential mode (the
+    /// token is kept until the next [`ProcCtx::become_min`]).
+    fn release_turn(&mut self) {
+        let engine = self.engine.clone();
+        let mut g = engine.inner.lock();
+        if g.deadlocked {
             return;
         }
-        let slot = g.procs[me.index()].slot.clone();
-        drop(g);
-        let (clock, reason) = slot.park();
-        self.clock = clock;
-        if reason == WakeReason::Deadlock {
-            panic::panic_any(DeadlockNote(format!("{} woken by deadlock", self.pid)));
+        debug_assert_eq!(g.turn, Some(self.pid), "token released by non-holder");
+        let cap = match g.exec {
+            Execution::Sequential => 0,
+            Execution::Parallel { threads } => threads,
+        };
+        if g.inflight.len() >= cap {
+            return; // keep the token; the next align passes it on
         }
+        g.turn = None;
+        g.inflight.push((self.pid, self.clock));
+        engine.try_dispatch(&mut g);
+    }
+
+    /// Run `f` inside this process's next commit window: at a
+    /// deterministic point in the global visible-operation order, with
+    /// the commit token held. Frameworks use this to order side effects
+    /// on state shared *outside* the engine (symmetric heaps, RMA
+    /// windows) so parallel execution cannot reorder them.
+    pub fn ordered<R>(&mut self, f: impl FnOnce() -> R) -> R {
+        self.become_min();
+        let out = f();
+        self.release_turn();
+        out
     }
 
     /// Send a message. The sender is charged the transport's endpoint CPU
@@ -462,31 +540,33 @@ impl ProcCtx {
             );
         }
         self.become_min();
-
-        let engine = self.engine.clone();
-        let mut g = engine.inner.lock();
-        let sent_at = self.clock;
-        let same_node = self.proc_nodes[dst.index()] == self.node;
-        let wire = transport.wire_time(bytes);
-        let arrival = if same_node {
-            sent_at + transport.latency + wire
-        } else {
-            let nic = &mut g.nic_free[self.node.index()];
-            let start = sent_at.max(*nic);
-            *nic = start + wire;
-            start + wire + transport.latency
-        };
-        let recv_cost = transport.endpoint_cpu(transport.recv_overhead, bytes);
-        let msg = Message {
-            src: self.pid,
-            tag,
-            bytes,
-            payload,
-            sent_at,
-            arrival,
-            recv_cost,
-        };
-        Engine::deliver(&mut g, dst, msg);
+        {
+            let engine = self.engine.clone();
+            let mut g = engine.inner.lock();
+            let sent_at = self.clock;
+            let same_node = self.proc_nodes[dst.index()] == self.node;
+            let wire = transport.wire_time(bytes);
+            let arrival = if same_node {
+                sent_at + transport.latency + wire
+            } else {
+                let nic = &mut g.nic_free[self.node.index()];
+                let start = sent_at.max(*nic);
+                *nic = start + wire;
+                start + wire + transport.latency
+            };
+            let recv_cost = transport.endpoint_cpu(transport.recv_overhead, bytes);
+            let msg = Message {
+                src: self.pid,
+                tag,
+                bytes,
+                payload,
+                sent_at,
+                arrival,
+                recv_cost,
+            };
+            Engine::deliver(&mut g, dst, msg);
+        }
+        self.release_turn();
     }
 
     fn take_match(&mut self, spec: MatchSpec) -> Option<Message> {
@@ -549,10 +629,16 @@ impl ProcCtx {
         deadline: Option<SimTime>,
     ) -> Result<Message, RecvTimeout> {
         let blocked_since = self.clock;
+        // Align first so the mailbox is inspected at a deterministic
+        // point of the visible-operation order (identical in both
+        // execution modes).
+        self.become_min();
         if let Some(m) = self.take_match(spec) {
-            return Ok(self.finish_recv(m, blocked_since));
+            let m = self.finish_recv(m, blocked_since);
+            self.release_turn();
+            return Ok(m);
         }
-        // Block.
+        // Block, handing the token back.
         let engine = self.engine.clone();
         let slot;
         {
@@ -565,6 +651,8 @@ impl ProcCtx {
                 )));
             }
             let me = self.pid;
+            debug_assert_eq!(g.turn, Some(me), "blocking without the token");
+            g.turn = None;
             let p = &mut g.procs[me.index()];
             p.clock = self.clock;
             p.status = Status::Blocked { spec, deadline };
@@ -575,7 +663,7 @@ impl ProcCtx {
                 // No heap entry: only a matching delivery can wake us.
                 p.gen += 1;
             }
-            self.engine.dispatch_from(&mut g, None);
+            engine.try_dispatch(&mut g);
         }
         let (clock, reason) = slot.park();
         self.clock = clock;
@@ -584,10 +672,13 @@ impl ProcCtx {
                 let m = self
                     .take_match(spec)
                     .expect("woken for message but no match in mailbox");
-                Ok(self.finish_recv(m, blocked_since))
+                let m = self.finish_recv(m, blocked_since);
+                self.release_turn();
+                Ok(m)
             }
             WakeReason::Timeout => {
                 self.stats.wait_time += self.clock - blocked_since;
+                self.release_turn();
                 Err(RecvTimeout)
             }
             WakeReason::Deadlock => panic::panic_any(DeadlockNote(format!(
@@ -601,8 +692,10 @@ impl ProcCtx {
     /// Non-blocking receive: a matching message whose arrival time is not
     /// after this process's current clock.
     pub fn try_recv(&mut self, spec: MatchSpec) -> Option<Message> {
-        let engine = self.engine.clone();
+        // Align so the arrival check happens at a deterministic point.
+        self.become_min();
         let now = self.clock;
+        let engine = self.engine.clone();
         let taken = {
             let mut g = engine.inner.lock();
             let p = &mut g.procs[self.pid.index()];
@@ -615,7 +708,9 @@ impl ProcCtx {
                 .map(|(i, _)| i);
             best.and_then(|i| p.mailbox.remove(i))
         };
-        taken.map(|m| self.finish_recv(m, now))
+        let out = taken.map(|m| self.finish_recv(m, now));
+        self.release_turn();
+        out
     }
 
     /// One-sided RDMA transfer (OpenSHMEM put/get, MPI RMA): the initiator
@@ -632,6 +727,23 @@ impl ProcCtx {
         transport: &Transport,
         round_trips: u32,
     ) {
+        self.one_sided_transfer_with(target_node, bytes, transport, round_trips, || ());
+    }
+
+    /// [`ProcCtx::one_sided_transfer`] with a data-plane `effect` executed
+    /// inside the commit window, after the transfer's completion time is
+    /// known. Frameworks pass the actual memory mutation (symmetric-heap
+    /// store, window accumulate) here so that remote-memory effects are
+    /// applied in deterministic virtual-time order even when other
+    /// processes compute concurrently.
+    pub fn one_sided_transfer_with<R>(
+        &mut self,
+        target_node: NodeId,
+        bytes: u64,
+        transport: &Transport,
+        round_trips: u32,
+        effect: impl FnOnce() -> R,
+    ) -> R {
         let cpu = transport.endpoint_cpu(transport.send_overhead, bytes);
         let t_op = self.clock;
         self.clock += cpu;
@@ -640,9 +752,7 @@ impl ProcCtx {
         self.stats.bytes_sent += bytes;
         self.become_min();
         let wire = transport.wire_time(bytes);
-        let lat = SimDuration::from_nanos(
-            transport.latency.nanos() * round_trips.max(1) as u64,
-        );
+        let lat = SimDuration::from_nanos(transport.latency.nanos() * round_trips.max(1) as u64);
         if target_node == self.node {
             self.clock += lat + wire;
         } else {
@@ -653,6 +763,7 @@ impl ProcCtx {
             *nic = start + wire;
             self.clock = start + wire + lat;
         }
+        let out = effect();
         if let Some(tr) = self.trace() {
             tr.record(
                 self.pid,
@@ -661,41 +772,50 @@ impl ProcCtx {
                 crate::trace::EventKind::OneSided { bytes },
             );
         }
+        self.release_turn();
+        out
     }
 
     fn device_io(&mut self, bytes: u64, is_nfs: bool, is_write: bool) {
         self.become_min();
-        let engine = self.engine.clone();
-        let mut g = engine.inner.lock();
-        let (spec, free): (crate::topology::DiskSpec, &mut SimTime) = if is_nfs {
-            (self.world.nfs, &mut g.nfs_free)
-        } else {
-            (
-                self.world.topology.node(self.node).spec.disk,
-                &mut g.disk_free[self.node.index()],
-            )
-        };
-        let bw = if is_write { spec.write_bw } else { spec.read_bw };
-        let dur = spec.request_overhead + SimDuration::from_secs_f64(bytes as f64 / bw);
-        let start = self.clock.max(*free);
-        *free = start + dur;
-        let finish = start + dur;
-        self.stats.disk_time += finish - self.clock;
-        let t0 = self.clock;
-        self.clock = finish;
-        if is_write {
-            self.stats.disk_write_bytes += bytes;
-        } else {
-            self.stats.disk_read_bytes += bytes;
-        }
-        if let Some(tr) = self.trace() {
-            let kind = match (is_nfs, is_write) {
-                (true, _) => crate::trace::EventKind::Nfs { bytes },
-                (false, true) => crate::trace::EventKind::DiskWrite { bytes },
-                (false, false) => crate::trace::EventKind::DiskRead { bytes },
+        {
+            let engine = self.engine.clone();
+            let mut g = engine.inner.lock();
+            let (spec, free): (crate::topology::DiskSpec, &mut SimTime) = if is_nfs {
+                (self.world.nfs, &mut g.nfs_free)
+            } else {
+                (
+                    self.world.topology.node(self.node).spec.disk,
+                    &mut g.disk_free[self.node.index()],
+                )
             };
-            tr.record(self.pid, t0, finish, kind);
+            let bw = if is_write {
+                spec.write_bw
+            } else {
+                spec.read_bw
+            };
+            let dur = spec.request_overhead + SimDuration::from_secs_f64(bytes as f64 / bw);
+            let start = self.clock.max(*free);
+            *free = start + dur;
+            let finish = start + dur;
+            self.stats.disk_time += finish - self.clock;
+            let t0 = self.clock;
+            self.clock = finish;
+            if is_write {
+                self.stats.disk_write_bytes += bytes;
+            } else {
+                self.stats.disk_read_bytes += bytes;
+            }
+            if let Some(tr) = self.trace() {
+                let kind = match (is_nfs, is_write) {
+                    (true, _) => crate::trace::EventKind::Nfs { bytes },
+                    (false, true) => crate::trace::EventKind::DiskWrite { bytes },
+                    (false, false) => crate::trace::EventKind::DiskRead { bytes },
+                };
+                tr.record(self.pid, t0, finish, kind);
+            }
         }
+        self.release_turn();
     }
 
     /// Read `bytes` from this node's scratch disk (serialized with other
@@ -733,6 +853,7 @@ struct ProcSpawn {
 pub struct Sim {
     world: Arc<World>,
     spawns: Vec<ProcSpawn>,
+    exec: Execution,
 }
 
 /// Final report of one process.
@@ -779,12 +900,7 @@ impl SimReport {
             .take()
             .unwrap_or_else(|| panic!("{pid} produced no result or it was already taken"))
             .downcast::<T>()
-            .unwrap_or_else(|_| {
-                panic!(
-                    "{pid} result is not a {}",
-                    std::any::type_name::<T>()
-                )
-            })
+            .unwrap_or_else(|_| panic!("{pid} result is not a {}", std::any::type_name::<T>()))
     }
 
     /// Aggregate statistics over all processes.
@@ -798,12 +914,26 @@ impl SimReport {
 }
 
 impl Sim {
-    /// New simulation over `topology`.
+    /// New simulation over `topology`, using the process-wide default
+    /// execution mode (see [`set_default_execution`]).
     pub fn new(topology: Topology) -> Sim {
         Sim {
             world: Arc::new(World::new(topology)),
             spawns: Vec::new(),
+            exec: default_execution(),
         }
+    }
+
+    /// Choose the execution mode for this run. Both modes produce
+    /// bit-identical virtual-time results; [`Execution::Parallel`]
+    /// overlaps compute segments across cores.
+    pub fn set_execution(&mut self, exec: Execution) {
+        self.exec = exec;
+    }
+
+    /// The execution mode this run will use.
+    pub fn execution(&self) -> Execution {
+        self.exec
     }
 
     /// Access the world (to pre-populate the filesystem).
@@ -848,8 +978,7 @@ impl Sim {
     pub fn run(self) -> SimReport {
         let n = self.spawns.len();
         assert!(n > 0, "simulation has no processes");
-        let proc_nodes: Arc<Vec<NodeId>> =
-            Arc::new(self.spawns.iter().map(|s| s.node).collect());
+        let proc_nodes: Arc<Vec<NodeId>> = Arc::new(self.spawns.iter().map(|s| s.node).collect());
         let nodes = self.world.topology.len();
         let engine = Arc::new(Engine {
             inner: Mutex::new(Inner {
@@ -870,9 +999,11 @@ impl Sim {
                     })
                     .collect(),
                 runnable: BinaryHeap::new(),
-                seq: 0,
                 live: n,
                 deadlocked: false,
+                exec: self.exec,
+                turn: None,
+                inflight: Vec::new(),
                 nic_free: vec![SimTime::ZERO; nodes],
                 disk_free: vec![SimTime::ZERO; nodes],
                 nfs_free: SimTime::ZERO,
@@ -883,8 +1014,7 @@ impl Sim {
         });
 
         type ResultSlots = Vec<Option<Box<dyn Any + Send>>>;
-        let results: Arc<Mutex<ResultSlots>> =
-            Arc::new(Mutex::new((0..n).map(|_| None).collect()));
+        let results: Arc<Mutex<ResultSlots>> = Arc::new(Mutex::new((0..n).map(|_| None).collect()));
 
         let mut handles = Vec::with_capacity(n);
         for (i, spawn) in self.spawns.into_iter().enumerate() {
@@ -898,7 +1028,7 @@ impl Sim {
                 .name(format!("sim-{}", spawn.name))
                 .stack_size(1 << 21)
                 .spawn(move || {
-                    // Wait for the first baton.
+                    // Wait for the first grant.
                     let (clock, reason) = slot.park();
                     let mut ctx = ProcCtx {
                         engine: engine.clone(),
@@ -914,9 +1044,11 @@ impl Sim {
                         finish_proc(&engine, &mut ctx, None);
                         return;
                     }
+                    // Process start commits nothing: release the token so
+                    // starts overlap in parallel mode.
+                    ctx.release_turn();
                     let f = spawn.f;
-                    let outcome =
-                        panic::catch_unwind(AssertUnwindSafe(|| f(&mut ctx)));
+                    let outcome = panic::catch_unwind(AssertUnwindSafe(|| f(&mut ctx)));
                     match outcome {
                         Ok(val) => {
                             results.lock()[pid.index()] = Some(val);
@@ -932,14 +1064,14 @@ impl Sim {
             handles.push(handle);
         }
 
-        // Hand the first baton to the earliest process and wait for the end.
+        // Enqueue every process at its start time and wait for the end.
         {
             let mut g = engine.inner.lock();
             for i in 0..n {
                 let t = g.procs[i].clock;
                 Engine::push(&mut g, Pid(i as u32), t);
             }
-            engine.dispatch_from(&mut g, None);
+            engine.try_dispatch(&mut g);
             while g.live > 0 {
                 engine.done.wait(&mut g);
             }
@@ -1003,8 +1135,20 @@ fn describe_panic(payload: &(dyn Any + Send)) -> (String, bool) {
 }
 
 fn finish_proc(engine: &Arc<Engine>, ctx: &mut ProcCtx, panic_info: Option<(String, bool)>) {
-    let mut g = engine.inner.lock();
     let pid = ctx.pid;
+    if panic_info.is_none() {
+        // Normal completion is itself a visible event: align so the
+        // transition to Done happens at a deterministic point of the
+        // global order (e.g. whether a message to this process is
+        // dropped must not depend on wall-clock scheduling). During
+        // deadlock teardown the alignment is skipped.
+        let _ = ctx.align_quiet();
+    }
+    let mut g = engine.inner.lock();
+    if g.turn == Some(pid) {
+        g.turn = None;
+    }
+    g.inflight.retain(|&(q, _)| q != pid);
     {
         let p = &mut g.procs[pid.index()];
         p.status = Status::Done;
@@ -1020,6 +1164,6 @@ fn finish_proc(engine: &Arc<Engine>, ctx: &mut ProcCtx, panic_info: Option<(Stri
     if g.live == 0 {
         engine.done.notify_all();
     } else if !g.deadlocked {
-        engine.dispatch_from(&mut g, None);
+        engine.try_dispatch(&mut g);
     }
 }

@@ -1,0 +1,152 @@
+//! Parallel lookahead execution mode for the virtual-time engine.
+//!
+//! The engine's determinism story (see `engine.rs` and DESIGN.md) rests
+//! on totally ordering *simulation-visible* operations. The compute
+//! segments between those operations have no simulation-visible effect —
+//! they only advance a process's private clock and run private Rust
+//! code — so they may overlap in wall-clock time without changing any
+//! virtual-time outcome. This module holds the public knobs that select
+//! between the two schedules:
+//!
+//! * [`Execution::Sequential`] — classic baton passing, one process at a
+//!   time (the default, and the reference schedule).
+//! * [`Execution::Parallel`] — the commit token is released right after
+//!   each visible operation's shared-state mutation; the process then
+//!   runs its next compute segment concurrently with others. A
+//!   conservative frontier rule in the scheduler guarantees the grant
+//!   sequence — and therefore every virtual time, result and statistic —
+//!   is bit-identical to the sequential schedule.
+//!
+//! The mode can be set per run ([`crate::Sim::set_execution`]),
+//! process-wide ([`set_default_execution`]), or from the environment via
+//! `HPCBD_EXECUTION=sequential|parallel|parallel:N`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// How the engine schedules the real Rust compute between visible
+/// operations. Both modes produce bit-identical virtual-time results;
+/// parallel mode trades scheduler overhead for wall-clock overlap of
+/// compute segments on multi-core hosts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Execution {
+    /// Classic baton passing: one process at a time (default).
+    Sequential,
+    /// Release the commit token after each visible operation so up to
+    /// `threads` processes run their compute segments concurrently
+    /// (in addition to the current token holder). `threads = 0` degrades
+    /// to sequential behaviour.
+    Parallel {
+        /// Concurrency cap for released compute segments.
+        threads: usize,
+    },
+}
+
+/// Encoded process-wide default execution mode; `u64::MAX` means "not
+/// yet initialized, consult the environment".
+static DEFAULT_EXEC: AtomicU64 = AtomicU64::new(u64::MAX);
+
+impl Execution {
+    fn encode(self) -> u64 {
+        match self {
+            Execution::Sequential => 0,
+            Execution::Parallel { threads } => threads.max(1) as u64,
+        }
+    }
+
+    fn decode(v: u64) -> Execution {
+        if v == 0 {
+            Execution::Sequential
+        } else {
+            Execution::Parallel {
+                threads: v as usize,
+            }
+        }
+    }
+
+    /// Parallel mode sized to the host's available cores.
+    pub fn parallel_auto() -> Execution {
+        Execution::Parallel {
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        }
+    }
+
+    /// Parse the `HPCBD_EXECUTION` environment variable:
+    /// `sequential` (default), `parallel` (auto-sized), or `parallel:N`.
+    pub fn from_env() -> Execution {
+        match std::env::var("HPCBD_EXECUTION") {
+            Ok(v) => Execution::parse(&v).unwrap_or(Execution::Sequential),
+            Err(_) => Execution::Sequential,
+        }
+    }
+
+    /// Parse `sequential` / `seq`, `parallel` / `par`, or `parallel:N`.
+    pub fn parse(s: &str) -> Option<Execution> {
+        let s = s.trim();
+        match s {
+            "sequential" | "seq" => Some(Execution::Sequential),
+            "parallel" | "par" => Some(Execution::parallel_auto()),
+            _ => {
+                let threads = s
+                    .strip_prefix("parallel:")
+                    .or_else(|| s.strip_prefix("par:"))?
+                    .parse::<usize>()
+                    .ok()?;
+                Some(Execution::Parallel { threads })
+            }
+        }
+    }
+}
+
+/// Set the process-wide default execution mode used by
+/// [`crate::Sim::new`] (overridable per simulation with
+/// [`crate::Sim::set_execution`]).
+pub fn set_default_execution(exec: Execution) {
+    DEFAULT_EXEC.store(exec.encode(), Ordering::SeqCst);
+}
+
+/// The process-wide default execution mode: whatever
+/// [`set_default_execution`] last stored, else `HPCBD_EXECUTION`, else
+/// sequential.
+pub fn default_execution() -> Execution {
+    let v = DEFAULT_EXEC.load(Ordering::SeqCst);
+    if v != u64::MAX {
+        return Execution::decode(v);
+    }
+    let e = Execution::from_env();
+    // Racing initializers agree (the env doesn't change underneath us).
+    DEFAULT_EXEC.store(e.encode(), Ordering::SeqCst);
+    e
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_modes() {
+        assert_eq!(Execution::parse("sequential"), Some(Execution::Sequential));
+        assert_eq!(Execution::parse("seq"), Some(Execution::Sequential));
+        assert_eq!(
+            Execution::parse("parallel:4"),
+            Some(Execution::Parallel { threads: 4 })
+        );
+        assert!(matches!(
+            Execution::parse("parallel"),
+            Some(Execution::Parallel { .. })
+        ));
+        assert_eq!(Execution::parse("bogus"), None);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        for e in [
+            Execution::Sequential,
+            Execution::Parallel { threads: 1 },
+            Execution::Parallel { threads: 7 },
+        ] {
+            assert_eq!(Execution::decode(e.encode()), e);
+        }
+    }
+}

@@ -103,10 +103,28 @@ impl Trace {
         });
     }
 
-    /// Events sorted by `(start, pid)` — the deterministic export order.
+    /// Events in the deterministic export order.
+    ///
+    /// Under [`crate::Execution::Parallel`] events from different
+    /// processes are appended in wall-clock order, which varies run to
+    /// run — so the export order must come entirely from the sort key.
+    /// The key `(start, pid, end, kind)` is a total order up to fully
+    /// identical (hence interchangeable) events, making trace exports
+    /// bit-identical across runs and execution modes.
     pub fn sorted_events(&self) -> Vec<TraceEvent> {
+        fn kind_key(k: &EventKind) -> (u8, u64, u32) {
+            match *k {
+                EventKind::Compute => (0, 0, 0),
+                EventKind::Send { dst, bytes } => (1, bytes, dst.0),
+                EventKind::Recv { src, bytes } => (2, bytes, src.0),
+                EventKind::DiskRead { bytes } => (3, bytes, 0),
+                EventKind::DiskWrite { bytes } => (4, bytes, 0),
+                EventKind::Nfs { bytes } => (5, bytes, 0),
+                EventKind::OneSided { bytes } => (6, bytes, 0),
+            }
+        }
         let mut v = self.events.lock().clone();
-        v.sort_by_key(|e| (e.start, e.pid, e.end));
+        v.sort_by_key(|e| (e.start, e.pid, e.end, kind_key(&e.kind)));
         v
     }
 

@@ -46,9 +46,8 @@ impl PowerLawGraph {
         // Permute v so high-degree vertices are spread across the id
         // space, then apply the heavy-tailed profile.
         let r = (splitmix64(self.seed, v as u64) % self.vertices as u64) as u32;
-        let d = (self.base_degree as f64
-            / ((1.0 + r as f64) / self.vertices as f64).sqrt())
-        .ceil() as u32;
+        let d = (self.base_degree as f64 / ((1.0 + r as f64) / self.vertices as f64).sqrt()).ceil()
+            as u32;
         d.clamp(1, self.vertices.saturating_sub(1).max(1))
     }
 
@@ -226,10 +225,7 @@ mod tests {
         let total: f64 = ranks.iter().sum();
         let n = graph.vertices as f64;
         // With damping 0.15/0.85 and no dangling mass loss, total ~ n.
-        assert!(
-            (total - n).abs() / n < 0.05,
-            "total rank {total} vs n {n}"
-        );
+        assert!((total - n).abs() / n < 0.05, "total rank {total} vs n {n}");
         assert!(ranks.iter().all(|r| *r > 0.0));
     }
 

@@ -214,7 +214,11 @@ mod tests {
         // sample ids as reading it whole — the invariant every parallel
         // reader depends on.
         let d = ds();
-        let whole: Vec<u64> = d.sample_records(0, d.logical_size).iter().map(|p| p.id).collect();
+        let whole: Vec<u64> = d
+            .sample_records(0, d.logical_size)
+            .iter()
+            .map(|p| p.id)
+            .collect();
         let mut parts: Vec<u64> = Vec::new();
         let chunk = 100_000u64;
         let mut off = 0;

@@ -49,11 +49,7 @@ fn main() {
         let rdd = sc.parallelize(pairs, 8);
         // A deliberately expensive map keeps the job running across the
         // injected failure.
-        let heavy = rdd.map_with_cost(
-            hpcbd::simnet::Work::new(3.0e4, 1.0e4),
-            16,
-            |kv| *kv,
-        );
+        let heavy = rdd.map_with_cost(hpcbd::simnet::Work::new(3.0e4, 1.0e4), 16, |kv| *kv);
         let counts = heavy
             .reduce_by_key(4, |a, b| a + b)
             .persist(StorageLevel::MemoryAndDisk);

@@ -20,14 +20,11 @@ fn main() {
     let mut sim = Sim::new(Topology::comet(2));
     let compute = sim.spawn(NodeId(0), "compute", move |ctx| {
         let sum: u64 = (0..n).map(|i| i * i % 1000).sum();
-        ctx.compute(hpcbd::simnet::Work::new(n as f64 * 4.0, n as f64 * 8.0), 1.0);
-        ctx.send(
-            Pid(1),
-            1,
-            8,
-            Payload::value(sum),
-            &Transport::rdma_verbs(),
+        ctx.compute(
+            hpcbd::simnet::Work::new(n as f64 * 4.0, n as f64 * 8.0),
+            1.0,
         );
+        ctx.send(Pid(1), 1, 8, Payload::value(sum), &Transport::rdma_verbs());
         sum
     });
     sim.spawn(NodeId(1), "sink", |ctx| {
@@ -48,8 +45,10 @@ fn main() {
         let (me, p) = (rank.rank() as u64, rank.size() as u64);
         let local: u64 = (0..n).filter(|i| i % p == me).map(|i| i * i % 1000).sum();
         let per_rank = (n / p) as f64;
-        rank.ctx()
-            .compute(hpcbd::simnet::Work::new(per_rank * 4.0, per_rank * 8.0), 1.0);
+        rank.ctx().compute(
+            hpcbd::simnet::Work::new(per_rank * 4.0, per_rank * 8.0),
+            1.0,
+        );
         rank.allreduce(ReduceOp::Sum, &[local])[0]
     });
     println!(

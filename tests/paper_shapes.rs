@@ -59,7 +59,10 @@ fn fig4_shape_spark_beats_hadoop_and_scales() {
     let (spark_4, a2) = bench_answers::spark_answers(&ds, Placement::new(4, 4));
     let (hadoop_2, a3) = bench_answers::hadoop_answers(&ds, Placement::new(2, 4));
     assert!(spark_2 < hadoop_2, "spark {spark_2} vs hadoop {hadoop_2}");
-    assert!(spark_4 < spark_2, "spark must scale: {spark_4} vs {spark_2}");
+    assert!(
+        spark_4 < spark_2,
+        "spark must scale: {spark_4} vs {spark_2}"
+    );
     let (q, a) = ds.oracle_counts(0, ds.logical_size);
     let oracle = a as f64 / q as f64;
     for avg in [a1, a2, a3] {

@@ -1,0 +1,138 @@
+//! Vendored, dependency-free subset of the `criterion` API.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the slice of criterion it actually uses: `Criterion`,
+//! `benchmark_group` / `sample_size` / `bench_function` / `finish`,
+//! `Bencher::iter`, `black_box`, and the `criterion_group!` /
+//! `criterion_main!` macros. Each benchmark runs `sample_size`
+//! timed samples and reports min / mean / max wall-clock to stdout —
+//! enough to guard against gross engine regressions, without the real
+//! crate's statistics, plots, or baseline storage.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Prevent the compiler from optimising away a benchmarked value.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Timing harness handed to each benchmark closure.
+pub struct Bencher {
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Time one sample of `routine` (one call per sample; the real
+    /// criterion batches calls, which this subset does not need).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        black_box(routine());
+        self.samples.push(start.elapsed());
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set how many timed samples each benchmark takes.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Run and report one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            samples: Vec::with_capacity(self.sample_size),
+        };
+        // Warm-up sample, discarded.
+        f(&mut b);
+        b.samples.clear();
+        for _ in 0..self.sample_size {
+            f(&mut b);
+        }
+        let total: Duration = b.samples.iter().sum();
+        let mean = total / b.samples.len() as u32;
+        let min = b.samples.iter().min().copied().unwrap_or_default();
+        let max = b.samples.iter().max().copied().unwrap_or_default();
+        println!(
+            "{}/{}: mean {:?} (min {:?}, max {:?}, {} samples)",
+            self.name,
+            id,
+            mean,
+            min,
+            max,
+            b.samples.len()
+        );
+        self
+    }
+
+    /// End the group (reporting happens per-benchmark; this is a no-op
+    /// kept for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: 10,
+            _parent: self,
+        }
+    }
+
+    /// Final-summary hook; a no-op in this subset.
+    pub fn final_summary(&mut self) {}
+}
+
+/// Collect benchmark functions into a runner, as in real criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+            c.final_summary();
+        }
+    };
+}
+
+/// Emit a `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_requested_samples() {
+        let mut c = Criterion::default();
+        let mut calls = 0u32;
+        {
+            let mut g = c.benchmark_group("t");
+            g.sample_size(3);
+            g.bench_function("count", |b| b.iter(|| calls += 1));
+            g.finish();
+        }
+        // 3 samples + 1 warm-up.
+        assert_eq!(calls, 4);
+    }
+}
