@@ -7,7 +7,7 @@ use std::sync::Arc;
 use parking_lot::RwLock;
 
 use hpcbd_simnet::{
-    MatchSpec, NodeId, Payload, Pid, ProcCtx, Sim, SimDuration, SimTime, Tag, Transport,
+    FaultEvent, MatchSpec, NodeId, Payload, Pid, ProcCtx, Sim, SimDuration, SimTime, Tag, Transport,
 };
 
 use crate::types::{HdfsBlock, HdfsConfig, HdfsFile};
@@ -31,6 +31,21 @@ pub(crate) enum DnRequest {
         /// stream instead of the fabric).
         local: bool,
     },
+    /// Re-replication: read `block_id` back from disk and stream it to
+    /// the datanode `target_dn`, which stores a fresh replica.
+    Replicate {
+        /// Block id being re-replicated.
+        block_id: u64,
+        /// Bytes to stream.
+        len: u64,
+        /// Datanode receiving the new replica.
+        target_dn: Pid,
+    },
+    /// Receive a pipelined replica and persist it.
+    Store {
+        /// Bytes to write.
+        len: u64,
+    },
     /// Terminate the datanode.
     Shutdown,
 }
@@ -40,6 +55,9 @@ struct Inner {
     /// Shared with every datanode closure: a dying datanode records itself
     /// here, and clients consult it when choosing replicas.
     dead: Arc<RwLock<HashSet<NodeId>>>,
+    /// Nodes whose block loss has already been repaired (re-replication
+    /// runs once per dead node, whoever detects the death first).
+    re_replicated: RwLock<HashSet<NodeId>>,
     next_block: RwLock<u64>,
     datanode_pids: Vec<Pid>,
     nodes: u32,
@@ -87,6 +105,7 @@ impl Hdfs {
             inner: Arc::new(Inner {
                 namespace: RwLock::new(HashMap::new()),
                 dead,
+                re_replicated: RwLock::new(HashSet::new()),
                 next_block: RwLock::new(0),
                 datanode_pids,
                 nodes,
@@ -204,6 +223,73 @@ impl Hdfs {
         alive
     }
 
+    /// Namenode-side re-replication planning for a dead datanode:
+    /// restore the replication factor of every block that had a replica
+    /// there. Deterministic — files are walked in path order, and each
+    /// lost block's new home is the first alive non-replica node in a
+    /// round-robin scan keyed by block id. Updates the namespace
+    /// metadata and returns the transfers as
+    /// `(block_id, len, source_node, target_node)`.
+    pub fn plan_re_replication(&self, dead_node: NodeId) -> Vec<(u64, u64, NodeId, NodeId)> {
+        let n = self.inner.nodes;
+        let dead = self.inner.dead.read().clone();
+        let mut moves = Vec::new();
+        let mut ns = self.inner.namespace.write();
+        let mut paths: Vec<String> = ns.keys().cloned().collect();
+        paths.sort();
+        for path in paths {
+            let file = ns.get_mut(&path).expect("path just listed");
+            for b in file.blocks.iter_mut() {
+                let Some(pos) = b.replicas.iter().position(|r| *r == dead_node) else {
+                    continue;
+                };
+                b.replicas.remove(pos);
+                let Some(source) = b.replicas.iter().copied().find(|r| !dead.contains(r)) else {
+                    continue; // every replica is gone; readers will panic
+                };
+                let start = (b.id % n as u64) as u32;
+                let target = (0..n)
+                    .map(|k| NodeId((start + k) % n))
+                    .find(|c| !dead.contains(c) && !b.replicas.contains(c));
+                if let Some(target) = target {
+                    b.replicas.push(target);
+                    moves.push((b.id, b.len, source, target));
+                }
+            }
+        }
+        moves
+    }
+
+    /// Namenode reaction to a dead datanode, driven by whichever client
+    /// first observes the silence (standing in for heartbeat expiry):
+    /// marks the node dead and — once per node — streams a fresh copy of
+    /// every lost block from a surviving replica to its new home.
+    pub fn handle_dead_node(&self, ctx: &mut ProcCtx, node: NodeId) {
+        self.mark_dead(node);
+        if !self.inner.re_replicated.write().insert(node) {
+            return; // someone already repaired this node's blocks
+        }
+        let rpc = Transport::java_socket_control();
+        for (block_id, len, source, target) in self.plan_re_replication(node) {
+            ctx.record_fault(FaultEvent::Recovery {
+                runtime: "hdfs",
+                action: "re_replicate",
+                detail: block_id,
+            });
+            ctx.send(
+                self.datanode(source),
+                DN_TAG,
+                256,
+                Payload::value(DnRequest::Replicate {
+                    block_id,
+                    len,
+                    target_dn: self.datanode(target),
+                }),
+                &rpc,
+            );
+        }
+    }
+
     /// Read one block from the calling process.
     ///
     /// Every read streams through a datanode — the Hadoop 2.x default
@@ -222,6 +308,17 @@ impl Hdfs {
         let overhead = self.config.per_block_overhead;
         let checksum =
             SimDuration::from_secs_f64(block.len as f64 * self.config.checksum_cpu_per_byte);
+        // A replica list naming a known-dead node means heartbeats have
+        // expired but repair hasn't run yet: kick it (once per node).
+        let dead_replicas: Vec<NodeId> = block
+            .replicas
+            .iter()
+            .copied()
+            .filter(|r| self.is_dead(*r))
+            .collect();
+        for r in dead_replicas {
+            self.handle_dead_node(ctx, r);
+        }
         let candidates = self.alive_replicas(block, Some(me));
         assert!(
             !candidates.is_empty(),
@@ -254,8 +351,9 @@ impl Hdfs {
                     return node;
                 }
                 Err(_) => {
-                    // Datanode died mid-request; note it and fail over.
-                    self.mark_dead(node);
+                    // Datanode died mid-request: fail over to the next
+                    // replica and have the namenode repair replication.
+                    self.handle_dead_node(ctx, node);
                     continue;
                 }
             }
@@ -315,11 +413,10 @@ impl Hdfs {
     /// Stop every datanode that is still alive. Call from one application
     /// process after the workload completes.
     pub fn shutdown(&self, ctx: &mut ProcCtx) {
-        let dead: Vec<NodeId> = self.inner.dead.read().iter().copied().collect();
-        for (i, pid) in self.inner.datanode_pids.iter().enumerate() {
-            if dead.contains(&NodeId(i as u32)) {
-                continue;
-            }
+        // Every datanode gets the message, including ones presumed dead:
+        // the `dead` set can lag a FaultPlan crash, and a message to a
+        // finished process is silently dropped.
+        for pid in self.inner.datanode_pids.iter() {
             ctx.send(
                 *pid,
                 DN_TAG,
@@ -343,12 +440,19 @@ fn fxhash(s: &str) -> u64 {
 
 fn datanode_loop(ctx: &mut ProcCtx, fail_at: Option<SimTime>, dead: Arc<RwLock<HashSet<NodeId>>>) {
     let ipoib = Transport::ipoib_socket();
+    let fail_at = match (fail_at, ctx.node_crash_time()) {
+        (Some(a), Some(b)) => Some(a.min(b)),
+        (a, b) => a.or(b),
+    };
     loop {
         let msg = match fail_at {
             Some(t) => match ctx.recv_deadline(MatchSpec::tag(DN_TAG), Some(t)) {
                 Ok(m) => m,
                 Err(_) => {
                     // Die silently: in-flight clients will time out.
+                    if Some(t) == ctx.node_crash_time() {
+                        ctx.record_fault(FaultEvent::NodeCrash { node: ctx.node() });
+                    }
                     dead.write().insert(ctx.node());
                     return;
                 }
@@ -376,6 +480,30 @@ fn datanode_loop(ctx: &mut ProcCtx, fail_at: Option<SimTime>, dead: Arc<RwLock<H
                     Payload::Empty,
                     &tr,
                 );
+            }
+            DnRequest::Replicate {
+                block_id,
+                len,
+                target_dn,
+            } => {
+                // Read the surviving copy back and pipeline it to the
+                // block's new home.
+                ctx.record_fault(FaultEvent::Recovery {
+                    runtime: "hdfs",
+                    action: "replica_stream",
+                    detail: *block_id,
+                });
+                ctx.disk_read(*len);
+                ctx.send(
+                    *target_dn,
+                    DN_TAG,
+                    *len,
+                    Payload::value(DnRequest::Store { len: *len }),
+                    &ipoib,
+                );
+            }
+            DnRequest::Store { len } => {
+                ctx.disk_write(*len);
             }
             DnRequest::Shutdown => return,
         }

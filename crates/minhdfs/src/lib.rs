@@ -206,6 +206,74 @@ mod tests {
     }
 
     #[test]
+    fn re_replication_placement_is_deterministic_and_valid() {
+        let (_sim, hdfs) = deploy_on(4, HdfsConfig::with_replication(2));
+        let f = hdfs.load_file_instant("/f", 512 << 20, None);
+        let victim = f.blocks[0].replicas[0];
+        let lost: Vec<u64> = f
+            .blocks
+            .iter()
+            .filter(|b| b.replicas.contains(&victim))
+            .map(|b| b.id)
+            .collect();
+        assert!(!lost.is_empty());
+        hdfs.mark_dead(victim);
+        let moves = hdfs.plan_re_replication(victim);
+        // Exactly one transfer per lost block, each to an alive node that
+        // was not already a replica, and metadata back at replication 2.
+        let moved: Vec<u64> = moves.iter().map(|(id, _, _, _)| *id).collect();
+        assert_eq!(moved, lost, "one repair per lost block, in block order");
+        let after = hdfs.stat("/f").unwrap();
+        for b in &after.blocks {
+            assert_eq!(b.replicas.len(), 2);
+            assert!(!b.replicas.contains(&victim));
+            let mut r = b.replicas.clone();
+            r.sort();
+            r.dedup();
+            assert_eq!(r.len(), 2, "replicas distinct after repair");
+        }
+        for (id, _, source, target) in &moves {
+            assert_ne!(source, target);
+            assert_ne!(*target, victim);
+            let b = after.blocks.iter().find(|b| b.id == *id).unwrap();
+            assert!(b.replicas.contains(target));
+        }
+        // Idempotent: nothing references the dead node any more.
+        assert!(hdfs.plan_re_replication(victim).is_empty());
+    }
+
+    #[test]
+    fn dead_datanode_triggers_re_replication_on_read() {
+        let mut sim = Sim::new(Topology::comet(3));
+        let hdfs = Hdfs::deploy(&mut sim, HdfsConfig::with_replication(2), None);
+        let plan = hpcbd_simnet::FaultPlan::new(5).crash_node(NodeId(1), SimTime(1_000_000));
+        sim.set_fault_plan(plan);
+        let f = hdfs.load_file_instant("/fragile", 1024 << 20, None);
+        let victim_block = f
+            .blocks
+            .iter()
+            .find(|b| b.is_local_to(NodeId(1)) && !b.is_local_to(NodeId(0)))
+            .expect("some block lives on node 1 (plus one other)")
+            .clone();
+        let h = hdfs.clone();
+        let reader = sim.spawn(NodeId(0), "survivor-reader", move |ctx| {
+            ctx.sleep(SimDuration::from_millis(10)); // let the crash land
+            let served = h.read_block(ctx, &victim_block);
+            ctx.sleep(SimDuration::from_secs(30)); // let repairs stream
+            h.shutdown(ctx);
+            served
+        });
+        let mut report = sim.run();
+        let served = report.result::<NodeId>(reader);
+        assert_ne!(served, NodeId(1), "dead node cannot serve");
+        // The failover repaired replication for every block node 1 held.
+        for b in &hdfs.stat("/fragile").unwrap().blocks {
+            assert_eq!(b.replicas.len(), 2);
+            assert!(!b.replicas.contains(&NodeId(1)));
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "no such file")]
     fn reading_missing_file_panics() {
         let (mut sim, hdfs) = deploy_on(1, HdfsConfig::default());

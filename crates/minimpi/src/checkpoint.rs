@@ -8,9 +8,24 @@
 //! This module models exactly that protocol; the `ablation_fault` harness
 //! compares its cost against Spark's per-partition recomputation.
 
-use hpcbd_simnet::SimTime;
+use hpcbd_simnet::{FaultEvent, SimDuration, SimTime, Work};
 
+use crate::datatype::ReduceOp;
 use crate::rank::MpiRank;
+
+/// What an MPI job does when a rank's node fails (Sec. VI-D).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultPolicy {
+    /// Default MPI semantics: the whole job aborts (`MPI_Abort`) — "MPI
+    /// itself does not recover from faults at run time".
+    Abort,
+    /// Coordinated checkpoint/restart: the job relaunches from the last
+    /// checkpoint after a scheduler stall.
+    Restart {
+        /// Scheduler/relaunch stall charged before ranks reload state.
+        relaunch_stall: SimDuration,
+    },
+}
 
 /// Coordinated checkpointing driver for an iterative MPI application.
 #[derive(Debug, Clone)]
@@ -21,6 +36,7 @@ pub struct Checkpointer {
     pub state_bytes_per_rank: u64,
     last_saved_iter: Option<u32>,
     checkpoints_taken: u32,
+    failures_handled: u64,
 }
 
 impl Checkpointer {
@@ -31,6 +47,72 @@ impl Checkpointer {
             state_bytes_per_rank,
             last_saved_iter: None,
             checkpoints_taken: 0,
+            failures_handled: 0,
+        }
+    }
+
+    /// SPMD failure detection against the installed
+    /// [`hpcbd_simnet::FaultPlan`]: every rank counts the node crashes
+    /// visible at its own clock, then a MAX-allreduce makes the job agree
+    /// on the most-advanced view (ranks' clocks differ; without the
+    /// consensus a fast rank would handle a failure its peers have not
+    /// seen and the next collective would deadlock). Returns `true` when
+    /// a newly-failed node was detected — under
+    /// [`FaultPolicy::Restart`], follow with
+    /// [`Checkpointer::restart_replayed`]. Under [`FaultPolicy::Abort`]
+    /// the call panics, which is what `MPI_Abort` does to a job.
+    ///
+    /// Call once per iteration, right after the iteration's collective.
+    /// No fault plan installed (or no crashes in it) costs nothing.
+    pub fn poll_plan_failure(&mut self, rank: &mut MpiRank, policy: FaultPolicy) -> bool {
+        let nodes: u32 = {
+            let placement = rank.placement();
+            (0..rank.size())
+                .map(|r| placement.node_of_rank(r).0 + 1)
+                .max()
+                .unwrap_or(0)
+        };
+        let (visible, any_planned) = {
+            let ctx = rank.ctx();
+            match ctx.fault_plan() {
+                Some(plan) if !plan.crashes().is_empty() => {
+                    let now = ctx.now();
+                    (plan.crashes_through(nodes, now).len() as u64, true)
+                }
+                _ => (0, false),
+            }
+        };
+        if !any_planned {
+            return false;
+        }
+        let agreed = rank.allreduce(ReduceOp::Max, &[visible])[0];
+        if agreed <= self.failures_handled {
+            return false;
+        }
+        let all = {
+            let ctx = rank.ctx();
+            let plan = ctx.fault_plan().expect("plan checked above").clone();
+            plan.crashes_through(nodes, SimTime(u64::MAX))
+        };
+        let newly = &all[self.failures_handled as usize..agreed as usize];
+        for (node, _) in newly {
+            rank.ctx().record_fault(FaultEvent::Recovery {
+                runtime: "mpi",
+                action: "rank_failure_detected",
+                detail: u64::from(node.0),
+            });
+        }
+        self.failures_handled = agreed;
+        match policy {
+            FaultPolicy::Abort => {
+                let (node, at) = newly[0];
+                panic!(
+                    "MPI_Abort: node n{} failed at {at}; \
+                     plain MPI has no run-time fault tolerance",
+                    node.0
+                );
+            }
+            FaultPolicy::Restart { .. } => true,
         }
     }
 
@@ -66,6 +148,40 @@ impl Checkpointer {
         }
         rank.barrier();
         self.restart_iteration()
+    }
+
+    /// Like [`Checkpointer::restart`], but also charges the *replay* of the
+    /// iterations lost since the last checkpoint: each re-executed
+    /// iteration pays its compute plus the same collective traffic
+    /// (an `allreduce` of `allreduce_elems` doubles and the checkpoint
+    /// barriers) that the lost progress had already paid once. Earlier
+    /// versions only charged the state reload, undercounting MPI's
+    /// recovery cost versus Spark's lineage recomputation. Returns
+    /// `failed_iter`: replay is charged internally, so the caller resumes
+    /// *after* the failed iteration's lost work without looping back.
+    pub fn restart_replayed(
+        &mut self,
+        rank: &mut MpiRank,
+        relaunch_stall: SimDuration,
+        failed_iter: u32,
+        work_per_iter: Work,
+        allreduce_elems: usize,
+    ) -> u32 {
+        let resume = self.restart(rank, relaunch_stall);
+        rank.ctx().record_fault(FaultEvent::Recovery {
+            runtime: "mpi",
+            action: "checkpoint_restart",
+            detail: u64::from(failed_iter.saturating_sub(resume)),
+        });
+        let zeros = vec![0.0f64; allreduce_elems];
+        for iter in resume..failed_iter {
+            rank.ctx().compute(work_per_iter, 1.0);
+            if allreduce_elems > 0 {
+                rank.allreduce(ReduceOp::Sum, &zeros);
+            }
+            self.after_iteration(rank, iter);
+        }
+        failed_iter
     }
 
     /// Number of checkpoints taken so far.
@@ -136,6 +252,111 @@ mod tests {
         assert!(
             with > without,
             "checkpointing must cost time: with={with} without={without}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "MPI_Abort")]
+    fn abort_policy_panics_on_planned_failure() {
+        use hpcbd_simnet::{FaultPlan, NodeId, Work};
+        let _ = crate::launch::mpirun_faulty(
+            Placement::new(2, 2),
+            FaultPlan::new(1).crash_node(NodeId(1), SimTime(1_000)),
+            |rank| {
+                let mut ck = Checkpointer::new(2, 1 << 20);
+                for iter in 0..10 {
+                    rank.ctx().compute(Work::new(1_000_000.0, 0.0), 1.0);
+                    rank.allreduce(ReduceOp::Sum, &[f64::from(iter)]);
+                    ck.after_iteration(rank, iter);
+                    ck.poll_plan_failure(rank, FaultPolicy::Abort);
+                }
+            },
+        );
+    }
+
+    #[test]
+    fn poll_is_free_without_a_plan() {
+        let out = mpirun(Placement::new(2, 1), |rank| {
+            let mut ck = Checkpointer::new(2, 1 << 10);
+            let mut detected = 0u32;
+            for iter in 0..4 {
+                ck.after_iteration(rank, iter);
+                if ck.poll_plan_failure(rank, FaultPolicy::Abort) {
+                    detected += 1;
+                }
+            }
+            detected
+        });
+        assert_eq!(out.results, vec![0, 0]);
+    }
+
+    #[test]
+    fn planned_failure_restart_resumes_and_completes() {
+        use hpcbd_simnet::{FaultPlan, NodeId, Work};
+        let out = crate::launch::mpirun_faulty(
+            Placement::new(2, 2),
+            FaultPlan::new(9).crash_node(NodeId(1), SimTime(1_000)),
+            |rank| {
+                let mut ck = Checkpointer::new(2, 1 << 20);
+                let work = Work::new(2_000_000.0, 0.0);
+                let stall = SimDuration::from_secs(1);
+                let mut sum = 0.0;
+                let mut restarts = 0u32;
+                let mut iter = 0u32;
+                while iter < 8 {
+                    rank.ctx().compute(work, 1.0);
+                    sum = rank.allreduce(ReduceOp::Sum, &[f64::from(iter)])[0];
+                    ck.after_iteration(rank, iter);
+                    if ck.poll_plan_failure(
+                        rank,
+                        FaultPolicy::Restart {
+                            relaunch_stall: stall,
+                        },
+                    ) {
+                        restarts += 1;
+                        iter = ck.restart_replayed(rank, stall, iter, work, 1);
+                        continue;
+                    }
+                    iter += 1;
+                }
+                (sum, restarts)
+            },
+        );
+        for (sum, restarts) in out.results {
+            assert_eq!(restarts, 1, "exactly one planned failure handled");
+            assert_eq!(sum, 7.0 * 4.0, "final allreduce correct after recovery");
+        }
+    }
+
+    #[test]
+    fn restart_replayed_charges_collective_replay() {
+        use hpcbd_simnet::Work;
+        fn run(replay: bool) -> SimTime {
+            mpirun(Placement::new(2, 2), move |rank| {
+                let mut ck = Checkpointer::new(4, 1 << 20);
+                let work = Work::new(5_000_000.0, 0.0);
+                for iter in 0..11 {
+                    rank.ctx().compute(work, 1.0);
+                    rank.allreduce(ReduceOp::Sum, &[f64::from(iter)]);
+                    ck.after_iteration(rank, iter);
+                }
+                // The job fails at iteration 11 — three iterations past
+                // the checkpoint taken after iteration 7.
+                if replay {
+                    ck.restart_replayed(rank, SimDuration::from_secs(2), 11, work, 1)
+                } else {
+                    ck.restart(rank, SimDuration::from_secs(2))
+                }
+            })
+            .elapsed()
+        }
+        let plain = run(false);
+        let replayed = run(true);
+        assert!(
+            replayed > plain,
+            "replaying lost iterations (compute + collectives + retaken \
+             checkpoints) must cost more than reloading state alone: \
+             {replayed} vs {plain}"
         );
     }
 

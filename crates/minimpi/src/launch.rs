@@ -3,7 +3,7 @@
 use std::sync::Arc;
 
 use hpcbd_cluster::{ClusterSpec, Placement, RankMap};
-use hpcbd_simnet::{Execution, Pid, ProcCtx, Sim, SimReport, SimTime};
+use hpcbd_simnet::{Execution, FaultPlan, Pid, ProcCtx, Sim, SimReport, SimTime};
 
 use crate::rank::MpiRank;
 
@@ -108,6 +108,7 @@ where
         &ClusterSpec::comet(placement.nodes),
         placement,
         Some(exec),
+        None,
         f,
     )
 }
@@ -118,13 +119,34 @@ where
     T: Send + 'static,
     F: Fn(&mut MpiRank) -> T + Send + Sync + 'static,
 {
-    mpirun_impl(cluster, placement, None, f)
+    mpirun_impl(cluster, placement, None, None, f)
+}
+
+/// [`mpirun`] under a deterministic [`FaultPlan`]: the plan is installed
+/// before any rank starts, so node crashes, stragglers, link faults, and
+/// message drops hit the job exactly as scheduled. Pair with
+/// [`crate::Checkpointer::poll_plan_failure`] inside `f` for recovery —
+/// without it, a crashed rank simply never reaches its next collective
+/// and the job hangs or aborts, which is plain MPI's actual behavior.
+pub fn mpirun_faulty<T, F>(placement: Placement, plan: FaultPlan, f: F) -> MpiOutput<T>
+where
+    T: Send + 'static,
+    F: Fn(&mut MpiRank) -> T + Send + Sync + 'static,
+{
+    mpirun_impl(
+        &ClusterSpec::comet(placement.nodes),
+        placement,
+        None,
+        Some(plan),
+        f,
+    )
 }
 
 fn mpirun_impl<T, F>(
     cluster: &ClusterSpec,
     placement: Placement,
     exec: Option<Execution>,
+    faults: Option<FaultPlan>,
     f: F,
 ) -> MpiOutput<T>
 where
@@ -140,6 +162,9 @@ where
     let mut sim = Sim::new(cluster.topology());
     if let Some(exec) = exec {
         sim.set_execution(exec);
+    }
+    if let Some(plan) = faults {
+        sim.set_fault_plan(plan);
     }
     let job = MpiJob::spawn(&mut sim, placement, f);
     let mut report = sim.run();

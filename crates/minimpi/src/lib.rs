@@ -36,10 +36,10 @@ pub mod rank;
 pub mod rma;
 pub mod subcomm;
 
-pub use checkpoint::Checkpointer;
+pub use checkpoint::{Checkpointer, FaultPolicy};
 pub use datatype::{MpiScalar, ReduceOp};
 pub use io::{MpiFile, MpiIoError};
-pub use launch::{mpirun, mpirun_on, mpirun_with, MpiJob, MpiOutput};
+pub use launch::{mpirun, mpirun_faulty, mpirun_on, mpirun_with, MpiJob, MpiOutput};
 pub use nonblocking::MpiRequest;
 pub use rank::MpiRank;
 pub use rma::{MpiWin, WinStore};

@@ -17,8 +17,8 @@ use parking_lot::RwLock;
 use hpcbd_cluster::ClusterSpec;
 use hpcbd_minhdfs::{Hdfs, HdfsBlock, HdfsConfig};
 use hpcbd_simnet::{
-    partition_of, MatchSpec, NodeId, Payload, Pid, ProcCtx, RuntimeClass, Sim, SimDuration,
-    SimTime, Tag, Transport, Work,
+    partition_of, FaultEvent, FaultPlan, MatchSpec, NodeId, Payload, Pid, ProcCtx, RuntimeClass,
+    Sim, SimDuration, SimTime, Tag, Transport, Work,
 };
 
 use crate::types::{InputFormat, JobConf, LocalityStats};
@@ -50,6 +50,13 @@ enum JtMsg<K2, V2> {
         partition: u32,
         worker: u32,
         pairs: Vec<(K2, V2)>,
+    },
+    /// A reducer's shuffle fetch timed out: the map output's home node is
+    /// gone and the map must be re-executed (the reduce attempt aborted).
+    MapLost {
+        map_task: u32,
+        partition: u32,
+        worker: u32,
     },
 }
 
@@ -135,6 +142,7 @@ pub struct MrJobBuilder<I: InputFormat, K2, V2> {
     fail_worker: Option<(u32, u32)>,
     slow_worker: Option<(u32, f64)>,
     execution: Option<hpcbd_simnet::Execution>,
+    faults: Option<FaultPlan>,
 }
 
 impl<I, K2, V2> MrJobBuilder<I, K2, V2>
@@ -166,7 +174,22 @@ where
             fail_worker: None,
             slow_worker: None,
             execution: None,
+            faults: None,
         }
+    }
+
+    /// Install a deterministic fault plan: node crashes kill that node's
+    /// workers and shuffle server (their tasks and map outputs are
+    /// re-executed elsewhere), stragglers stretch compute, link/drop
+    /// faults delay messages. Node 0 hosts the jobtracker — a real
+    /// Hadoop-1 SPOF — so crashing it is refused.
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        assert!(
+            plan.crash_time(NodeId(0)).is_none(),
+            "node 0 hosts the jobtracker; crashing it kills the job"
+        );
+        self.faults = Some(plan);
+        self
     }
 
     /// Select the engine execution mode for this run (virtual-time
@@ -230,6 +253,9 @@ where
         let mut sim = Sim::new(cluster.topology());
         if let Some(exec) = self.execution {
             sim.set_execution(exec);
+        }
+        if let Some(plan) = self.faults {
+            sim.set_fault_plan(plan);
         }
         let hdfs = Hdfs::deploy(&mut sim, self.hdfs_config, None);
         hdfs.load_file_instant(&self.input_path, self.input_size, None);
@@ -406,7 +432,10 @@ where
             }
             Err(_) => {
                 // Ping every in-flight worker; requeue tasks of the dead.
-                let stale: Vec<u32> = in_flight.keys().copied().collect();
+                // Sorted so HashMap iteration order never leaks into the
+                // virtual-time schedule.
+                let mut stale: Vec<u32> = in_flight.keys().copied().collect();
+                stale.sort_unstable();
                 for w in stale {
                     ctx.send(
                         worker_pids[w as usize],
@@ -425,6 +454,11 @@ where
                         alive[w as usize] = false;
                         let (task, block) = in_flight.remove(&w).expect("in flight");
                         locality.reexecuted_maps += 1;
+                        ctx.record_fault(FaultEvent::Recovery {
+                            runtime: "mapreduce",
+                            action: "map_reexec",
+                            detail: task as u64,
+                        });
                         pending.push_back((task, block));
                     }
                 }
@@ -437,11 +471,47 @@ where
     }
 
     // ---- Reduce phase ----
+    let blocks_by_task: HashMap<u32, HdfsBlock> = file
+        .blocks
+        .iter()
+        .enumerate()
+        .map(|(i, b)| (i as u32, b.clone()))
+        .collect();
     let mut pending_r: VecDeque<u32> = (0..conf.reduce_tasks).collect();
     let mut in_flight_r: HashMap<u32, u32> = HashMap::new();
+    // Maps whose outputs died with their node, forced back into execution
+    // by reducer MapLost reports.
+    let mut pending_m: VecDeque<u32> = VecDeque::new();
+    let mut in_flight_m: HashMap<u32, u32> = HashMap::new(); // worker -> map task
+    let mut remapping: std::collections::HashSet<u32> = std::collections::HashSet::new();
     let mut output: Vec<(u32, Vec<(K2, V2)>)> = Vec::new();
     while output.len() < conf.reduce_tasks as usize {
-        while !pending_r.is_empty() && !free.is_empty() {
+        // Lost maps re-execute first; affected reduces wait for their
+        // fresh outputs rather than timing out again.
+        while !pending_m.is_empty() && !free.is_empty() {
+            let t = pending_m.pop_front().unwrap();
+            let w = free.pop_front().unwrap();
+            if !alive[w as usize] {
+                pending_m.push_front(t);
+                continue;
+            }
+            let block = blocks_by_task[&t].clone();
+            locality.reexecuted_maps += 1;
+            ctx.advance(conf.scheduling_delay);
+            in_flight_m.insert(w, t);
+            ctx.send(
+                worker_pids[w as usize],
+                WORKER_TAG,
+                512,
+                Payload::value(WorkerMsg::Map { task: t, block }),
+                &control(),
+            );
+        }
+        while pending_m.is_empty()
+            && in_flight_m.is_empty()
+            && !pending_r.is_empty()
+            && !free.is_empty()
+        {
             let r = pending_r.pop_front().unwrap();
             let w = free.pop_front().unwrap();
             if !alive[w as usize] {
@@ -474,16 +544,67 @@ where
                         free.push_back(*worker);
                         output.push((*partition, pairs.clone()));
                     }
-                    // A speculative map duplicate finishing late: just
-                    // reclaim the worker.
-                    JtMsg::MapDone { worker, .. } => {
-                        in_flight.remove(worker);
+                    // A re-executed map finishing, or a speculative
+                    // duplicate from the map phase arriving late.
+                    JtMsg::MapDone { task, worker } => {
+                        if in_flight_m.remove(worker).is_some() {
+                            remapping.remove(task);
+                        } else {
+                            in_flight.remove(worker);
+                        }
                         free.push_back(*worker);
+                    }
+                    JtMsg::MapLost {
+                        map_task,
+                        partition,
+                        worker,
+                    } => {
+                        // The reporting reducer aborted: reclaim it and
+                        // requeue its partition for after the re-map.
+                        in_flight_r.remove(worker);
+                        free.push_back(*worker);
+                        pending_r.push_back(*partition);
+                        // The map output's home node is dead: write off
+                        // every worker there and requeue their work.
+                        let home = job.outputs.homes.read().get(map_task).copied();
+                        if let Some(home) = home {
+                            ctx.record_fault(FaultEvent::Recovery {
+                                runtime: "mapreduce",
+                                action: "node_lost",
+                                detail: home.0 as u64,
+                            });
+                            for w in 0..nworkers {
+                                if alive[w as usize] && worker_node(w) == home {
+                                    alive[w as usize] = false;
+                                    if let Some(r) = in_flight_r.remove(&w) {
+                                        pending_r.push_back(r);
+                                    }
+                                    if let Some(t) = in_flight_m.remove(&w) {
+                                        remapping.remove(&t);
+                                        pending_m.push_back(t);
+                                    }
+                                }
+                            }
+                            free.retain(|w| alive[*w as usize]);
+                        }
+                        if remapping.insert(*map_task) {
+                            ctx.record_fault(FaultEvent::Recovery {
+                                runtime: "mapreduce",
+                                action: "map_reexec",
+                                detail: *map_task as u64,
+                            });
+                            pending_m.push_back(*map_task);
+                        }
                     }
                 }
             }
             Err(_) => {
-                let stale: Vec<u32> = in_flight_r.keys().copied().collect();
+                let mut stale: Vec<u32> = in_flight_r
+                    .keys()
+                    .chain(in_flight_m.keys())
+                    .copied()
+                    .collect();
+                stale.sort_unstable();
                 for w in stale {
                     ctx.send(
                         worker_pids[w as usize],
@@ -500,10 +621,20 @@ where
                         .is_ok();
                     if !ok {
                         alive[w as usize] = false;
-                        let r = in_flight_r.remove(&w).expect("in flight");
-                        pending_r.push_back(r);
+                        if let Some(r) = in_flight_r.remove(&w) {
+                            pending_r.push_back(r);
+                        }
+                        if let Some(t) = in_flight_m.remove(&w) {
+                            remapping.remove(&t);
+                            locality.reexecuted_maps += 1;
+                            pending_m.push_back(t);
+                        }
                     }
                 }
+                assert!(
+                    alive.iter().any(|a| *a),
+                    "every worker died; job cannot finish"
+                );
             }
         }
     }
@@ -554,9 +685,16 @@ where
         _ => 1.0,
     };
     let jvm_factor = RuntimeClass::Jvm.factor();
+    let crash_at = ctx.node_crash_time();
     let mut maps_done = 0u32;
     loop {
-        let msg = ctx.recv(MatchSpec::tag(WORKER_TAG));
+        let msg = match ctx.recv_deadline(MatchSpec::tag(WORKER_TAG), crash_at) {
+            Ok(m) => m,
+            Err(_) => {
+                ctx.record_fault(FaultEvent::NodeCrash { node: ctx.node() });
+                return; // the node died under this tasktracker
+            }
+        };
         let m = msg.expect_value::<WorkerMsg>();
         let jt = job.jt_pid.read().expect("jobtracker registered");
         match &*m {
@@ -636,9 +774,14 @@ where
             } => {
                 ctx.advance(job.conf.task_jvm_startup);
                 let scale = job.format.logical_scale();
-                // Shuffle: fetch this partition of every map output.
+                let ipoib = Transport::ipoib_socket();
+                // Shuffle: fetch this partition of every map output. A
+                // fetch that outlives its generous deadline means the map
+                // output's home node is gone — report it and abort; the
+                // tracker re-executes the map and retries this reduce.
                 let mut all: Vec<(K2, V2)> = Vec::new();
                 let mut logical_in = 0u64;
+                let mut lost: Option<u32> = None;
                 for mt in 0..*map_tasks {
                     let home = *job
                         .outputs
@@ -670,13 +813,37 @@ where
                             }),
                             &control(),
                         );
-                        let _ = ctx.recv(MatchSpec::tag(
-                            SHUF_REPLY + ((mt as u64) << 8) + *partition as u64,
-                        ));
+                        let wire = ipoib.wire_time(bytes);
+                        let timeout = SimDuration::from_nanos(wire.nanos().saturating_mul(4))
+                            + SimDuration::from_secs(5);
+                        if ctx
+                            .recv_timeout(
+                                MatchSpec::tag(SHUF_REPLY + ((mt as u64) << 8) + *partition as u64),
+                                timeout,
+                            )
+                            .is_err()
+                        {
+                            lost = Some(mt);
+                            break;
+                        }
                     }
                     if let Some(pairs) = job.outputs.pairs.read().get(&(mt, *partition)) {
                         all.extend(pairs.iter().cloned());
                     }
+                }
+                if let Some(mt) = lost {
+                    ctx.send(
+                        jt,
+                        JT_TAG,
+                        96,
+                        Payload::value(JtMsg::<K2, V2>::MapLost {
+                            map_task: mt,
+                            partition: *partition,
+                            worker: me,
+                        }),
+                        &control(),
+                    );
+                    continue;
                 }
                 // Merge sort cost over logical pairs.
                 let n_logical = (logical_in / PAIR_BYTES).max(1) as f64;
@@ -742,8 +909,15 @@ where
     V2: Clone + Send + Sync + 'static,
 {
     let ipoib = Transport::ipoib_socket();
+    let crash_at = ctx.node_crash_time();
     loop {
-        let msg = ctx.recv(MatchSpec::tag(SHUF_TAG));
+        let msg = match ctx.recv_deadline(MatchSpec::tag(SHUF_TAG), crash_at) {
+            Ok(m) => m,
+            Err(_) => {
+                ctx.record_fault(FaultEvent::NodeCrash { node: ctx.node() });
+                return; // the node died with its map outputs
+            }
+        };
         let req = msg.expect_value::<ShufFetch>();
         if req.map_task == u32::MAX {
             return; // shutdown sentinel

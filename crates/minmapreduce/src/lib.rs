@@ -195,6 +195,45 @@ mod tests {
     }
 
     #[test]
+    fn fault_plan_node_crash_reexecutes_lost_maps() {
+        use hpcbd_simnet::{FaultPlan, NodeId, SimTime};
+        let blocks = 8u64;
+        let keys = 5u64;
+        let result = MrJobBuilder::new(
+            Arc::new(Synth {
+                keys,
+                scale: 50_000.0,
+            }),
+            "/in",
+            blocks * (32 << 20),
+            |k: &u64| vec![(*k, 1u64)],
+            |_k, vs: &[u64]| vs.iter().sum(),
+        )
+        .hdfs(HdfsConfig {
+            block_size: 32 << 20,
+            ..Default::default()
+        })
+        .conf(JobConf {
+            reduce_tasks: 2,
+            slots_per_node: 2,
+            task_timeout: hpcbd_simnet::SimDuration::from_secs(20),
+            ..Default::default()
+        })
+        // Node 1 — two workers plus the shuffle server holding its map
+        // outputs — dies mid-map-phase, after its workers already homed
+        // some outputs there.
+        .faults(FaultPlan::new(11).crash_node(NodeId(1), SimTime(3_300_000_000)))
+        .run(3);
+        assert!(
+            result.locality.reexecuted_maps >= 1,
+            "maps homed on the crashed node must re-execute"
+        );
+        let oracle = oracle_counts(blocks, keys);
+        let got: std::collections::HashMap<u64, u64> = result.pairs.iter().cloned().collect();
+        assert_eq!(got, oracle, "results survive the node crash");
+    }
+
+    #[test]
     fn speculative_execution_rescues_stragglers() {
         fn run(speculative: bool) -> (hpcbd_simnet::SimTime, MrResult<u64, u64>) {
             let r = MrJobBuilder::new(

@@ -64,7 +64,26 @@ pub struct SparkConfig {
     /// Task liveness timeout before failure handling kicks in.
     pub task_timeout: SimDuration,
     /// Fault injection: executor index that dies at the given time.
+    ///
+    /// **Deprecated** in favor of installing a
+    /// [`hpcbd_simnet::FaultPlan`] via
+    /// [`crate::SparkCluster::faults`], which crashes whole nodes and is
+    /// shared with every other runtime. Kept as a compat shim: when set,
+    /// exactly that executor still dies at that time.
     pub fail_executor: Option<(u32, SimTime)>,
+    /// Give up on a logical task after this many failed attempts
+    /// (`spark.task.maxFailures`; the job aborts when exceeded).
+    pub max_task_retries: u32,
+    /// Driver-side pause before re-dispatching a failed task, scaled by
+    /// the attempt count (retry backoff).
+    pub task_retry_backoff: SimDuration,
+    /// Stop scheduling on an executor after this many task failures
+    /// while it is still alive (`spark.blacklist.*`).
+    pub blacklist_after: u32,
+    /// Speculative execution (`spark.speculation`): when the task queue
+    /// drains and executors idle, launch backup copies of still-running
+    /// tasks and take whichever copy finishes first. Off by default.
+    pub speculation: bool,
     /// Also move driver<->executor control messages over verbs — the
     /// paper's "future direction" (Sec. VI-C); exercised by the
     /// `ablation_rdma_all` harness, never by the paper's measured modes.
@@ -86,6 +105,10 @@ impl Default for SparkConfig {
             record_bytes: 24,
             task_timeout: SimDuration::from_secs(60),
             fail_executor: None,
+            max_task_retries: 4,
+            task_retry_backoff: SimDuration::from_millis(200),
+            blacklist_after: 3,
+            speculation: false,
             rdma_control_plane: false,
         }
     }

@@ -11,7 +11,9 @@
 use std::collections::VecDeque;
 use std::sync::Arc;
 
-use hpcbd_simnet::{MatchSpec, NodeId, Payload, Pid, ProcCtx, SimTime, Work};
+use hpcbd_simnet::{
+    FaultEvent, MatchSpec, NodeId, Payload, Pid, ProcCtx, SimDuration, SimTime, Work,
+};
 
 use crate::executor::{
     ActionFn, AppShared, ExecCmd, ExecMsg, TaskKind, TaskSpec, DRIVER_TAG, EXEC_TAG, PONG_TAG,
@@ -28,6 +30,10 @@ pub struct SparkDriver<'a> {
     pub(crate) ctx: &'a mut ProcCtx,
     pub(crate) app: Arc<AppShared>,
     pub(crate) alive: Vec<bool>,
+    /// Task failures charged to each executor while it was alive.
+    pub(crate) fail_counts: Vec<u32>,
+    /// Executors the scheduler refuses to use (repeated task failures).
+    pub(crate) blacklisted: Vec<bool>,
     pub(crate) seq: u64,
 }
 
@@ -43,6 +49,8 @@ impl<'a> SparkDriver<'a> {
             ctx,
             app,
             alive: vec![true; n],
+            fail_counts: vec![0; n],
+            blacklisted: vec![false; n],
             seq: 0,
         }
     }
@@ -250,6 +258,7 @@ impl<'a> SparkDriver<'a> {
                 seq: self.next_seq(),
                 target,
                 part: p,
+                attempts: 0,
                 kind: TaskKind::Action(action.clone()),
             })
             .collect();
@@ -278,6 +287,7 @@ impl<'a> SparkDriver<'a> {
                 seq: self.next_seq(),
                 target: dep.parent,
                 part: p,
+                attempts: 0,
                 kind: TaskKind::ShuffleMap { shuffle: sid },
             })
             .collect();
@@ -308,16 +318,107 @@ impl<'a> SparkDriver<'a> {
             for s in shuffles {
                 self.ensure_shuffle(s);
             }
-            remaining = outcome
-                .fetch_failures
-                .into_iter()
-                .map(|(mut t, _, _)| {
-                    t.seq = self.next_seq();
-                    t
-                })
-                .collect();
+            remaining = Vec::new();
+            for (mut t, _, _) in outcome.fetch_failures {
+                t.seq = self.next_seq();
+                self.bump_attempts(&mut t);
+                remaining.push(t);
+            }
         }
         results
+    }
+
+    /// Charge a failed attempt to a task; the job aborts (Spark's
+    /// `spark.task.maxFailures` semantics) once the budget is spent.
+    fn bump_attempts(&mut self, task: &mut TaskSpec) {
+        task.attempts += 1;
+        crate::metrics::SparkMetrics::add(&self.app.metrics.task_retries, 1);
+        self.ctx.record_fault(FaultEvent::Recovery {
+            runtime: "spark",
+            action: "task_retry",
+            detail: task.part as u64,
+        });
+        assert!(
+            task.attempts <= self.app.config.max_task_retries,
+            "task for partition {} failed {} times; aborting job",
+            task.part,
+            task.attempts
+        );
+    }
+
+    /// Whether the scheduler may hand work to `e`.
+    fn schedulable(&self, e: ExecId) -> bool {
+        self.alive[e as usize] && !self.blacklisted[e as usize]
+    }
+
+    /// Record a task failure against an executor; repeated failures get
+    /// it blacklisted (never the last schedulable one).
+    fn note_task_failure(&mut self, e: ExecId) {
+        self.fail_counts[e as usize] += 1;
+        let schedulable = (0..self.alive.len() as u32)
+            .filter(|x| self.schedulable(*x))
+            .count();
+        if self.schedulable(e)
+            && self.fail_counts[e as usize] >= self.app.config.blacklist_after
+            && schedulable > 1
+        {
+            self.blacklisted[e as usize] = true;
+            crate::metrics::SparkMetrics::add(&self.app.metrics.executors_blacklisted, 1);
+            self.ctx.record_fault(FaultEvent::Recovery {
+                runtime: "spark",
+                action: "blacklist",
+                detail: e as u64,
+            });
+        }
+    }
+
+    /// A whole node stopped answering (FaultPlan crash): kill every
+    /// executor on it, drop their cached blocks and shuffle outputs, and
+    /// requeue the in-flight tasks that were running there.
+    fn declare_node_dead(
+        &mut self,
+        node: NodeId,
+        in_flight: &mut std::collections::HashMap<u64, (ExecId, TaskSpec)>,
+        pending: &mut VecDeque<TaskSpec>,
+        twin: &mut std::collections::HashMap<u64, u64>,
+        free: &mut VecDeque<ExecId>,
+    ) {
+        self.ctx.record_fault(FaultEvent::Recovery {
+            runtime: "spark",
+            action: "node_lost",
+            detail: node.0 as u64,
+        });
+        for e in 0..self.alive.len() as u32 {
+            if self.alive[e as usize] && self.app.node_of_exec(e) == node {
+                self.alive[e as usize] = false;
+                crate::metrics::SparkMetrics::add(&self.app.metrics.executors_lost, 1);
+                self.app.blocks.invalidate_executor(e);
+                let _lost = self.app.shuffles.invalidate_executor(e);
+            }
+        }
+        free.retain(|e| self.alive[*e as usize]);
+        let mut lost: Vec<u64> = in_flight
+            .iter()
+            .filter(|(_, (e, _))| !self.alive[*e as usize])
+            .map(|(s, _)| *s)
+            .collect();
+        lost.sort_unstable();
+        for seq in lost {
+            let Some((_, mut task)) = in_flight.remove(&seq) else {
+                continue;
+            };
+            if let Some(t) = twin.remove(&seq) {
+                // A live twin still covers the logical task.
+                twin.remove(&t);
+            } else {
+                self.bump_attempts(&mut task);
+                pending.push_back(task);
+            }
+        }
+        assert!(
+            self.alive.iter().any(|a| *a),
+            "every executor died; application cannot continue"
+        );
     }
 
     /// Locality preferences of a task: walk narrow edges to sources
@@ -370,11 +471,17 @@ impl<'a> SparkDriver<'a> {
         // offers), so shuffle outputs and disk load distribute evenly.
         let epn = self.app.config.executors_per_node;
         let mut free_ids: Vec<ExecId> = (0..exec_pids.len() as u32)
-            .filter(|e| self.alive[*e as usize])
+            .filter(|e| self.schedulable(*e))
             .collect();
         free_ids.sort_by_key(|e| (e % epn, e / epn));
         let mut free: VecDeque<ExecId> = free_ids.into();
         let mut in_flight: std::collections::HashMap<u64, (ExecId, TaskSpec)> =
+            std::collections::HashMap::new();
+        // Speculation state: seq <-> backup-seq pairs running the same
+        // logical task, and cancelled copies whose late completions only
+        // free their executor.
+        let mut twin: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+        let mut zombie_execs: std::collections::HashMap<u64, ExecId> =
             std::collections::HashMap::new();
         let mut done = Vec::new();
         let mut fetch_failures = Vec::new();
@@ -432,6 +539,16 @@ impl<'a> SparkDriver<'a> {
                 let Some((ti, fi)) = chosen else { break };
                 let task = pending.remove(ti).unwrap();
                 let exec = free.remove(fi).unwrap();
+                if task.attempts > 0 {
+                    // Linear retry backoff before shipping the attempt.
+                    self.ctx.advance(SimDuration::from_nanos(
+                        self.app
+                            .config
+                            .task_retry_backoff
+                            .nanos()
+                            .saturating_mul(task.attempts as u64),
+                    ));
+                }
                 self.ctx.advance(self.app.config.task_dispatch_overhead);
                 let extra = match &self.app.plan.node(task.target).compute {
                     Compute::Source(_) => self
@@ -450,6 +567,38 @@ impl<'a> SparkDriver<'a> {
                     Payload::value(ExecCmd::Task(task)),
                     &control,
                 );
+            }
+            // Speculative execution: the queue drained but stragglers
+            // hold the wave open — launch one backup copy of the oldest
+            // running task on an idle executor; first copy home wins.
+            if self.app.config.speculation && pending.is_empty() && !free.is_empty() {
+                let candidate = in_flight
+                    .keys()
+                    .copied()
+                    .filter(|s| !twin.contains_key(s))
+                    .min();
+                if let Some(orig) = candidate {
+                    let mut copy = in_flight[&orig].1.clone();
+                    copy.seq = self.next_seq();
+                    twin.insert(orig, copy.seq);
+                    twin.insert(copy.seq, orig);
+                    crate::metrics::SparkMetrics::add(&self.app.metrics.speculative_tasks, 1);
+                    self.ctx.record_fault(FaultEvent::Recovery {
+                        runtime: "spark",
+                        action: "speculative_task",
+                        detail: copy.part as u64,
+                    });
+                    let exec = free.pop_front().unwrap();
+                    self.ctx.advance(self.app.config.task_dispatch_overhead);
+                    in_flight.insert(copy.seq, (exec, copy.clone()));
+                    self.ctx.send(
+                        exec_pids[exec as usize],
+                        EXEC_TAG,
+                        self.app.config.task_bytes,
+                        Payload::value(ExecCmd::Task(copy)),
+                        &control,
+                    );
+                }
             }
             assert!(
                 !in_flight.is_empty(),
@@ -472,7 +621,21 @@ impl<'a> SparkDriver<'a> {
                         } => {
                             if in_flight.remove(seq).is_some() {
                                 done.push((*part, result.clone()));
-                                free.push_back(*exec);
+                                // Cancel a still-running speculative twin;
+                                // its late completion only frees its slot.
+                                if let Some(t) = twin.remove(seq) {
+                                    twin.remove(&t);
+                                    if let Some((ze, _)) = in_flight.remove(&t) {
+                                        zombie_execs.insert(t, ze);
+                                    }
+                                }
+                                if self.schedulable(*exec) {
+                                    free.push_back(*exec);
+                                }
+                            } else if let Some(ze) = zombie_execs.remove(seq) {
+                                if self.schedulable(ze) {
+                                    free.push_back(ze);
+                                }
                             }
                         }
                         ExecMsg::FetchFailed {
@@ -486,8 +649,37 @@ impl<'a> SparkDriver<'a> {
                                     &self.app.metrics.fetch_failures,
                                     1,
                                 );
+                                if let Some(t) = twin.remove(seq) {
+                                    twin.remove(&t);
+                                    if let Some((ze, _)) = in_flight.remove(&t) {
+                                        zombie_execs.insert(t, ze);
+                                    }
+                                }
+                                // The bucket is still registered yet its
+                                // service went silent: that owner's whole
+                                // node is gone. Invalidate it so lineage
+                                // actually re-runs the lost map outputs.
+                                if let Some((_, _, owner)) =
+                                    self.app.shuffles.get_bucket(*shuffle, *map_part, task.part)
+                                {
+                                    let node = self.app.node_of_exec(owner);
+                                    self.declare_node_dead(
+                                        node,
+                                        &mut in_flight,
+                                        &mut pending,
+                                        &mut twin,
+                                        &mut free,
+                                    );
+                                }
+                                self.note_task_failure(*exec);
                                 fetch_failures.push((task, *shuffle, *map_part));
-                                free.push_back(*exec);
+                                if self.schedulable(*exec) {
+                                    free.push_back(*exec);
+                                }
+                            } else if let Some(ze) = zombie_execs.remove(seq) {
+                                if self.schedulable(ze) {
+                                    free.push_back(ze);
+                                }
                             }
                         }
                     }
@@ -495,9 +687,15 @@ impl<'a> SparkDriver<'a> {
                 Err(_) => {
                     // Liveness sweep: ping the executors with work in
                     // flight; the dead lose their state and their tasks.
-                    let stale: Vec<(u64, ExecId)> =
+                    // Seq-sorted so HashMap iteration order never leaks
+                    // into the virtual-time schedule.
+                    let mut stale: Vec<(u64, ExecId)> =
                         in_flight.iter().map(|(s, (e, _))| (*s, *e)).collect();
+                    stale.sort_unstable();
                     for (seq, e) in stale {
+                        if !in_flight.contains_key(&seq) {
+                            continue; // already resolved earlier in this sweep
+                        }
                         self.ctx.send(
                             exec_pids[e as usize],
                             EXEC_TAG,
@@ -517,8 +715,16 @@ impl<'a> SparkDriver<'a> {
                             crate::metrics::SparkMetrics::add(&self.app.metrics.executors_lost, 1);
                             self.app.blocks.invalidate_executor(e);
                             let _lost = self.app.shuffles.invalidate_executor(e);
-                            if let Some((_, task)) = in_flight.remove(&seq) {
-                                pending.push_back(task);
+                            free.retain(|f| *f != e);
+                            if let Some((_, mut task)) = in_flight.remove(&seq) {
+                                if let Some(t) = twin.remove(&task.seq) {
+                                    // The surviving twin still covers the
+                                    // logical task; don't requeue.
+                                    twin.remove(&t);
+                                } else {
+                                    self.bump_attempts(&mut task);
+                                    pending.push_back(task);
+                                }
                             }
                         }
                     }

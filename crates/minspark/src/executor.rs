@@ -53,6 +53,9 @@ pub(crate) struct TaskSpec {
     pub target: RddId,
     /// Partition index.
     pub part: u32,
+    /// Failed attempts so far; the driver aborts past
+    /// `SparkConfig::max_task_retries`.
+    pub attempts: u32,
     pub kind: TaskKind,
 }
 
@@ -92,16 +95,27 @@ pub(crate) struct FetchFail {
 
 /// The executor main loop.
 pub(crate) fn executor_loop(ctx: &mut ProcCtx, app: Arc<AppShared>, me: ExecId) {
-    let fail_at: Option<SimTime> = match app.config.fail_executor {
+    // Death time: the legacy per-executor knob, the FaultPlan's crash of
+    // this node, whichever comes first.
+    let legacy: Option<SimTime> = match app.config.fail_executor {
         Some((e, t)) if e == me => Some(t),
         _ => None,
+    };
+    let fail_at = match (legacy, ctx.node_crash_time()) {
+        (Some(a), Some(b)) => Some(a.min(b)),
+        (a, b) => a.or(b),
     };
     let control = app.config.control_transport();
     loop {
         let msg = match fail_at {
             Some(t) => match ctx.recv_deadline(MatchSpec::tag(EXEC_TAG), Some(t)) {
                 Ok(m) => m,
-                Err(_) => return, // executor dies silently
+                Err(_) => {
+                    if Some(t) == ctx.node_crash_time() {
+                        ctx.record_fault(hpcbd_simnet::FaultEvent::NodeCrash { node: ctx.node() });
+                    }
+                    return; // executor dies silently
+                }
             },
             None => ctx.recv(MatchSpec::tag(EXEC_TAG)),
         };
@@ -310,8 +324,11 @@ fn fetch_shuffle(
     let my_node = app.node_of_exec(me);
     let parent_parts = app.plan.node(dep.parent).partitions;
     let mut out = Vec::with_capacity(parent_parts as usize);
-    // Bytes needed from each remote source node.
-    let mut remote: std::collections::BTreeMap<NodeId, u64> = std::collections::BTreeMap::new();
+    // Bytes needed from each remote source node, plus one representative
+    // map partition per node to report if that node's service never
+    // answers (its node crashed or is unreachable).
+    let mut remote: std::collections::BTreeMap<NodeId, (u64, u32)> =
+        std::collections::BTreeMap::new();
     for map_part in 0..parent_parts {
         let Some((value, bytes, owner)) = app.shuffles.get_bucket(shuffle, map_part, part) else {
             return Err(FetchFail { shuffle, map_part });
@@ -323,13 +340,17 @@ fn fetch_shuffle(
                 crate::metrics::SparkMetrics::add(&app.metrics.shuffle_bytes_local, bytes);
                 ctx.compute(Work::mem_bytes(bytes as f64), 1.0);
             }
-        } else if bytes > 0 {
-            *remote.entry(owner_node).or_insert(0) += bytes;
+        } else {
+            let entry = remote.entry(owner_node).or_insert((0, map_part));
+            entry.0 += bytes;
         }
         out.push(value);
     }
     // One streamed transfer per source node.
-    for (node, bytes) in remote {
+    for (node, (bytes, rep_map_part)) in remote {
+        if bytes == 0 {
+            continue;
+        }
         crate::metrics::SparkMetrics::add(&app.metrics.shuffle_bytes_remote, bytes);
         let service = app.service_pids.read()[node.index()];
         ctx.send(
@@ -340,7 +361,17 @@ fn fetch_shuffle(
             &data_tr,
         );
         let tag = SERVICE_REPLY | ((shuffle as u64) << 24) | ((node.0 as u64) << 12) | part as u64;
-        let _ = ctx.recv(MatchSpec::tag(tag));
+        // A healthy service answers within the transfer time; a crashed
+        // node never does. Give the stream generous slack, then surface
+        // the silence as a fetch failure for the driver to resolve.
+        let wire = data_tr.wire_time(bytes);
+        let timeout = SimDuration::from_nanos(wire.nanos().saturating_mul(4)) + reply_slack();
+        if ctx.recv_timeout(MatchSpec::tag(tag), timeout).is_err() {
+            return Err(FetchFail {
+                shuffle,
+                map_part: rep_map_part,
+            });
+        }
     }
     Ok(out)
 }
@@ -353,8 +384,15 @@ fn fetch_shuffle(
 pub(crate) fn shuffle_service_loop(ctx: &mut ProcCtx, app: Arc<AppShared>) {
     let data_tr = app.config.shuffle.data_transport();
     let my_node = ctx.node();
+    let crash_at = ctx.node_crash_time();
     loop {
-        let msg = ctx.recv(MatchSpec::tag(SERVICE_TAG));
+        let msg = match ctx.recv_deadline(MatchSpec::tag(SERVICE_TAG), crash_at) {
+            Ok(m) => m,
+            Err(_) => {
+                ctx.record_fault(hpcbd_simnet::FaultEvent::NodeCrash { node: my_node });
+                return; // the node died with its executors
+            }
+        };
         let req = msg.expect_value::<(u64, u32, u64, Pid)>();
         let (shuffle, reduce_part, bytes, reply_to) = *req;
         if shuffle == u64::MAX {

@@ -239,6 +239,67 @@ mod tests {
     }
 
     #[test]
+    fn fault_plan_node_crash_recovers_via_lineage() {
+        use hpcbd_simnet::{FaultPlan, NodeId};
+        let config = SparkConfig {
+            executors_per_node: 2,
+            task_timeout: SimDuration::from_secs(8),
+            ..Default::default()
+        };
+        // Node 1 (both of its executors plus its shuffle service) dies
+        // right after app startup, while the first waves are in flight;
+        // the driver on node 0 recovers from lineage.
+        let plan = FaultPlan::new(7).crash_node(NodeId(1), SimTime(1_000_000_000));
+        let r = SparkCluster::new(3, config).faults(plan).run(|sc| {
+            let pairs: Vec<(u32, u64)> = (0..400).map(|i| (i % 13, 1u64)).collect();
+            let rdd = sc.parallelize(pairs, 8);
+            let summed = rdd
+                .reduce_by_key(4, |a, b| a + b)
+                .persist(StorageLevel::MemoryAndDisk);
+            let c1 = sc.count(&summed);
+            let mut out = sc.collect(&summed);
+            out.sort();
+            (c1, out)
+        });
+        assert_eq!(r.value.0, 13);
+        let sums: u64 = r.value.1.iter().map(|(_, v)| v).sum();
+        assert_eq!(sums, 400, "all 400 contributions survive the node loss");
+        assert_eq!(
+            r.metrics.executors_lost, 2,
+            "both executors on the crashed node must be declared lost"
+        );
+    }
+
+    #[test]
+    fn speculation_sidesteps_a_straggler() {
+        use hpcbd_simnet::{FaultPlan, NodeId};
+        fn run(speculation: bool) -> (u64, crate::metrics::MetricsSnapshot) {
+            let config = SparkConfig {
+                executors_per_node: 2,
+                speculation,
+                ..Default::default()
+            };
+            // Node 1 computes 25x slower for the whole run.
+            let plan = FaultPlan::new(3).slow_node(NodeId(1), SimTime(0), SimTime(u64::MAX), 25.0);
+            let r = SparkCluster::new(2, config).faults(plan).run(|sc| {
+                let xs = sc.parallelize((0..4_000u64).collect(), 8);
+                let heavy = xs.map_with_cost(Work::new(120_000.0, 64.0), 8, |x| x * 2);
+                sc.count(&heavy)
+            });
+            assert_eq!(r.value, 4_000);
+            (r.elapsed.nanos(), r.metrics)
+        }
+        let (slow, m0) = run(false);
+        let (fast, m1) = run(true);
+        assert_eq!(m0.speculative_tasks, 0);
+        assert!(m1.speculative_tasks > 0, "idle executors must speculate");
+        assert!(
+            fast < slow,
+            "backup copies ({fast} ns) must beat waiting on the straggler ({slow} ns)"
+        );
+    }
+
+    #[test]
     fn determinism_of_elapsed_time() {
         fn once() -> u64 {
             SparkCluster::new(2, SparkConfig::default())

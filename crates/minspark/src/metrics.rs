@@ -25,6 +25,12 @@ pub struct SparkMetrics {
     pub fetch_failures: AtomicU64,
     /// Executors declared lost.
     pub executors_lost: AtomicU64,
+    /// Failed task attempts re-queued (retry backoff applied to each).
+    pub task_retries: AtomicU64,
+    /// Speculative backup copies launched.
+    pub speculative_tasks: AtomicU64,
+    /// Live executors blacklisted for repeated task failures.
+    pub executors_blacklisted: AtomicU64,
 }
 
 impl SparkMetrics {
@@ -43,6 +49,9 @@ impl SparkMetrics {
             shuffle_bytes_remote: self.shuffle_bytes_remote.load(Ordering::Relaxed),
             fetch_failures: self.fetch_failures.load(Ordering::Relaxed),
             executors_lost: self.executors_lost.load(Ordering::Relaxed),
+            task_retries: self.task_retries.load(Ordering::Relaxed),
+            speculative_tasks: self.speculative_tasks.load(Ordering::Relaxed),
+            executors_blacklisted: self.executors_blacklisted.load(Ordering::Relaxed),
         }
     }
 }
@@ -65,6 +74,12 @@ pub struct MetricsSnapshot {
     pub fetch_failures: u64,
     /// Executors declared lost.
     pub executors_lost: u64,
+    /// Failed task attempts re-queued.
+    pub task_retries: u64,
+    /// Speculative backup copies launched.
+    pub speculative_tasks: u64,
+    /// Live executors blacklisted for repeated task failures.
+    pub executors_blacklisted: u64,
 }
 
 impl MetricsSnapshot {

@@ -6,7 +6,7 @@ use std::sync::Arc;
 
 use hpcbd_cluster::ClusterSpec;
 use hpcbd_minhdfs::{Hdfs, HdfsConfig};
-use hpcbd_simnet::{Execution, NodeId, Sim, SimReport, SimTime};
+use hpcbd_simnet::{Execution, FaultPlan, NodeId, Sim, SimReport, SimTime};
 
 use crate::config::SparkConfig;
 use crate::driver::SparkDriver;
@@ -24,6 +24,7 @@ pub struct SparkCluster {
     hdfs_files: Vec<FileSeed>,
     scratch_files: Vec<FileSeed>,
     execution: Option<Execution>,
+    faults: Option<FaultPlan>,
 }
 
 /// What a finished application produced.
@@ -48,7 +49,21 @@ impl SparkCluster {
             hdfs_files: Vec::new(),
             scratch_files: Vec::new(),
             execution: None,
+            faults: None,
         }
+    }
+
+    /// Install a deterministic fault plan for this run: node crashes
+    /// kill whole executor groups (recovered through lineage), link and
+    /// drop faults delay messages, stragglers stretch compute. Node 0
+    /// hosts the driver — a real Spark SPOF — so crashing it is refused.
+    pub fn faults(mut self, plan: FaultPlan) -> SparkCluster {
+        assert!(
+            plan.crash_time(NodeId(0)).is_none(),
+            "node 0 hosts the driver; crashing it kills the application"
+        );
+        self.faults = Some(plan);
+        self
     }
 
     /// Select the engine execution mode for this run (virtual-time
@@ -99,6 +114,9 @@ impl SparkCluster {
         let mut sim = Sim::new(cluster.topology());
         if let Some(exec) = self.execution {
             sim.set_execution(exec);
+        }
+        if let Some(plan) = self.faults {
+            sim.set_fault_plan(plan);
         }
         let hdfs = self
             .hdfs_config

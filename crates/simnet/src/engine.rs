@@ -83,6 +83,8 @@ pub struct World {
     pub nfs: crate::topology::DiskSpec,
     /// Execution trace sink (empty unless `Sim::enable_tracing` ran).
     pub(crate) trace: std::sync::OnceLock<Arc<crate::trace::Trace>>,
+    /// Installed fault plan (empty unless `Sim::set_fault_plan` ran).
+    pub(crate) faults: std::sync::OnceLock<Arc<crate::faults::FaultPlan>>,
 }
 
 impl World {
@@ -93,7 +95,13 @@ impl World {
             fs: SimFs::new(),
             nfs: crate::topology::DiskSpec::nfs_share(),
             trace: std::sync::OnceLock::new(),
+            faults: std::sync::OnceLock::new(),
         }
+    }
+
+    /// The installed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&Arc<crate::faults::FaultPlan>> {
+        self.faults.get()
     }
 }
 
@@ -203,6 +211,12 @@ struct Inner {
     nfs_free: SimTime,
     /// Messages sent to processes that had already finished.
     dropped_msgs: u64,
+    /// Sequence numbers handed to inter-node messages for the fault
+    /// plan's drop hash. Incremented inside send commit windows, which
+    /// are totally ordered identically in both execution modes — the
+    /// basis of faulty-run bit-determinism. Only advanced when the plan
+    /// actually enables drops.
+    fault_seq: u64,
     /// (pid, message, was_deadlock) for every unwound process.
     panics: Vec<PanicRecord>,
 }
@@ -404,13 +418,54 @@ impl ProcCtx {
         self.world.trace.get()
     }
 
+    /// The simulation's fault plan, if one was installed.
+    #[inline]
+    pub fn fault_plan(&self) -> Option<&Arc<crate::faults::FaultPlan>> {
+        self.world.faults.get()
+    }
+
+    /// Earliest scheduled crash of this process's node, if any. Server
+    /// loops use this as a receive deadline so everything hosted on the
+    /// node dies at the plan's crash time.
+    pub fn node_crash_time(&self) -> Option<SimTime> {
+        self.crash_time_of(self.node)
+    }
+
+    /// Earliest scheduled crash of `node`, if any.
+    pub fn crash_time_of(&self, node: NodeId) -> Option<SimTime> {
+        self.world.faults.get().and_then(|p| p.crash_time(node))
+    }
+
+    /// Record a structured fault / recovery event in the trace (a
+    /// zero-length instant at the current virtual time) and count it in
+    /// this process's statistics.
+    pub fn record_fault(&mut self, ev: crate::faults::FaultEvent) {
+        self.stats.fault_events += 1;
+        if let Some(tr) = self.trace() {
+            tr.record(
+                self.pid,
+                self.clock,
+                self.clock,
+                crate::trace::EventKind::Fault(ev),
+            );
+        }
+    }
+
     /// Advance this process's clock by modeled computation: `work` executed
     /// at `runtime_factor` times native single-core cost (see
     /// [`crate::RuntimeClass`]). Purely local — no synchronization; in
     /// parallel mode this is the code that overlaps across cores.
     pub fn compute(&mut self, work: Work, runtime_factor: f64) {
-        let spec = &self.world.topology.node(self.node).spec;
-        let d = work.duration_on(spec, runtime_factor);
+        let mut d = {
+            let spec = &self.world.topology.node(self.node).spec;
+            work.duration_on(spec, runtime_factor)
+        };
+        if let Some(plan) = self.world.faults.get() {
+            let f = plan.compute_factor(self.node, self.clock);
+            if f != 1.0 {
+                d = SimDuration::from_nanos((d.nanos() as f64 * f).round() as u64);
+            }
+        }
         let t0 = self.clock;
         self.clock += d;
         self.stats.compute_time += d;
@@ -544,9 +599,10 @@ impl ProcCtx {
             let engine = self.engine.clone();
             let mut g = engine.inner.lock();
             let sent_at = self.clock;
-            let same_node = self.proc_nodes[dst.index()] == self.node;
+            let dst_node = self.proc_nodes[dst.index()];
+            let same_node = dst_node == self.node;
             let wire = transport.wire_time(bytes);
-            let arrival = if same_node {
+            let mut arrival = if same_node {
                 sent_at + transport.latency + wire
             } else {
                 let nic = &mut g.nic_free[self.node.index()];
@@ -554,6 +610,77 @@ impl ProcCtx {
                 *nic = start + wire;
                 start + wire + transport.latency
             };
+            // Fault injection, inside the commit window so every decision
+            // (and the drop-hash sequence number) lands at a deterministic
+            // point of the global order. Intra-node loopback is immune.
+            if !same_node {
+                if let Some(plan) = self.world.faults.get().cloned() {
+                    use crate::faults::{FaultEvent, LinkFault};
+                    let tr = self.world.trace.get().cloned();
+                    let pid = self.pid;
+                    let injected = move |ev: FaultEvent,
+                                         delay: SimDuration,
+                                         stats: &mut ProcStats| {
+                        stats.fault_events += 1;
+                        stats.fault_delay += delay;
+                        if let Some(tr) = &tr {
+                            tr.record(pid, sent_at, sent_at, crate::trace::EventKind::Fault(ev));
+                        }
+                    };
+                    match plan.link_fault(self.node, dst_node, sent_at) {
+                        Some((LinkFault::Degrade(f), _)) => {
+                            let base = wire + transport.latency;
+                            let extra = SimDuration::from_nanos(
+                                (base.nanos() as f64 * (f - 1.0)).round() as u64,
+                            );
+                            arrival += extra;
+                            injected(
+                                FaultEvent::LinkDegraded {
+                                    dst_node,
+                                    bytes,
+                                    delay: extra,
+                                },
+                                extra,
+                                &mut self.stats,
+                            );
+                        }
+                        Some((LinkFault::Partition, until)) => {
+                            let healed = until + plan.retransmit();
+                            if healed > arrival {
+                                let extra = healed - arrival;
+                                arrival = healed;
+                                injected(
+                                    FaultEvent::LinkPartitioned {
+                                        dst_node,
+                                        bytes,
+                                        delay: extra,
+                                    },
+                                    extra,
+                                    &mut self.stats,
+                                );
+                            }
+                        }
+                        None => {}
+                    }
+                    if plan.has_drops() {
+                        let seq = g.fault_seq;
+                        g.fault_seq += 1;
+                        if plan.should_drop(seq) {
+                            let extra = plan.retransmit();
+                            arrival += extra;
+                            injected(
+                                FaultEvent::MessageDropped {
+                                    dst,
+                                    bytes,
+                                    delay: extra,
+                                },
+                                extra,
+                                &mut self.stats,
+                            );
+                        }
+                    }
+                }
+            }
             let recv_cost = transport.endpoint_cpu(transport.recv_overhead, bytes);
             let msg = Message {
                 src: self.pid,
@@ -794,7 +921,17 @@ impl ProcCtx {
             } else {
                 spec.read_bw
             };
-            let dur = spec.request_overhead + SimDuration::from_secs_f64(bytes as f64 / bw);
+            let mut dur = spec.request_overhead + SimDuration::from_secs_f64(bytes as f64 / bw);
+            // A straggling node is slow at everything local, its scratch
+            // disk included; the shared NFS server is unaffected.
+            if !is_nfs {
+                if let Some(plan) = self.world.faults.get() {
+                    let f = plan.compute_factor(self.node, self.clock);
+                    if f != 1.0 {
+                        dur = SimDuration::from_nanos((dur.nanos() as f64 * f).round() as u64);
+                    }
+                }
+            }
             let start = self.clock.max(*free);
             *free = start + dur;
             let finish = start + dur;
@@ -951,6 +1088,18 @@ impl Sim {
             .clone()
     }
 
+    /// Install a fault plan for this run (see [`crate::FaultPlan`]): node
+    /// crashes, stragglers, link faults and message drops, all scheduled
+    /// in virtual time and replayed bit-identically in both execution
+    /// modes. The first installed plan wins; later calls return it
+    /// unchanged.
+    pub fn set_fault_plan(
+        &mut self,
+        plan: crate::faults::FaultPlan,
+    ) -> Arc<crate::faults::FaultPlan> {
+        self.world.faults.get_or_init(|| Arc::new(plan)).clone()
+    }
+
     /// Register a process on `node`. Processes start at virtual time zero
     /// in registration order. Returns the process id.
     pub fn spawn<T, F>(&mut self, node: NodeId, name: impl Into<String>, f: F) -> Pid
@@ -1008,6 +1157,7 @@ impl Sim {
                 disk_free: vec![SimTime::ZERO; nodes],
                 nfs_free: SimTime::ZERO,
                 dropped_msgs: 0,
+                fault_seq: 0,
                 panics: Vec::new(),
             }),
             done: Condvar::new(),

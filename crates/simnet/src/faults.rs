@@ -1,0 +1,395 @@
+//! Deterministic fault injection: the [`FaultPlan`].
+//!
+//! A `FaultPlan` is a declarative, virtual-time-scheduled description of
+//! everything that goes wrong during a run: node crashes at a `SimTime`,
+//! straggler slowdowns over an interval, link degradation or partition
+//! between node pairs, and per-message drops. It is installed once per
+//! simulation ([`crate::Sim::set_fault_plan`]) and every layer — engine,
+//! transports, storage, and all the mini-runtimes built on top — reads
+//! the *same* plan, so an MPI job and a Spark job can be subjected to an
+//! identical failure world and their recovery costs compared.
+//!
+//! # Determinism
+//!
+//! Nothing in this module consults the wall clock or OS randomness.
+//!
+//! * Crashes, stragglers, and link faults are pure functions of virtual
+//!   time, which the engine already reproduces bit-for-bit across
+//!   [`crate::Execution::Sequential`] and [`crate::Execution::Parallel`].
+//! * Per-message drops cannot use a classic mutable RNG stream keyed by
+//!   wall-clock send order — parallel mode would perturb it. Instead the
+//!   engine assigns every inter-node message a sequence number from a
+//!   counter incremented *inside the send commit window*. Commit windows
+//!   are totally ordered identically in both execution modes, so message
+//!   `k` is the same message in every run; [`FaultPlan::should_drop`]
+//!   then hashes `(seed, k)` with the fixed-seed FNV-1a hasher
+//!   ([`crate::det_hash`]) and drops when `hash % 1_000_000 < drop_ppm`.
+//!   The drop decision is a pure function of the plan and the message's
+//!   position in the committed total order.
+//!
+//! "Dropped" messages are modeled the way reliable transports (TCP,
+//! RC verbs) surface loss: the payload is delivered late by the
+//! retransmission delay rather than vanishing, so protocols above never
+//! lose control messages outright but *do* see timeouts fire, which is
+//! what exercises their failure detectors. Process failure (a crashed
+//! node) is real loss: runtimes terminate their server loops at the
+//! plan's crash time and everything hosted there is gone.
+
+use crate::hash::det_hash;
+use crate::time::{SimDuration, SimTime};
+use crate::topology::NodeId;
+
+/// What an active link fault does to traffic between a node pair.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LinkFault {
+    /// Wire + latency cost inflated by this factor (> 1.0).
+    Degrade(f64),
+    /// No delivery until the fault interval ends; messages sent during
+    /// the partition arrive at heal time plus the retransmit delay.
+    Partition,
+}
+
+/// A scheduled link fault between two nodes (symmetric), active on
+/// messages *sent* in `[from, until)`.
+#[derive(Debug, Clone, Copy)]
+struct LinkSpec {
+    a: NodeId,
+    b: NodeId,
+    from: SimTime,
+    until: SimTime,
+    fault: LinkFault,
+}
+
+/// A scheduled straggler interval: `node` runs `factor`× slower on
+/// compute and local-disk work started in `[from, until)`.
+#[derive(Debug, Clone, Copy)]
+struct StragglerSpec {
+    node: NodeId,
+    from: SimTime,
+    until: SimTime,
+    factor: f64,
+}
+
+/// A structured record of an injected fault or a runtime's recovery
+/// action, carried in the execution trace
+/// ([`crate::trace::EventKind::Fault`]) with its virtual timestamp.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum FaultEvent {
+    /// A node reached its scheduled crash time; recorded by each server
+    /// process on the node as it terminates.
+    NodeCrash {
+        /// The crashed node.
+        node: NodeId,
+    },
+    /// An inter-node message was "dropped" and retransmitted.
+    MessageDropped {
+        /// Destination process of the affected message.
+        dst: crate::engine::Pid,
+        /// Logical payload bytes.
+        bytes: u64,
+        /// Extra delivery delay charged (the retransmission).
+        delay: SimDuration,
+    },
+    /// A message crossed a degraded link.
+    LinkDegraded {
+        /// Destination node of the affected message.
+        dst_node: NodeId,
+        /// Logical payload bytes.
+        bytes: u64,
+        /// Extra delivery delay charged.
+        delay: SimDuration,
+    },
+    /// A message was sent into a network partition and delivery stalled
+    /// until the partition healed.
+    LinkPartitioned {
+        /// Destination node of the affected message.
+        dst_node: NodeId,
+        /// Logical payload bytes.
+        bytes: u64,
+        /// Extra delivery delay charged.
+        delay: SimDuration,
+    },
+    /// A runtime performed a recovery action (task retry, speculative
+    /// copy, re-replication, checkpoint restart, ...). `runtime` and
+    /// `action` are short static labels; `detail` is an action-specific
+    /// quantity (task id, block id, iteration, ...).
+    Recovery {
+        /// Which runtime recovered ("spark", "mapreduce", "hdfs", "mpi").
+        runtime: &'static str,
+        /// What it did ("task_retry", "re_replicate", "restart", ...).
+        action: &'static str,
+        /// Action-specific quantity.
+        detail: u64,
+    },
+}
+
+impl FaultEvent {
+    /// Short label for trace rendering.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultEvent::NodeCrash { .. } => "node_crash",
+            FaultEvent::MessageDropped { .. } => "msg_drop",
+            FaultEvent::LinkDegraded { .. } => "link_degrade",
+            FaultEvent::LinkPartitioned { .. } => "link_partition",
+            FaultEvent::Recovery { .. } => "recovery",
+        }
+    }
+}
+
+/// A deterministic, virtual-time-scheduled fault scenario. Built with
+/// the chained constructors, installed with
+/// [`crate::Sim::set_fault_plan`], and read by the engine and every
+/// runtime. See the module docs for the determinism argument.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    seed: u64,
+    drop_ppm: u32,
+    retransmit: SimDuration,
+    crashes: Vec<(NodeId, SimTime)>,
+    stragglers: Vec<StragglerSpec>,
+    links: Vec<LinkSpec>,
+}
+
+impl Default for FaultPlan {
+    fn default() -> FaultPlan {
+        FaultPlan::new(0)
+    }
+}
+
+impl FaultPlan {
+    /// An empty plan. `seed` only matters once message drops are enabled.
+    pub fn new(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            drop_ppm: 0,
+            retransmit: SimDuration::from_millis(200),
+            crashes: Vec::new(),
+            stragglers: Vec::new(),
+            links: Vec::new(),
+        }
+    }
+
+    /// Schedule `node` to fail permanently at virtual time `at`.
+    pub fn crash_node(mut self, node: NodeId, at: SimTime) -> FaultPlan {
+        self.crashes.push((node, at));
+        self
+    }
+
+    /// Make `node` a straggler: compute and local-disk operations started
+    /// in `[from, until)` take `factor`× as long (factor > 1.0 slows).
+    pub fn slow_node(
+        mut self,
+        node: NodeId,
+        from: SimTime,
+        until: SimTime,
+        factor: f64,
+    ) -> FaultPlan {
+        assert!(factor > 0.0, "straggler factor must be positive");
+        self.stragglers.push(StragglerSpec {
+            node,
+            from,
+            until,
+            factor,
+        });
+        self
+    }
+
+    /// Degrade the (symmetric) link between `a` and `b`: messages sent in
+    /// `[from, until)` pay `factor`× the wire + latency cost.
+    pub fn degrade_link(
+        mut self,
+        a: NodeId,
+        b: NodeId,
+        from: SimTime,
+        until: SimTime,
+        factor: f64,
+    ) -> FaultPlan {
+        assert!(factor >= 1.0, "degrade factor must be >= 1.0");
+        self.links.push(LinkSpec {
+            a,
+            b,
+            from,
+            until,
+            fault: LinkFault::Degrade(factor),
+        });
+        self
+    }
+
+    /// Partition the (symmetric) link between `a` and `b` for
+    /// `[from, until)`: messages sent inside the window are held until
+    /// the partition heals, then delivered after the retransmit delay.
+    pub fn partition_link(
+        mut self,
+        a: NodeId,
+        b: NodeId,
+        from: SimTime,
+        until: SimTime,
+    ) -> FaultPlan {
+        self.links.push(LinkSpec {
+            a,
+            b,
+            from,
+            until,
+            fault: LinkFault::Partition,
+        });
+        self
+    }
+
+    /// Drop `ppm` out of every million inter-node messages (seeded
+    /// counter-based hash; see module docs). Dropped messages are
+    /// delivered late by the retransmit delay.
+    pub fn drop_messages(mut self, ppm: u32) -> FaultPlan {
+        assert!(ppm <= 1_000_000, "drop rate is parts-per-million");
+        self.drop_ppm = ppm;
+        self
+    }
+
+    /// Override the retransmission delay charged to dropped and
+    /// partition-held messages (default 200 ms — a TCP RTO-scale value).
+    pub fn retransmit_delay(mut self, d: SimDuration) -> FaultPlan {
+        self.retransmit = d;
+        self
+    }
+
+    /// Whether the plan injects nothing at all.
+    pub fn is_empty(&self) -> bool {
+        self.drop_ppm == 0
+            && self.crashes.is_empty()
+            && self.stragglers.is_empty()
+            && self.links.is_empty()
+    }
+
+    /// Whether per-message drops are enabled (the engine only burns
+    /// message sequence numbers when they are).
+    pub fn has_drops(&self) -> bool {
+        self.drop_ppm > 0
+    }
+
+    /// The retransmission delay charged to dropped / partition-held
+    /// messages.
+    pub fn retransmit(&self) -> SimDuration {
+        self.retransmit
+    }
+
+    /// Earliest scheduled crash time of `node`, if any.
+    pub fn crash_time(&self, node: NodeId) -> Option<SimTime> {
+        self.crashes
+            .iter()
+            .filter(|&&(n, _)| n == node)
+            .map(|&(_, t)| t)
+            .min()
+    }
+
+    /// All scheduled crashes, as declared.
+    pub fn crashes(&self) -> &[(NodeId, SimTime)] {
+        &self.crashes
+    }
+
+    /// Crashes at or before `at` over the first `nodes` node ids, in
+    /// deterministic `(time, node)` order — what an SPMD failure
+    /// detector replays to agree on the failure history.
+    pub fn crashes_through(&self, nodes: u32, at: SimTime) -> Vec<(NodeId, SimTime)> {
+        let mut v: Vec<(NodeId, SimTime)> = (0..nodes)
+            .filter_map(|n| self.crash_time(NodeId(n)).map(|t| (NodeId(n), t)))
+            .filter(|&(_, t)| t <= at)
+            .collect();
+        v.sort_by_key(|&(n, t)| (t, n));
+        v
+    }
+
+    /// Slowdown factor for work started on `node` at time `at` (product
+    /// of all active straggler intervals; `1.0` when healthy).
+    pub fn compute_factor(&self, node: NodeId, at: SimTime) -> f64 {
+        let mut f = 1.0;
+        for s in &self.stragglers {
+            if s.node == node && at >= s.from && at < s.until {
+                f *= s.factor;
+            }
+        }
+        f
+    }
+
+    /// The link fault (if any) affecting a message sent between `a` and
+    /// `b` at time `at`, with the fault's end time. Link specs are
+    /// symmetric; the first matching spec wins.
+    pub fn link_fault(&self, a: NodeId, b: NodeId, at: SimTime) -> Option<(LinkFault, SimTime)> {
+        self.links
+            .iter()
+            .find(|l| {
+                ((l.a == a && l.b == b) || (l.a == b && l.b == a)) && at >= l.from && at < l.until
+            })
+            .map(|l| (l.fault, l.until))
+    }
+
+    /// Deterministic drop decision for the inter-node message holding
+    /// sequence number `counter` in the committed total order.
+    pub fn should_drop(&self, counter: u64) -> bool {
+        self.drop_ppm > 0 && det_hash(&(self.seed, counter)) % 1_000_000 < self.drop_ppm as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drop_hash_is_deterministic_and_seeded() {
+        let plan = FaultPlan::new(42).drop_messages(50_000); // 5%
+        let first: Vec<bool> = (0..4096).map(|k| plan.should_drop(k)).collect();
+        let second: Vec<bool> = (0..4096).map(|k| plan.should_drop(k)).collect();
+        assert_eq!(first, second, "same plan, same counters, same decisions");
+
+        // The rate is roughly honored (5% of 4096 ≈ 205; allow wide slack).
+        let drops = first.iter().filter(|&&d| d).count();
+        assert!((50..400).contains(&drops), "5% of 4096 gave {drops} drops");
+
+        // A different seed reshuffles which messages drop.
+        let other = FaultPlan::new(43).drop_messages(50_000);
+        let reshuffled: Vec<bool> = (0..4096).map(|k| other.should_drop(k)).collect();
+        assert_ne!(first, reshuffled, "seed must change the drop set");
+
+        // Zero rate never drops; full rate always drops.
+        assert!(!FaultPlan::new(1).should_drop(7));
+        let always = FaultPlan::new(1).drop_messages(1_000_000);
+        assert!((0..1000).all(|k| always.should_drop(k)));
+    }
+
+    #[test]
+    fn crash_and_straggler_queries() {
+        let plan = FaultPlan::new(0)
+            .crash_node(NodeId(2), SimTime(5_000))
+            .crash_node(NodeId(2), SimTime(3_000))
+            .crash_node(NodeId(1), SimTime(9_000))
+            .slow_node(NodeId(0), SimTime(100), SimTime(200), 4.0);
+        assert_eq!(plan.crash_time(NodeId(2)), Some(SimTime(3_000)));
+        assert_eq!(plan.crash_time(NodeId(0)), None);
+        assert_eq!(
+            plan.crashes_through(3, SimTime(4_000)),
+            vec![(NodeId(2), SimTime(3_000))]
+        );
+        assert_eq!(
+            plan.crashes_through(3, SimTime(10_000)),
+            vec![(NodeId(2), SimTime(3_000)), (NodeId(1), SimTime(9_000))]
+        );
+        assert_eq!(plan.compute_factor(NodeId(0), SimTime(150)), 4.0);
+        assert_eq!(plan.compute_factor(NodeId(0), SimTime(200)), 1.0);
+        assert_eq!(plan.compute_factor(NodeId(1), SimTime(150)), 1.0);
+    }
+
+    #[test]
+    fn link_faults_are_symmetric_and_windowed() {
+        let plan = FaultPlan::new(0)
+            .degrade_link(NodeId(0), NodeId(1), SimTime(10), SimTime(20), 3.0)
+            .partition_link(NodeId(1), NodeId(2), SimTime(0), SimTime(100));
+        assert!(matches!(
+            plan.link_fault(NodeId(1), NodeId(0), SimTime(15)),
+            Some((LinkFault::Degrade(f), SimTime(20))) if f == 3.0
+        ));
+        assert_eq!(plan.link_fault(NodeId(0), NodeId(1), SimTime(20)), None);
+        assert_eq!(
+            plan.link_fault(NodeId(2), NodeId(1), SimTime(50)),
+            Some((LinkFault::Partition, SimTime(100)))
+        );
+        assert_eq!(plan.link_fault(NodeId(0), NodeId(2), SimTime(50)), None);
+    }
+}

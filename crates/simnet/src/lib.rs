@@ -54,6 +54,7 @@ pub mod cost;
 pub mod dataset;
 pub mod engine;
 pub mod error;
+pub mod faults;
 pub mod fs;
 pub mod hash;
 pub mod message;
@@ -68,6 +69,7 @@ pub use cost::{RuntimeClass, Work};
 pub use dataset::InputFormat;
 pub use engine::{Pid, ProcCtx, ProcReport, Sim, SimReport, World};
 pub use error::{DeadlockNote, RecvTimeout};
+pub use faults::{FaultEvent, FaultPlan, LinkFault};
 pub use fs::{FileEntry, Mount, SimFs};
 pub use hash::{det_hash, partition_of, DetHasher};
 pub use message::{MatchSpec, Message, Payload, Tag};

@@ -23,6 +23,12 @@ pub struct ProcStats {
     pub wait_time: SimDuration,
     /// Virtual time spent in disk operations (including queueing).
     pub disk_time: SimDuration,
+    /// Fault events observed: injected message faults charged to this
+    /// process plus recovery actions it recorded.
+    pub fault_events: u64,
+    /// Extra virtual delivery delay injected into this process's sends by
+    /// the fault plan (drops, degraded links, partitions).
+    pub fault_delay: SimDuration,
 }
 
 impl ProcStats {
@@ -37,6 +43,8 @@ impl ProcStats {
         self.compute_time += other.compute_time;
         self.wait_time += other.wait_time;
         self.disk_time += other.disk_time;
+        self.fault_events += other.fault_events;
+        self.fault_delay += other.fault_delay;
     }
 }
 

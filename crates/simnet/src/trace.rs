@@ -51,6 +51,9 @@ pub enum EventKind {
         /// Bytes moved.
         bytes: u64,
     },
+    /// An injected fault or a runtime recovery action (zero-length
+    /// instant; the payload carries the virtual-time cost).
+    Fault(crate::faults::FaultEvent),
 }
 
 impl EventKind {
@@ -64,6 +67,7 @@ impl EventKind {
             EventKind::DiskWrite { .. } => "disk_write",
             EventKind::Nfs { .. } => "nfs",
             EventKind::OneSided { .. } => "rdma",
+            EventKind::Fault(ev) => ev.label(),
         }
     }
 }
@@ -121,6 +125,9 @@ impl Trace {
                 EventKind::DiskWrite { bytes } => (4, bytes, 0),
                 EventKind::Nfs { bytes } => (5, bytes, 0),
                 EventKind::OneSided { bytes } => (6, bytes, 0),
+                // Distinct fault events must sort apart; identical ones
+                // are interchangeable, so a content hash is a valid key.
+                EventKind::Fault(ref ev) => (7, crate::hash::det_hash(ev), 0),
             }
         }
         let mut v = self.events.lock().clone();
@@ -159,6 +166,8 @@ impl Trace {
                 | EventKind::Nfs { bytes }
                 | EventKind::OneSided { bytes } => format!("{bytes} B"),
                 EventKind::Compute => String::new(),
+                // Debug quotes the static label strings; keep JSON valid.
+                EventKind::Fault(ev) => format!("{ev:?}").replace('"', "'"),
             };
             out.push_str(&format!(
                 "  {{\"name\": \"{}\", \"cat\": \"{}\", \"ph\": \"X\", \"ts\": {:.3}, \"dur\": {:.3}, \"pid\": 0, \"tid\": {}, \"args\": {{\"proc\": \"{}\", \"detail\": \"{}\"}}}}",

@@ -140,3 +140,100 @@ fn engine_reports_are_bit_identical_across_modes() {
     assert_eq!(runs[0], runs[2], "parallel differs from sequential");
     assert_eq!(runs[2], runs[3], "parallel runs differ");
 }
+
+/// Faulty runs must be exactly as deterministic as clean ones: the same
+/// [`hpcbd::simnet::FaultPlan`] — a node crash, a straggler interval, a
+/// degraded link, and heavy message drops all at once — replayed under
+/// both execution modes must yield byte-identical traces (including the
+/// injected `Fault` events) and identical per-process statistics.
+#[test]
+fn faulty_runs_are_bit_identical_across_modes() {
+    use hpcbd::simnet::{FaultPlan, NodeId, Pid, SimDuration};
+
+    #[derive(Debug, PartialEq)]
+    struct RunDigest {
+        trace_json: String,
+        stats: Vec<hpcbd::simnet::ProcStats>,
+        makespan: SimTime,
+        dropped: u64,
+        results: Vec<u64>,
+    }
+
+    fn run_once() -> RunDigest {
+        let mut sim = Sim::new(Topology::comet(3));
+        let trace = sim.enable_tracing();
+        sim.set_fault_plan(
+            FaultPlan::new(99)
+                .crash_node(NodeId(1), SimTime(40_000_000))
+                .slow_node(NodeId(2), SimTime(0), SimTime(u64::MAX), 3.0)
+                .degrade_link(NodeId(0), NodeId(2), SimTime(0), SimTime(u64::MAX), 2.5)
+                .drop_messages(100_000),
+        );
+        // A sink on node 1 that dies when its node's crash hits; workers
+        // fire-and-forget to it (messages to the dead sink are dropped by
+        // the engine, never blocking the senders).
+        let sink = sim.spawn(NodeId(1), "sink".to_string(), move |ctx| {
+            let crash = ctx.node_crash_time();
+            let mut seen = 0u64;
+            while let Ok(m) = ctx.recv_deadline(MatchSpec::tag(9), crash) {
+                seen += m.bytes;
+            }
+            seen
+        });
+        let n = 4u32;
+        let workers: Vec<_> = (0..n)
+            .map(|i| {
+                let node = hpcbd::simnet::NodeId(i % 3);
+                sim.spawn(node, format!("w{i}"), move |ctx| {
+                    let tr = Transport::ipoib_socket();
+                    let me = ctx.pid();
+                    let right = Pid(1 + (me.0 % n));
+                    let mut acc = 0u64;
+                    for round in 0..6u64 {
+                        ctx.compute(Work::new(2.0e6 * (1.0 + me.0 as f64), 64.0), 1.0);
+                        ctx.send(sink, 9, 256, Payload::Empty, &tr);
+                        ctx.send(right, 7, 128 + 64 * round, Payload::value(round), &tr);
+                        let m = ctx.recv(MatchSpec::tag(7));
+                        if let Payload::Value(v) = &m.payload {
+                            acc += v.downcast_ref::<u64>().unwrap() + m.bytes;
+                        }
+                        if ctx
+                            .recv_timeout(MatchSpec::tag(55), SimDuration::from_micros(40))
+                            .is_err()
+                        {
+                            acc += 1;
+                        }
+                    }
+                    acc
+                })
+            })
+            .collect();
+        let mut report = sim.run();
+        let names: Vec<String> = report.procs.iter().map(|p| p.name.clone()).collect();
+        let fault_spans = trace
+            .sorted_events()
+            .iter()
+            .filter(|e| matches!(e.kind, hpcbd::simnet::EventKind::Fault(_)))
+            .count();
+        assert!(
+            fault_spans > 0,
+            "the plan must actually inject faults into the trace"
+        );
+        RunDigest {
+            trace_json: trace.to_chrome_json(&names),
+            stats: report.procs.iter().map(|p| p.stats.clone()).collect(),
+            makespan: report.makespan(),
+            dropped: report.dropped_msgs,
+            results: workers.iter().map(|&p| report.result::<u64>(p)).collect(),
+        }
+    }
+
+    let runs = four_runs(run_once);
+    assert!(
+        runs[0].stats.iter().any(|s| s.fault_events > 0),
+        "fault statistics must be populated"
+    );
+    assert_eq!(runs[0], runs[1], "sequential runs differ");
+    assert_eq!(runs[0], runs[2], "parallel differs from sequential");
+    assert_eq!(runs[2], runs[3], "parallel runs differ");
+}
