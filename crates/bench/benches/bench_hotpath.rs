@@ -1,0 +1,179 @@
+//! Criterion microbenchmarks for the engine's host hot path.
+//!
+//! Complements `paper_benches` (whole-artifact wall clock) with the
+//! individual mechanisms the perf work targets: the calendar ready
+//! queue vs the `BinaryHeap` it replaced, raw message-handoff cost
+//! through the engine in both execution modes, the tracing overhead of
+//! per-process buffering, and the memoized collective selection.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use hpcbd_simnet::{
+    allreduce_algo, set_default_execution, CalendarQueue, Execution, MatchSpec, NodeId, OrderKey,
+    Payload, Pid, Sim, SimTime, Topology, Transport, Work,
+};
+
+/// Queue churn modeling the engine's access pattern: a sliding window of
+/// `window` keys, each pop followed by a push slightly in the future.
+fn queue_churn(c: &mut Criterion) {
+    let mut g = c.benchmark_group("queue_churn");
+    g.sample_size(20);
+    for window in [64usize, 4096] {
+        let keys: Vec<OrderKey> = (0..window)
+            .map(|i| OrderKey {
+                time: SimTime(i as u64 * 1000),
+                pid: Pid((i % 97) as u32),
+                gen: i as u64,
+            })
+            .collect();
+        g.bench_function(&format!("calendar_{window}"), |b| {
+            b.iter(|| {
+                let mut q = CalendarQueue::new();
+                for &k in &keys {
+                    q.push(k);
+                }
+                for i in 0..window * 4 {
+                    let min = q.pop_min().unwrap();
+                    q.push(OrderKey {
+                        time: min.time + hpcbd_simnet::SimDuration::from_nanos(window as u64 * 500),
+                        pid: min.pid,
+                        gen: min.gen + 1,
+                    });
+                    black_box(i);
+                }
+                while q.pop_min().is_some() {}
+            })
+        });
+        g.bench_function(&format!("binary_heap_{window}"), |b| {
+            b.iter(|| {
+                let mut q: BinaryHeap<Reverse<OrderKey>> = BinaryHeap::new();
+                for &k in &keys {
+                    q.push(Reverse(k));
+                }
+                for i in 0..window * 4 {
+                    let Reverse(min) = q.pop().unwrap();
+                    q.push(Reverse(OrderKey {
+                        time: min.time + hpcbd_simnet::SimDuration::from_nanos(window as u64 * 500),
+                        pid: min.pid,
+                        gen: min.gen + 1,
+                    }));
+                    black_box(i);
+                }
+                while q.pop().is_some() {}
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Raw engine handoff cost: a 2-process ping-pong, 200 rounds — almost
+/// every cycle is align/dispatch/park/wake machinery.
+fn pingpong(exec: Execution, tracing: bool) -> u64 {
+    set_default_execution(exec);
+    let mut sim = Sim::new(Topology::comet(2));
+    if tracing {
+        sim.enable_tracing();
+    }
+    let tr = Transport::ipoib_socket();
+    let a = sim.spawn(NodeId(0), "a", {
+        move |ctx| {
+            let peer = Pid(1);
+            for i in 0..200u64 {
+                ctx.send(peer, 1, 64, Payload::value(i), &tr);
+                let _ = ctx.recv(MatchSpec::tag(2));
+            }
+            ctx.now().nanos()
+        }
+    });
+    let _b = sim.spawn(NodeId(1), "b", {
+        move |ctx| {
+            let peer = Pid(0);
+            for i in 0..200u64 {
+                let _ = ctx.recv(MatchSpec::tag(1));
+                ctx.send(peer, 2, 64, Payload::value(i), &tr);
+            }
+        }
+    });
+    let mut report = sim.run();
+    report.result::<u64>(a)
+}
+
+fn engine_handoff(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine_handoff");
+    g.sample_size(20);
+    g.bench_function("pingpong_sequential", |b| {
+        b.iter(|| black_box(pingpong(Execution::Sequential, false)))
+    });
+    g.bench_function("pingpong_parallel", |b| {
+        b.iter(|| black_box(pingpong(Execution::Parallel { threads: 2 }, false)))
+    });
+    set_default_execution(Execution::Sequential);
+    g.finish();
+}
+
+/// Tracing overhead: the same workload with the per-process trace
+/// buffers on vs off. The delta is the cost the buffering must keep
+/// near zero.
+fn tracing_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tracing_overhead");
+    g.sample_size(20);
+    g.bench_function("pingpong_untraced", |b| {
+        b.iter(|| black_box(pingpong(Execution::Sequential, false)))
+    });
+    g.bench_function("pingpong_traced", |b| {
+        b.iter(|| black_box(pingpong(Execution::Sequential, true)))
+    });
+    g.finish();
+}
+
+/// Compute-only segments: the self-grant fast path should make a pure
+/// compute/sleep loop nearly queue-free.
+fn compute_loop(c: &mut Criterion) {
+    let mut g = c.benchmark_group("compute_loop");
+    g.sample_size(20);
+    g.bench_function("sleep_chain_1proc", |b| {
+        b.iter(|| {
+            set_default_execution(Execution::Sequential);
+            let mut sim = Sim::new(Topology::comet(1));
+            sim.spawn(NodeId(0), "w", |ctx| {
+                for _ in 0..500 {
+                    ctx.compute(Work::flops(1.0e6), 1.0);
+                    ctx.sleep(hpcbd_simnet::SimDuration::from_nanos(100));
+                }
+                ctx.now().nanos()
+            });
+            black_box(sim.run().makespan())
+        })
+    });
+    g.finish();
+}
+
+/// Memoized collective selection: repeated lookups of the same
+/// `(comm, bytes)` key, as PageRank's per-iteration allreduce issues.
+fn collective_memo(c: &mut Criterion) {
+    let mut g = c.benchmark_group("collective_memo");
+    g.sample_size(50);
+    g.bench_function("allreduce_algo_repeat", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for _ in 0..1000 {
+                acc += allreduce_algo(black_box(64), black_box(8 << 20)) as usize;
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    queue_churn,
+    engine_handoff,
+    tracing_overhead,
+    compute_loop,
+    collective_memo
+);
+criterion_main!(benches);

@@ -1,0 +1,207 @@
+//! `bench` — the simulator's wall-clock trajectory emitter.
+//!
+//! Times the fig3 / fig4 / fig6 pipelines (the three artifacts that
+//! stress the engine hardest: many-process collectives, disk-bound
+//! scans, iterative allreduce) at `--quick` and paper scale, under both
+//! execution modes, and writes the measurements to `BENCH_simnet.json`.
+//! CI runs this and uploads the artifact so every PR leaves a data point
+//! on the simulator's host-performance trajectory (ROADMAP: "as fast as
+//! the hardware allows").
+//!
+//! Flags:
+//! * `--quick` — measure only the quick-scale configurations (CI smoke).
+//! * `--out PATH` — output path (default `BENCH_simnet.json`).
+//!
+//! Each run also records an FNV-1a digest of the produced table; the
+//! emitter asserts sequential and parallel digests agree, so a
+//! determinism break surfaces here as well as in the test suite.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use hpcbd_cluster::Placement;
+use hpcbd_core::bench_answers;
+use hpcbd_core::bench_pagerank::{figure6, PagerankInput};
+use hpcbd_core::bench_reduce;
+use hpcbd_simnet::{set_default_execution, Execution};
+use hpcbd_workloads::StackExchangeDataset;
+
+/// FNV-1a over the produced table, so runs can be compared for
+/// bit-identity across modes without storing the tables themselves.
+fn digest(s: &str) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for b in s.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+struct Measurement {
+    artifact: &'static str,
+    scale: &'static str,
+    mode: String,
+    runs: usize,
+    wall_min_s: f64,
+    wall_mean_s: f64,
+    table_digest: u64,
+}
+
+fn measure(
+    artifact: &'static str,
+    scale: &'static str,
+    mode_name: &str,
+    exec: Execution,
+    runs: usize,
+    f: &dyn Fn() -> String,
+) -> Measurement {
+    set_default_execution(exec);
+    let mut times = Vec::with_capacity(runs);
+    let mut dig = 0u64;
+    for _ in 0..runs {
+        let t0 = Instant::now();
+        let table = f();
+        times.push(t0.elapsed().as_secs_f64());
+        dig = digest(&table);
+    }
+    let min = times.iter().cloned().fold(f64::INFINITY, f64::min);
+    let mean = times.iter().sum::<f64>() / times.len() as f64;
+    eprintln!("  {artifact}/{scale}/{mode_name}: min {min:.3}s mean {mean:.3}s (x{runs})");
+    Measurement {
+        artifact,
+        scale,
+        mode: mode_name.to_string(),
+        runs,
+        wall_min_s: min,
+        wall_mean_s: mean,
+        table_digest: dig,
+    }
+}
+
+fn main() {
+    let quick_only = hpcbd_bench::quick_mode();
+    let args: Vec<String> = std::env::args().collect();
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_simnet.json".to_string());
+
+    let host_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    // On a single-core host parallel mode cannot overlap compute, but we
+    // still measure it (with a meaningful in-flight window) so the
+    // trajectory records the mode's overhead there too.
+    let threads = host_cores.max(2);
+
+    eprintln!("hpcbd bench: host_cores={host_cores} parallel_threads={threads}");
+
+    // The three artifact pipelines at each scale. Configurations mirror
+    // the `fig3` / `fig4` / `fig6` bins exactly.
+    type ArtifactFn = Box<dyn Fn() -> String>;
+    let mut cases: Vec<(&'static str, &'static str, usize, ArtifactFn)> = vec![
+        (
+            "fig3",
+            "quick",
+            3,
+            Box::new(|| {
+                bench_reduce::figure3(Placement::new(2, 4), &[1usize, 256, 16384], 5).to_csv()
+            }),
+        ),
+        (
+            "fig4",
+            "quick",
+            3,
+            Box::new(|| {
+                let size = 4u64 << 30;
+                let records = size / hpcbd_workloads::stackexchange::RECORD_BYTES;
+                let ds = StackExchangeDataset::new(0xA125, size, records / 20_000);
+                bench_answers::figure4(&ds, &[1u32, 2], 4).to_csv()
+            }),
+        ),
+        (
+            "fig6",
+            "quick",
+            3,
+            Box::new(|| figure6(&PagerankInput::small(), &[1u32, 2], 4).to_csv()),
+        ),
+    ];
+    if !quick_only {
+        cases.push((
+            "fig3",
+            "paper",
+            2,
+            Box::new(|| {
+                bench_reduce::figure3(Placement::new(8, 8), &bench_reduce::standard_sizes(), 20)
+                    .to_csv()
+            }),
+        ));
+        cases.push((
+            "fig4",
+            "paper",
+            2,
+            Box::new(|| {
+                bench_answers::figure4(&bench_answers::dataset(), &[1u32, 2, 4, 6, 8], 8).to_csv()
+            }),
+        ));
+        cases.push((
+            "fig6",
+            "paper",
+            2,
+            Box::new(|| figure6(&PagerankInput::paper(), &[1u32, 2, 4, 8], 16).to_csv()),
+        ));
+    }
+
+    let mut measurements = Vec::new();
+    for (artifact, scale, runs, f) in &cases {
+        let seq = measure(
+            artifact,
+            scale,
+            "sequential",
+            Execution::Sequential,
+            *runs,
+            f,
+        );
+        let par = measure(
+            artifact,
+            scale,
+            &format!("parallel:{threads}"),
+            Execution::Parallel { threads },
+            *runs,
+            f,
+        );
+        assert_eq!(
+            seq.table_digest, par.table_digest,
+            "{artifact}/{scale}: sequential and parallel tables differ — determinism break"
+        );
+        measurements.push(seq);
+        measurements.push(par);
+    }
+    set_default_execution(Execution::Sequential);
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"schema\": 1,\n");
+    let _ = writeln!(json, "  \"host_cores\": {host_cores},");
+    let _ = writeln!(json, "  \"parallel_threads\": {threads},");
+    json.push_str("  \"results\": [\n");
+    for (i, m) in measurements.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"artifact\": \"{}\", \"scale\": \"{}\", \"mode\": \"{}\", \"runs\": {}, \"wall_min_s\": {:.6}, \"wall_mean_s\": {:.6}, \"table_digest\": \"{:016x}\"}}",
+            m.artifact, m.scale, m.mode, m.runs, m.wall_min_s, m.wall_mean_s, m.table_digest
+        );
+        json.push_str(if i + 1 < measurements.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write(&out_path, &json).expect("write BENCH_simnet.json");
+    eprintln!("wrote {out_path}");
+    print!("{json}");
+}

@@ -1,4 +1,6 @@
 //! Table I — the platform description of the modeled cluster.
+//!
+//! Constant-cost: `--quick` is accepted (harness convention) and ignored.
 
 fn main() {
     hpcbd_bench::banner("Table I (experimental setup)");

@@ -4,6 +4,8 @@
 //! (the `TABLE3-BEGIN/END` regions in `hpcbd-core`), reproducing the
 //! paper's maintainability comparison with the same methodology: total
 //! LoC and the share of distribution boilerplate.
+//!
+//! Constant-cost: `--quick` is accepted (harness convention) and ignored.
 
 use hpcbd_core::ResultTable;
 use hpcbd_metrics::{analyze_region, BoilerplateSpec};

@@ -15,13 +15,22 @@
 //! | `ablation_replication` | A2 — HDFS replication vs locality |
 //! | `ablation_rdma_all` | A3 — RDMA for the control plane too |
 //! | `ablation_fault` | A4 — lineage vs checkpoint/restart |
+//! | `ablation_fault_sweep` | A4b — fault-rate sweep across runtimes |
 //! | `ablation_shmem_pagerank` | A5 — PageRank over PGAS |
+//! | `ablation_offload` | A6 — RDMA offload factor |
+//! | `ablation_queries` | A7 — query-shape sweep |
+//! | `ablation_seismic` | A8 — seismic survey workload |
+//! | `bench` | host wall-clock trajectory (`BENCH_simnet.json`) |
 //!
 //! All binaries accept `--quick` to run a scaled-down configuration
 //! (fewer nodes, smaller sweep) for fast smoke runs; the default is the
-//! paper-scale setup. Criterion benches (`cargo bench`) time the
-//! *simulator's wall-clock cost* on small configurations of the same
-//! experiments.
+//! paper-scale setup. For the constant-cost tables (`table1`, `table3`)
+//! `--quick` is accepted and ignored — there is nothing to scale down —
+//! so one invocation convention covers the whole harness (CI runs every
+//! bin with `--quick` in its smoke matrix). Criterion benches
+//! (`cargo bench`) time the *simulator's wall-clock cost* on small
+//! configurations of the same experiments; `bench_hotpath` times the
+//! engine's scheduling/tracing machinery itself.
 
 #![warn(missing_docs)]
 

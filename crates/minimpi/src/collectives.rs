@@ -23,9 +23,8 @@ use std::sync::Arc;
 use crate::datatype::{MpiScalar, ReduceOp};
 use crate::rank::MpiRank;
 
-/// Message-size threshold (bytes) above which allreduce switches from
-/// recursive doubling to the bandwidth-optimal ring algorithm.
-pub const ALLREDUCE_RING_THRESHOLD: u64 = 64 * 1024;
+pub use hpcbd_simnet::ALLREDUCE_RING_THRESHOLD;
+use hpcbd_simnet::{allreduce_algo, AllreduceAlgo};
 
 impl MpiRank<'_> {
     /// MPI_Barrier: dissemination algorithm.
@@ -125,10 +124,11 @@ impl MpiRank<'_> {
         if self.size() == 1 {
             return data.to_vec();
         }
-        if bytes <= ALLREDUCE_RING_THRESHOLD || !self.size().is_power_of_two() {
-            self.allreduce_recursive_doubling(op, data)
-        } else {
-            self.allreduce_ring(op, data)
+        // Selection goes through the memoized cost-model table: PageRank
+        // evaluates the identical (comm, bytes) key every iteration.
+        match allreduce_algo(self.size(), bytes) {
+            AllreduceAlgo::RecursiveDoubling => self.allreduce_recursive_doubling(op, data),
+            AllreduceAlgo::Ring => self.allreduce_ring(op, data),
         }
     }
 

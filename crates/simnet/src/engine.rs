@@ -6,10 +6,11 @@
 //! reservation, sleep), it is the process with the minimum virtual clock
 //! among all runnable processes, and those commit windows are totally
 //! ordered.** The commit token is passed through per-process condition
-//! variables; the ready queue is a binary heap ordered by
+//! variables; the ready queue is a calendar bucket queue
+//! ([`crate::queue::CalendarQueue`]) ordered by
 //! `(virtual time, pid, generation)`, a key chosen to be independent of
 //! the wall-clock order in which entries are pushed — which is what lets
-//! the same heap drive both execution modes below bit-identically.
+//! the same queue drive both execution modes below bit-identically.
 //!
 //! Between simulation-visible operations a process runs arbitrary real
 //! computation and advances its own clock locally ([`ProcCtx::compute`])
@@ -34,12 +35,35 @@
 //!   in-flight `q`. Under that rule every grant decision is identical to
 //!   the sequential schedule, making virtual times, results, and stats
 //!   **bit-identical** across modes (see DESIGN.md §"Parallel engine").
+//!
+//! # Host-performance structure (DESIGN.md §9)
+//!
+//! The hot path is sharded so unrelated processes never contend on one
+//! lock:
+//!
+//! * `sched` — the scheduler state proper (ready queue, token, in-flight
+//!   frontier, per-process scheduling cells). The only lock on the
+//!   align/dispatch path, with an O(1)-amortized calendar queue behind
+//!   it and a *self-grant fast path* that skips the queue and the
+//!   condition-variable round-trip entirely when the aligning process is
+//!   already globally minimal.
+//! * per-process mail shards — mailbox, final stats and finish time.
+//!   Mailbox scans (`recv` matching, `try_recv` polling) touch only the
+//!   owning process's shard.
+//! * per-node resource cells — NIC and scratch-disk next-free times; a
+//!   separate cell for the shared NFS server. Device reservations touch
+//!   only the initiating node's cell.
+//!
+//! Every mutation of sharded state still happens inside a commit window
+//! (token held), so the total order of visible operations — and with it
+//! bit-determinism — is untouched; the sharding only shortens and
+//! de-contends the critical sections. Trace events are buffered in a
+//! per-process `Vec` and merged at export ([`crate::trace::Trace`]), so
+//! tracing costs one `Vec::push` per event on the hot path.
 
 use std::any::Any;
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
-use std::collections::VecDeque;
 use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::{Condvar, Mutex};
@@ -49,9 +73,11 @@ use crate::error::{DeadlockNote, RecvTimeout};
 use crate::fs::SimFs;
 use crate::message::{MatchSpec, Message, Payload, Tag};
 use crate::parallel::{default_execution, Execution};
+use crate::queue::{CalendarQueue, OrderKey};
 use crate::stats::ProcStats;
 use crate::time::{SimDuration, SimTime};
 use crate::topology::{NodeId, Topology};
+use crate::trace::TraceEvent;
 use crate::transport::Transport;
 
 /// Identifies a simulated process.
@@ -152,50 +178,22 @@ impl Slot {
     }
 }
 
-struct ProcState {
-    name: String,
-    node: NodeId,
+/// Scheduling cell of one process: the fields the dispatcher reads and
+/// writes under the `sched` lock. Everything else a process owns lives in
+/// its [`ProcShard`] (mail lock) or its `ProcCtx` (no lock at all).
+struct SchedProc {
     clock: SimTime,
     gen: u64,
     status: Status,
     wake_reason: WakeReason,
-    mailbox: VecDeque<Message>,
-    slot: Arc<Slot>,
-    finish: Option<SimTime>,
-    stats: ProcStats,
 }
 
-/// Ready-queue entry. Ordered by `(time, pid, gen)` — a key that does
-/// NOT depend on push order, so the pop sequence is identical whether
-/// entries arrive in sequential baton order or out of order from
-/// concurrently released processes (the heart of the cross-mode
-/// bit-determinism argument).
-#[derive(Clone, Copy, PartialEq, Eq)]
-struct Entry {
-    time: SimTime,
-    pid: Pid,
-    gen: u64,
-}
-
-impl Ord for Entry {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.time, self.pid, self.gen).cmp(&(other.time, other.pid, other.gen))
-    }
-}
-
-impl PartialOrd for Entry {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-struct Inner {
-    procs: Vec<ProcState>,
-    runnable: BinaryHeap<Reverse<Entry>>,
+/// Scheduler state: the single lock on the align/dispatch hot path.
+struct Sched {
+    procs: Vec<SchedProc>,
+    runnable: CalendarQueue,
     live: usize,
     deadlocked: bool,
-    /// Execution mode for this run.
-    exec: Execution,
     /// Current commit-token holder: the one process allowed to mutate
     /// shared simulation state. `None` while the token is being passed.
     turn: Option<Pid>,
@@ -203,56 +201,82 @@ struct Inner {
     /// lower bound on the virtual time of their next ready-queue entry
     /// (their clock at release; clocks only move forward).
     inflight: Vec<(Pid, SimTime)>,
-    /// Next-free time of each node's NIC (sender-side serialization).
-    nic_free: Vec<SimTime>,
-    /// Next-free time of each node's scratch disk.
-    disk_free: Vec<SimTime>,
-    /// Next-free time of the shared NFS server.
-    nfs_free: SimTime,
-    /// Messages sent to processes that had already finished.
-    dropped_msgs: u64,
-    /// Sequence numbers handed to inter-node messages for the fault
-    /// plan's drop hash. Incremented inside send commit windows, which
-    /// are totally ordered identically in both execution modes — the
-    /// basis of faulty-run bit-determinism. Only advanced when the plan
-    /// actually enables drops.
-    fault_seq: u64,
     /// (pid, message, was_deadlock) for every unwound process.
     panics: Vec<PanicRecord>,
+}
+
+impl Sched {
+    /// Push `pid` as runnable at `time`, invalidating any earlier entry
+    /// for it. Caller holds the sched lock.
+    fn push(&mut self, pid: Pid, time: SimTime) {
+        let p = &mut self.procs[pid.index()];
+        p.gen += 1;
+        let gen = p.gen;
+        self.runnable.push(OrderKey { time, pid, gen });
+    }
 }
 
 /// (pid, message, was_deadlock) of one unwound process.
 type PanicRecord = (Pid, String, bool);
 
+/// Per-process shard: everything a process owns that other processes
+/// only touch inside commit windows. The mail lock is effectively
+/// uncontended — the commit token already serializes every access — and
+/// exists to satisfy `Sync`, not to arbitrate.
+struct ProcShard {
+    name: String,
+    node: NodeId,
+    slot: Slot,
+    mail: Mutex<Mail>,
+}
+
+struct Mail {
+    mailbox: std::collections::VecDeque<Message>,
+    finish: Option<SimTime>,
+    stats: ProcStats,
+}
+
+/// Per-node device state: next-free times of the node's NIC and scratch
+/// disk. Touched only by processes on (or transferring from) this node,
+/// inside commit windows.
+struct NodeRes {
+    nic_free: SimTime,
+    disk_free: SimTime,
+}
+
 struct Engine {
-    inner: Mutex<Inner>,
+    sched: Mutex<Sched>,
+    shards: Vec<ProcShard>,
+    nodes: Vec<Mutex<NodeRes>>,
+    nfs_free: Mutex<SimTime>,
+    /// Messages sent to processes that had already finished.
+    /// Token-serialized; atomic only for `Sync`.
+    dropped_msgs: AtomicU64,
+    /// Sequence numbers handed to inter-node messages for the fault
+    /// plan's drop hash. Incremented inside send commit windows, which
+    /// are totally ordered identically in both execution modes — the
+    /// basis of faulty-run bit-determinism. Only advanced when the plan
+    /// actually enables drops.
+    fault_seq: AtomicU64,
     done: Condvar,
 }
 
 impl Engine {
-    /// Push `pid` as runnable at `time`, invalidating any earlier entry
-    /// for it. Caller holds the lock.
-    fn push(g: &mut Inner, pid: Pid, time: SimTime) {
-        g.procs[pid.index()].gen += 1;
-        let gen = g.procs[pid.index()].gen;
-        g.runnable.push(Reverse(Entry { time, pid, gen }));
-    }
-
     /// Grant the commit token to the next runnable process if the
     /// conservative frontier allows it; otherwise detect completion or
-    /// deadlock. Caller holds the lock. Idempotent: safe to call after
-    /// any state change that might enable a grant.
-    fn try_dispatch(&self, g: &mut Inner) {
+    /// deadlock. Caller holds the sched lock. Idempotent: safe to call
+    /// after any state change that might enable a grant.
+    fn try_dispatch(&self, g: &mut Sched) {
         if g.turn.is_some() || g.deadlocked {
             return;
         }
         loop {
-            let cand = match g.runnable.peek() {
+            let cand = match g.runnable.peek_min() {
                 None => break,
-                Some(&Reverse(e)) => e,
+                Some(e) => e,
             };
             if g.procs[cand.pid.index()].gen != cand.gen {
-                g.runnable.pop(); // stale entry
+                g.runnable.pop_min(); // stale entry
                 continue;
             }
             // Conservative lookahead frontier: an in-flight process q
@@ -265,7 +289,7 @@ impl Engine {
             {
                 return;
             }
-            g.runnable.pop();
+            g.runnable.pop_min();
             let p = &mut g.procs[cand.pid.index()];
             match &p.status {
                 Status::Ready => {
@@ -284,10 +308,9 @@ impl Engine {
                 _ => continue, // defensive: not grantable
             }
             g.turn = Some(cand.pid);
-            let slot = p.slot.clone();
             let clock = p.clock;
             let reason = p.wake_reason;
-            slot.wake(clock, reason);
+            self.shards[cand.pid.index()].slot.wake(clock, reason);
             return;
         }
         // Nothing grantable. With compute still in flight this is a
@@ -301,17 +324,17 @@ impl Engine {
                     diag.push_str(&format!(
                         "{} ({}) blocked at {} on recv {:?}; ",
                         Pid(i as u32),
-                        p.name,
+                        self.shards[i].name,
                         p.clock,
                         spec
                     ));
                 }
             }
-            for p in g.procs.iter_mut() {
+            for (i, p) in g.procs.iter_mut().enumerate() {
                 if matches!(p.status, Status::Blocked { .. }) {
                     p.status = Status::Running;
                     p.wake_reason = WakeReason::Deadlock;
-                    p.slot.wake(p.clock, WakeReason::Deadlock);
+                    self.shards[i].slot.wake(p.clock, WakeReason::Deadlock);
                 }
             }
             // Stash the diagnostic through the panics channel.
@@ -322,32 +345,34 @@ impl Engine {
     }
 
     /// Deliver a message, waking the destination if it is blocked on a
-    /// matching receive. Caller holds the lock (and the commit token).
-    fn deliver(g: &mut Inner, dst: Pid, msg: Message) {
+    /// matching receive. Caller holds the sched lock (and the commit
+    /// token).
+    fn deliver(&self, g: &mut Sched, dst: Pid, msg: Message) {
         let arrival = msg.arrival;
         let p = &mut g.procs[dst.index()];
         match &p.status {
             Status::Done => {
-                g.dropped_msgs += 1;
+                self.dropped_msgs.fetch_add(1, Ordering::Relaxed);
             }
             Status::Blocked { spec, .. } if spec.matches(&msg) => {
-                p.mailbox.push_back(msg);
                 p.status = Status::Ready;
                 p.wake_reason = WakeReason::Message;
                 // Clock stays at the block-time value; the receiver
                 // recomputes its resume clock from the matched message.
                 let t = p.clock.max(arrival);
-                Engine::push(g, dst, t);
+                self.shards[dst.index()].mail.lock().mailbox.push_back(msg);
+                Sched::push(g, dst, t);
             }
             _ => {
-                p.mailbox.push_back(msg);
+                self.shards[dst.index()].mail.lock().mailbox.push_back(msg);
             }
         }
     }
 }
 
 /// Per-process context handed to each process closure. All simulation
-/// operations go through this handle.
+/// operations go through this handle. Engine, trace and fault-plan
+/// handles are resolved once at spawn — the hot path clones no `Arc`s.
 pub struct ProcCtx {
     engine: Arc<Engine>,
     world: Arc<World>,
@@ -356,6 +381,16 @@ pub struct ProcCtx {
     node: NodeId,
     clock: SimTime,
     stats: ProcStats,
+    /// Preresolved fault plan (None on clean runs).
+    faults: Option<Arc<crate::faults::FaultPlan>>,
+    /// Whether tracing is enabled for this run (resolved at spawn).
+    tracing: bool,
+    /// Per-process append-only trace buffer; merged into the shared
+    /// [`crate::trace::Trace`] once, at process finish.
+    trace_buf: Vec<TraceEvent>,
+    /// In-flight cap above which `release_turn` keeps the token; `0`
+    /// encodes sequential mode, making release a no-op without a lock.
+    release_cap: usize,
 }
 
 impl ProcCtx {
@@ -413,15 +448,24 @@ impl ProcCtx {
         &self.stats
     }
 
+    /// Append a span to this process's trace buffer (no locking; the
+    /// buffer is merged into the shared trace at process finish).
     #[inline]
-    fn trace(&self) -> Option<&Arc<crate::trace::Trace>> {
-        self.world.trace.get()
+    fn trace_push(&mut self, start: SimTime, end: SimTime, kind: crate::trace::EventKind) {
+        if self.tracing {
+            self.trace_buf.push(TraceEvent {
+                pid: self.pid,
+                start,
+                end,
+                kind,
+            });
+        }
     }
 
     /// The simulation's fault plan, if one was installed.
     #[inline]
     pub fn fault_plan(&self) -> Option<&Arc<crate::faults::FaultPlan>> {
-        self.world.faults.get()
+        self.faults.as_ref()
     }
 
     /// Earliest scheduled crash of this process's node, if any. Server
@@ -433,7 +477,7 @@ impl ProcCtx {
 
     /// Earliest scheduled crash of `node`, if any.
     pub fn crash_time_of(&self, node: NodeId) -> Option<SimTime> {
-        self.world.faults.get().and_then(|p| p.crash_time(node))
+        self.faults.as_ref().and_then(|p| p.crash_time(node))
     }
 
     /// Record a structured fault / recovery event in the trace (a
@@ -441,14 +485,8 @@ impl ProcCtx {
     /// this process's statistics.
     pub fn record_fault(&mut self, ev: crate::faults::FaultEvent) {
         self.stats.fault_events += 1;
-        if let Some(tr) = self.trace() {
-            tr.record(
-                self.pid,
-                self.clock,
-                self.clock,
-                crate::trace::EventKind::Fault(ev),
-            );
-        }
+        let t = self.clock;
+        self.trace_push(t, t, crate::trace::EventKind::Fault(ev));
     }
 
     /// Advance this process's clock by modeled computation: `work` executed
@@ -460,7 +498,7 @@ impl ProcCtx {
             let spec = &self.world.topology.node(self.node).spec;
             work.duration_on(spec, runtime_factor)
         };
-        if let Some(plan) = self.world.faults.get() {
+        if let Some(plan) = &self.faults {
             let f = plan.compute_factor(self.node, self.clock);
             if f != 1.0 {
                 d = SimDuration::from_nanos((d.nanos() as f64 * f).round() as u64);
@@ -469,9 +507,7 @@ impl ProcCtx {
         let t0 = self.clock;
         self.clock += d;
         self.stats.compute_time += d;
-        if let Some(tr) = self.trace() {
-            tr.record(self.pid, t0, self.clock, crate::trace::EventKind::Compute);
-        }
+        self.trace_push(t0, self.clock, crate::trace::EventKind::Compute);
     }
 
     /// Advance this process's clock by a raw duration (framework-internal
@@ -493,29 +529,62 @@ impl ProcCtx {
     /// process. Returns `false` if the simulation is tearing down from a
     /// deadlock (the caller must not touch shared state).
     fn align_quiet(&mut self) -> bool {
-        let engine = self.engine.clone();
-        let slot;
+        let me = self.pid;
         {
-            let mut g = engine.inner.lock();
+            let mut g = self.engine.sched.lock();
             if g.deadlocked {
                 return false;
             }
-            let me = self.pid;
             if g.turn == Some(me) {
                 // Sequential mode (or a kept token): pass it through the
                 // queue so the globally minimal process gets it next.
                 g.turn = None;
             }
             g.inflight.retain(|&(q, _)| q != me);
-            let p = &mut g.procs[me.index()];
-            p.clock = self.clock;
-            p.status = Status::Ready;
-            p.wake_reason = WakeReason::Turn;
-            slot = p.slot.clone();
-            Engine::push(&mut g, me, self.clock);
-            engine.try_dispatch(&mut g);
+            // Self-grant fast path: if this process would be the next
+            // grant anyway — the token is free, every queued entry orders
+            // after `(clock, me)`, and no in-flight frontier blocks us —
+            // take the token directly, skipping the queue round-trip and
+            // the condvar park/wake entirely. The grant decision is the
+            // same one `try_dispatch` would make for our pushed entry, so
+            // the schedule (and every virtual-time result) is unchanged.
+            if g.turn.is_none() {
+                // Clean stale heads so the comparison sees a live entry.
+                while let Some(k) = g.runnable.peek_min() {
+                    if g.procs[k.pid.index()].gen != k.gen {
+                        g.runnable.pop_min();
+                    } else {
+                        break;
+                    }
+                }
+                let head_after_me = g
+                    .runnable
+                    .peek_min()
+                    .is_none_or(|k| (k.time, k.pid) > (self.clock, me));
+                if head_after_me
+                    && !g
+                        .inflight
+                        .iter()
+                        .any(|&(q, lb)| (self.clock, me) >= (lb, q))
+                {
+                    let p = &mut g.procs[me.index()];
+                    p.clock = self.clock;
+                    p.status = Status::Running;
+                    p.wake_reason = WakeReason::Turn;
+                    g.turn = Some(me);
+                    return true;
+                }
+            }
+            {
+                let p = &mut g.procs[me.index()];
+                p.clock = self.clock;
+                p.status = Status::Ready;
+                p.wake_reason = WakeReason::Turn;
+            }
+            Sched::push(&mut g, me, self.clock);
+            self.engine.try_dispatch(&mut g);
         }
-        let (clock, reason) = slot.park();
+        let (clock, reason) = self.engine.shards[me.index()].slot.park();
         self.clock = clock;
         reason != WakeReason::Deadlock
     }
@@ -536,24 +605,23 @@ impl ProcCtx {
     /// Release the commit token after a visible operation's shared-state
     /// mutation, entering the in-flight set so the next compute segment
     /// can overlap with other processes. No-op in sequential mode (the
-    /// token is kept until the next [`ProcCtx::become_min`]).
+    /// token is kept until the next [`ProcCtx::become_min`]) — and the
+    /// no-op is lock-free: `release_cap == 0` encodes sequential.
     fn release_turn(&mut self) {
-        let engine = self.engine.clone();
-        let mut g = engine.inner.lock();
+        if self.release_cap == 0 {
+            return; // sequential: keep the token; the next align passes it
+        }
+        let mut g = self.engine.sched.lock();
         if g.deadlocked {
             return;
         }
         debug_assert_eq!(g.turn, Some(self.pid), "token released by non-holder");
-        let cap = match g.exec {
-            Execution::Sequential => 0,
-            Execution::Parallel { threads } => threads,
-        };
-        if g.inflight.len() >= cap {
+        if g.inflight.len() >= self.release_cap {
             return; // keep the token; the next align passes it on
         }
         g.turn = None;
         g.inflight.push((self.pid, self.clock));
-        engine.try_dispatch(&mut g);
+        self.engine.try_dispatch(&mut g);
     }
 
     /// Run `f` inside this process's next commit window: at a
@@ -586,128 +654,113 @@ impl ProcCtx {
         self.stats.compute_time += cpu;
         self.stats.msgs_sent += 1;
         self.stats.bytes_sent += bytes;
-        if let Some(tr) = self.trace() {
-            tr.record(
-                self.pid,
-                t0,
-                self.clock,
-                crate::trace::EventKind::Send { dst, bytes },
-            );
-        }
+        self.trace_push(t0, self.clock, crate::trace::EventKind::Send { dst, bytes });
         self.become_min();
-        {
-            let engine = self.engine.clone();
-            let mut g = engine.inner.lock();
-            let sent_at = self.clock;
-            let dst_node = self.proc_nodes[dst.index()];
-            let same_node = dst_node == self.node;
-            let wire = transport.wire_time(bytes);
-            let mut arrival = if same_node {
-                sent_at + transport.latency + wire
-            } else {
-                let nic = &mut g.nic_free[self.node.index()];
-                let start = sent_at.max(*nic);
-                *nic = start + wire;
-                start + wire + transport.latency
-            };
-            // Fault injection, inside the commit window so every decision
-            // (and the drop-hash sequence number) lands at a deterministic
-            // point of the global order. Intra-node loopback is immune.
-            if !same_node {
-                if let Some(plan) = self.world.faults.get().cloned() {
-                    use crate::faults::{FaultEvent, LinkFault};
-                    let tr = self.world.trace.get().cloned();
-                    let pid = self.pid;
-                    let injected = move |ev: FaultEvent,
-                                         delay: SimDuration,
-                                         stats: &mut ProcStats| {
-                        stats.fault_events += 1;
-                        stats.fault_delay += delay;
-                        if let Some(tr) = &tr {
-                            tr.record(pid, sent_at, sent_at, crate::trace::EventKind::Fault(ev));
-                        }
-                    };
-                    match plan.link_fault(self.node, dst_node, sent_at) {
-                        Some((LinkFault::Degrade(f), _)) => {
-                            let base = wire + transport.latency;
-                            let extra = SimDuration::from_nanos(
-                                (base.nanos() as f64 * (f - 1.0)).round() as u64,
-                            );
-                            arrival += extra;
-                            injected(
-                                FaultEvent::LinkDegraded {
+        let sent_at = self.clock;
+        let dst_node = self.proc_nodes[dst.index()];
+        let same_node = dst_node == self.node;
+        let wire = transport.wire_time(bytes);
+        let mut arrival = if same_node {
+            sent_at + transport.latency + wire
+        } else {
+            let mut nr = self.engine.nodes[self.node.index()].lock();
+            let start = sent_at.max(nr.nic_free);
+            nr.nic_free = start + wire;
+            start + wire + transport.latency
+        };
+        // Fault injection, inside the commit window so every decision
+        // (and the drop-hash sequence number) lands at a deterministic
+        // point of the global order. Intra-node loopback is immune.
+        if !same_node {
+            if let Some(plan) = self.faults.clone() {
+                use crate::faults::{FaultEvent, LinkFault};
+                match plan.link_fault(self.node, dst_node, sent_at) {
+                    Some((LinkFault::Degrade(f), _)) => {
+                        let base = wire + transport.latency;
+                        let extra = SimDuration::from_nanos(
+                            (base.nanos() as f64 * (f - 1.0)).round() as u64,
+                        );
+                        arrival += extra;
+                        self.stats.fault_events += 1;
+                        self.stats.fault_delay += extra;
+                        self.trace_push(
+                            sent_at,
+                            sent_at,
+                            crate::trace::EventKind::Fault(FaultEvent::LinkDegraded {
+                                dst_node,
+                                bytes,
+                                delay: extra,
+                            }),
+                        );
+                    }
+                    Some((LinkFault::Partition, until)) => {
+                        let healed = until + plan.retransmit();
+                        if healed > arrival {
+                            let extra = healed - arrival;
+                            arrival = healed;
+                            self.stats.fault_events += 1;
+                            self.stats.fault_delay += extra;
+                            self.trace_push(
+                                sent_at,
+                                sent_at,
+                                crate::trace::EventKind::Fault(FaultEvent::LinkPartitioned {
                                     dst_node,
                                     bytes,
                                     delay: extra,
-                                },
-                                extra,
-                                &mut self.stats,
+                                }),
                             );
                         }
-                        Some((LinkFault::Partition, until)) => {
-                            let healed = until + plan.retransmit();
-                            if healed > arrival {
-                                let extra = healed - arrival;
-                                arrival = healed;
-                                injected(
-                                    FaultEvent::LinkPartitioned {
-                                        dst_node,
-                                        bytes,
-                                        delay: extra,
-                                    },
-                                    extra,
-                                    &mut self.stats,
-                                );
-                            }
-                        }
-                        None => {}
                     }
-                    if plan.has_drops() {
-                        let seq = g.fault_seq;
-                        g.fault_seq += 1;
-                        if plan.should_drop(seq) {
-                            let extra = plan.retransmit();
-                            arrival += extra;
-                            injected(
-                                FaultEvent::MessageDropped {
-                                    dst,
-                                    bytes,
-                                    delay: extra,
-                                },
-                                extra,
-                                &mut self.stats,
-                            );
-                        }
+                    None => {}
+                }
+                if plan.has_drops() {
+                    let seq = self.engine.fault_seq.fetch_add(1, Ordering::Relaxed);
+                    if plan.should_drop(seq) {
+                        let extra = plan.retransmit();
+                        arrival += extra;
+                        self.stats.fault_events += 1;
+                        self.stats.fault_delay += extra;
+                        self.trace_push(
+                            sent_at,
+                            sent_at,
+                            crate::trace::EventKind::Fault(FaultEvent::MessageDropped {
+                                dst,
+                                bytes,
+                                delay: extra,
+                            }),
+                        );
                     }
                 }
             }
-            let recv_cost = transport.endpoint_cpu(transport.recv_overhead, bytes);
-            let msg = Message {
-                src: self.pid,
-                tag,
-                bytes,
-                payload,
-                sent_at,
-                arrival,
-                recv_cost,
-            };
-            Engine::deliver(&mut g, dst, msg);
+        }
+        let recv_cost = transport.endpoint_cpu(transport.recv_overhead, bytes);
+        let msg = Message {
+            src: self.pid,
+            dst,
+            tag,
+            bytes,
+            payload,
+            sent_at,
+            arrival,
+            recv_cost,
+        };
+        {
+            let mut g = self.engine.sched.lock();
+            self.engine.deliver(&mut g, dst, msg);
         }
         self.release_turn();
     }
 
     fn take_match(&mut self, spec: MatchSpec) -> Option<Message> {
-        let engine = self.engine.clone();
-        let mut g = engine.inner.lock();
-        let p = &mut g.procs[self.pid.index()];
-        let best = p
+        let mut m = self.engine.shards[self.pid.index()].mail.lock();
+        let best = m
             .mailbox
             .iter()
             .enumerate()
             .filter(|(_, m)| spec.matches(m))
             .min_by_key(|(i, m)| (m.arrival, *i))
             .map(|(i, _)| i);
-        best.and_then(|i| p.mailbox.remove(i))
+        best.and_then(|i| m.mailbox.remove(i))
     }
 
     fn finish_recv(&mut self, msg: Message, blocked_since: SimTime) -> Message {
@@ -717,17 +770,14 @@ impl ProcCtx {
         self.stats.compute_time += msg.recv_cost;
         self.stats.msgs_recvd += 1;
         self.stats.bytes_recvd += msg.bytes;
-        if let Some(tr) = self.trace() {
-            tr.record(
-                self.pid,
-                blocked_since,
-                self.clock,
-                crate::trace::EventKind::Recv {
-                    src: msg.src,
-                    bytes: msg.bytes,
-                },
-            );
-        }
+        self.trace_push(
+            blocked_since,
+            self.clock,
+            crate::trace::EventKind::Recv {
+                src: msg.src,
+                bytes: msg.bytes,
+            },
+        );
         msg
     }
 
@@ -766,10 +816,9 @@ impl ProcCtx {
             return Ok(m);
         }
         // Block, handing the token back.
-        let engine = self.engine.clone();
-        let slot;
+        let me = self.pid;
         {
-            let mut g = engine.inner.lock();
+            let mut g = self.engine.sched.lock();
             if g.deadlocked {
                 drop(g);
                 panic::panic_any(DeadlockNote(format!(
@@ -777,22 +826,22 @@ impl ProcCtx {
                     self.pid
                 )));
             }
-            let me = self.pid;
             debug_assert_eq!(g.turn, Some(me), "blocking without the token");
             g.turn = None;
-            let p = &mut g.procs[me.index()];
-            p.clock = self.clock;
-            p.status = Status::Blocked { spec, deadline };
-            slot = p.slot.clone();
-            if let Some(d) = deadline {
-                Engine::push(&mut g, me, d.max(self.clock));
-            } else {
-                // No heap entry: only a matching delivery can wake us.
-                p.gen += 1;
+            {
+                let p = &mut g.procs[me.index()];
+                p.clock = self.clock;
+                p.status = Status::Blocked { spec, deadline };
             }
-            engine.try_dispatch(&mut g);
+            if let Some(d) = deadline {
+                Sched::push(&mut g, me, d.max(self.clock));
+            } else {
+                // No queue entry: only a matching delivery can wake us.
+                g.procs[me.index()].gen += 1;
+            }
+            self.engine.try_dispatch(&mut g);
         }
-        let (clock, reason) = slot.park();
+        let (clock, reason) = self.engine.shards[me.index()].slot.park();
         self.clock = clock;
         match reason {
             WakeReason::Message => {
@@ -822,18 +871,16 @@ impl ProcCtx {
         // Align so the arrival check happens at a deterministic point.
         self.become_min();
         let now = self.clock;
-        let engine = self.engine.clone();
         let taken = {
-            let mut g = engine.inner.lock();
-            let p = &mut g.procs[self.pid.index()];
-            let best = p
+            let mut m = self.engine.shards[self.pid.index()].mail.lock();
+            let best = m
                 .mailbox
                 .iter()
                 .enumerate()
                 .filter(|(_, m)| spec.matches(m) && m.arrival <= now)
                 .min_by_key(|(i, m)| (m.arrival, *i))
                 .map(|(i, _)| i);
-            best.and_then(|i| p.mailbox.remove(i))
+            best.and_then(|i| m.mailbox.remove(i))
         };
         let out = taken.map(|m| self.finish_recv(m, now));
         self.release_turn();
@@ -883,75 +930,66 @@ impl ProcCtx {
         if target_node == self.node {
             self.clock += lat + wire;
         } else {
-            let engine = self.engine.clone();
-            let mut g = engine.inner.lock();
-            let nic = &mut g.nic_free[self.node.index()];
-            let start = self.clock.max(*nic);
-            *nic = start + wire;
+            let mut nr = self.engine.nodes[self.node.index()].lock();
+            let start = self.clock.max(nr.nic_free);
+            nr.nic_free = start + wire;
             self.clock = start + wire + lat;
         }
         let out = effect();
-        if let Some(tr) = self.trace() {
-            tr.record(
-                self.pid,
-                t_op,
-                self.clock,
-                crate::trace::EventKind::OneSided { bytes },
-            );
-        }
+        let end = self.clock;
+        self.trace_push(t_op, end, crate::trace::EventKind::OneSided { bytes });
         self.release_turn();
         out
     }
 
     fn device_io(&mut self, bytes: u64, is_nfs: bool, is_write: bool) {
         self.become_min();
-        {
-            let engine = self.engine.clone();
-            let mut g = engine.inner.lock();
-            let (spec, free): (crate::topology::DiskSpec, &mut SimTime) = if is_nfs {
-                (self.world.nfs, &mut g.nfs_free)
-            } else {
-                (
-                    self.world.topology.node(self.node).spec.disk,
-                    &mut g.disk_free[self.node.index()],
-                )
-            };
-            let bw = if is_write {
-                spec.write_bw
-            } else {
-                spec.read_bw
-            };
-            let mut dur = spec.request_overhead + SimDuration::from_secs_f64(bytes as f64 / bw);
-            // A straggling node is slow at everything local, its scratch
-            // disk included; the shared NFS server is unaffected.
-            if !is_nfs {
-                if let Some(plan) = self.world.faults.get() {
-                    let f = plan.compute_factor(self.node, self.clock);
-                    if f != 1.0 {
-                        dur = SimDuration::from_nanos((dur.nanos() as f64 * f).round() as u64);
-                    }
+        let spec: crate::topology::DiskSpec = if is_nfs {
+            self.world.nfs
+        } else {
+            self.world.topology.node(self.node).spec.disk
+        };
+        let bw = if is_write {
+            spec.write_bw
+        } else {
+            spec.read_bw
+        };
+        let mut dur = spec.request_overhead + SimDuration::from_secs_f64(bytes as f64 / bw);
+        // A straggling node is slow at everything local, its scratch
+        // disk included; the shared NFS server is unaffected.
+        if !is_nfs {
+            if let Some(plan) = &self.faults {
+                let f = plan.compute_factor(self.node, self.clock);
+                if f != 1.0 {
+                    dur = SimDuration::from_nanos((dur.nanos() as f64 * f).round() as u64);
                 }
             }
+        }
+        let finish = if is_nfs {
+            let mut free = self.engine.nfs_free.lock();
             let start = self.clock.max(*free);
             *free = start + dur;
-            let finish = start + dur;
-            self.stats.disk_time += finish - self.clock;
-            let t0 = self.clock;
-            self.clock = finish;
-            if is_write {
-                self.stats.disk_write_bytes += bytes;
-            } else {
-                self.stats.disk_read_bytes += bytes;
-            }
-            if let Some(tr) = self.trace() {
-                let kind = match (is_nfs, is_write) {
-                    (true, _) => crate::trace::EventKind::Nfs { bytes },
-                    (false, true) => crate::trace::EventKind::DiskWrite { bytes },
-                    (false, false) => crate::trace::EventKind::DiskRead { bytes },
-                };
-                tr.record(self.pid, t0, finish, kind);
-            }
+            start + dur
+        } else {
+            let mut nr = self.engine.nodes[self.node.index()].lock();
+            let start = self.clock.max(nr.disk_free);
+            nr.disk_free = start + dur;
+            start + dur
+        };
+        self.stats.disk_time += finish - self.clock;
+        let t0 = self.clock;
+        self.clock = finish;
+        if is_write {
+            self.stats.disk_write_bytes += bytes;
+        } else {
+            self.stats.disk_read_bytes += bytes;
         }
+        let kind = match (is_nfs, is_write) {
+            (true, _) => crate::trace::EventKind::Nfs { bytes },
+            (false, true) => crate::trace::EventKind::DiskWrite { bytes },
+            (false, false) => crate::trace::EventKind::DiskRead { bytes },
+        };
+        self.trace_push(t0, finish, kind);
         self.release_turn();
     }
 
@@ -1129,37 +1167,52 @@ impl Sim {
         assert!(n > 0, "simulation has no processes");
         let proc_nodes: Arc<Vec<NodeId>> = Arc::new(self.spawns.iter().map(|s| s.node).collect());
         let nodes = self.world.topology.len();
+        let release_cap = match self.exec {
+            Execution::Sequential => 0,
+            Execution::Parallel { threads } => threads,
+        };
         let engine = Arc::new(Engine {
-            inner: Mutex::new(Inner {
-                procs: self
-                    .spawns
-                    .iter()
-                    .map(|s| ProcState {
-                        name: s.name.clone(),
-                        node: s.node,
+            sched: Mutex::new(Sched {
+                procs: (0..n)
+                    .map(|_| SchedProc {
                         clock: SimTime::ZERO,
                         gen: 0,
                         status: Status::Ready,
                         wake_reason: WakeReason::Turn,
-                        mailbox: VecDeque::new(),
-                        slot: Arc::new(Slot::new()),
-                        finish: None,
-                        stats: ProcStats::default(),
                     })
                     .collect(),
-                runnable: BinaryHeap::new(),
+                runnable: CalendarQueue::new(),
                 live: n,
                 deadlocked: false,
-                exec: self.exec,
                 turn: None,
                 inflight: Vec::new(),
-                nic_free: vec![SimTime::ZERO; nodes],
-                disk_free: vec![SimTime::ZERO; nodes],
-                nfs_free: SimTime::ZERO,
-                dropped_msgs: 0,
-                fault_seq: 0,
                 panics: Vec::new(),
             }),
+            shards: self
+                .spawns
+                .iter()
+                .map(|s| ProcShard {
+                    name: s.name.clone(),
+                    node: s.node,
+                    slot: Slot::new(),
+                    mail: Mutex::new(Mail {
+                        mailbox: std::collections::VecDeque::new(),
+                        finish: None,
+                        stats: ProcStats::default(),
+                    }),
+                })
+                .collect(),
+            nodes: (0..nodes)
+                .map(|_| {
+                    Mutex::new(NodeRes {
+                        nic_free: SimTime::ZERO,
+                        disk_free: SimTime::ZERO,
+                    })
+                })
+                .collect(),
+            nfs_free: Mutex::new(SimTime::ZERO),
+            dropped_msgs: AtomicU64::new(0),
+            fault_seq: AtomicU64::new(0),
             done: Condvar::new(),
         });
 
@@ -1173,13 +1226,14 @@ impl Sim {
             let world = self.world.clone();
             let proc_nodes = proc_nodes.clone();
             let results = results.clone();
-            let slot = engine.inner.lock().procs[i].slot.clone();
             let handle = std::thread::Builder::new()
                 .name(format!("sim-{}", spawn.name))
                 .stack_size(1 << 21)
                 .spawn(move || {
                     // Wait for the first grant.
-                    let (clock, reason) = slot.park();
+                    let (clock, reason) = engine.shards[pid.index()].slot.park();
+                    let tracing = world.trace.get().is_some();
+                    let faults = world.faults.get().cloned();
                     let mut ctx = ProcCtx {
                         engine: engine.clone(),
                         world,
@@ -1188,6 +1242,10 @@ impl Sim {
                         node: spawn.node,
                         clock,
                         stats: ProcStats::default(),
+                        faults,
+                        tracing,
+                        trace_buf: Vec::new(),
+                        release_cap,
                     };
                     if reason == WakeReason::Deadlock {
                         // Simulation tore down before we ever ran.
@@ -1216,10 +1274,10 @@ impl Sim {
 
         // Enqueue every process at its start time and wait for the end.
         {
-            let mut g = engine.inner.lock();
+            let mut g = engine.sched.lock();
             for i in 0..n {
                 let t = g.procs[i].clock;
-                Engine::push(&mut g, Pid(i as u32), t);
+                Sched::push(&mut g, Pid(i as u32), t);
             }
             engine.try_dispatch(&mut g);
             while g.live > 0 {
@@ -1230,7 +1288,7 @@ impl Sim {
             let _ = h.join();
         }
 
-        let g = engine.inner.lock();
+        let g = engine.sched.lock();
         // Report application panics first; deadlock only if nothing else.
         if let Some((pid, msg, _)) = g
             .panics
@@ -1243,19 +1301,22 @@ impl Sim {
         if let Some((_, msg, _)) = g.panics.first().cloned() {
             panic!("{msg}");
         }
-        let procs = g
-            .procs
+        let procs = engine
+            .shards
             .iter()
             .enumerate()
-            .map(|(i, p)| ProcReport {
-                pid: Pid(i as u32),
-                name: p.name.clone(),
-                node: p.node,
-                finish: p.finish.unwrap_or(p.clock),
-                stats: p.stats.clone(),
+            .map(|(i, s)| {
+                let m = s.mail.lock();
+                ProcReport {
+                    pid: Pid(i as u32),
+                    name: s.name.clone(),
+                    node: s.node,
+                    finish: m.finish.unwrap_or(g.procs[i].clock),
+                    stats: m.stats.clone(),
+                }
             })
             .collect();
-        let dropped = g.dropped_msgs;
+        let dropped = engine.dropped_msgs.load(Ordering::Relaxed);
         drop(g);
         let results = Arc::try_unwrap(results)
             .map(|m| m.into_inner())
@@ -1294,7 +1355,20 @@ fn finish_proc(engine: &Arc<Engine>, ctx: &mut ProcCtx, panic_info: Option<(Stri
         // deadlock teardown the alignment is skipped.
         let _ = ctx.align_quiet();
     }
-    let mut g = engine.inner.lock();
+    // Merge this process's trace buffer into the shared trace exactly
+    // once. Export order is recovered by the sort in `sorted_events`, so
+    // the append order across processes is irrelevant.
+    if ctx.tracing {
+        if let Some(tr) = ctx.world.trace.get() {
+            tr.absorb(std::mem::take(&mut ctx.trace_buf));
+        }
+    }
+    {
+        let mut m = engine.shards[pid.index()].mail.lock();
+        m.finish = Some(ctx.clock);
+        m.stats = std::mem::take(&mut ctx.stats);
+    }
+    let mut g = engine.sched.lock();
     if g.turn == Some(pid) {
         g.turn = None;
     }
@@ -1302,10 +1376,8 @@ fn finish_proc(engine: &Arc<Engine>, ctx: &mut ProcCtx, panic_info: Option<(Stri
     {
         let p = &mut g.procs[pid.index()];
         p.status = Status::Done;
-        p.finish = Some(ctx.clock);
         p.clock = ctx.clock;
-        p.stats = std::mem::take(&mut ctx.stats);
-        p.gen += 1; // invalidate any stale heap entries
+        p.gen += 1; // invalidate any stale queue entries
     }
     if let Some((msg, was_deadlock)) = panic_info {
         g.panics.push((pid, msg, was_deadlock));

@@ -59,13 +59,17 @@ pub mod fs;
 pub mod hash;
 pub mod message;
 pub mod parallel;
+pub mod queue;
 pub mod stats;
 pub mod time;
 pub mod topology;
 pub mod trace;
 pub mod transport;
 
-pub use cost::{RuntimeClass, Work};
+pub use cost::{
+    allreduce_algo, collective_memo_stats, AllreduceAlgo, RuntimeClass, Work,
+    ALLREDUCE_RING_THRESHOLD,
+};
 pub use dataset::InputFormat;
 pub use engine::{Pid, ProcCtx, ProcReport, Sim, SimReport, World};
 pub use error::{DeadlockNote, RecvTimeout};
@@ -74,6 +78,7 @@ pub use fs::{FileEntry, Mount, SimFs};
 pub use hash::{det_hash, partition_of, DetHasher};
 pub use message::{MatchSpec, Message, Payload, Tag};
 pub use parallel::{default_execution, set_default_execution, Execution};
+pub use queue::{CalendarQueue, OrderKey};
 pub use stats::ProcStats;
 pub use time::{SimDuration, SimTime};
 pub use topology::{DiskSpec, Node, NodeId, NodeSpec, Topology};

@@ -68,6 +68,9 @@ impl fmt::Debug for Payload {
 pub struct Message {
     /// Sending process.
     pub src: Pid,
+    /// Destination process (carried for diagnostics: a mis-typed payload
+    /// panic must identify the exact edge it traveled).
+    pub dst: Pid,
     /// Matching tag.
     pub tag: Tag,
     /// Logical payload size in bytes (drives all costs).
@@ -90,9 +93,12 @@ impl Message {
     pub fn expect_value<T: Any + Send + Sync>(&self) -> Arc<T> {
         self.payload.downcast::<T>().unwrap_or_else(|| {
             panic!(
-                "message from {:?} tag {} did not carry a {}",
+                "message {} -> {} tag {} ({} B, payload {:?}) did not carry a {}",
                 self.src,
+                self.dst,
                 self.tag,
+                self.bytes,
+                self.payload,
                 std::any::type_name::<T>()
             )
         })
@@ -145,6 +151,7 @@ mod tests {
     fn msg(src: u32, tag: Tag) -> Message {
         Message {
             src: Pid(src),
+            dst: Pid(0),
             tag,
             bytes: 0,
             payload: Payload::Empty,

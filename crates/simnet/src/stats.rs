@@ -73,4 +73,48 @@ mod tests {
         assert_eq!(a.compute_time, SimDuration::from_micros(12));
         assert_eq!(a.wait_time, SimDuration::from_nanos(3));
     }
+
+    #[test]
+    fn merge_sums_fault_counters() {
+        let mut a = ProcStats {
+            fault_events: 3,
+            fault_delay: SimDuration::from_micros(40),
+            ..Default::default()
+        };
+        let b = ProcStats {
+            fault_events: 5,
+            fault_delay: SimDuration::from_nanos(250),
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.fault_events, 8);
+        assert_eq!(
+            a.fault_delay,
+            SimDuration::from_micros(40) + SimDuration::from_nanos(250)
+        );
+        // Merging a default leaves fault counters untouched.
+        a.merge(&ProcStats::default());
+        assert_eq!(a.fault_events, 8);
+    }
+
+    #[test]
+    fn merge_is_commutative_over_fault_counters() {
+        let a = ProcStats {
+            fault_events: 2,
+            fault_delay: SimDuration::from_nanos(7),
+            msgs_sent: 1,
+            ..Default::default()
+        };
+        let b = ProcStats {
+            fault_events: 9,
+            fault_delay: SimDuration::from_micros(1),
+            wait_time: SimDuration::from_nanos(11),
+            ..Default::default()
+        };
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+    }
 }

@@ -107,6 +107,18 @@ impl Trace {
         });
     }
 
+    /// Merge a batch of events collected in a private per-process buffer.
+    ///
+    /// The engine buffers each process's events locally (one `Vec::push`
+    /// per event, no shared lock on the hot path) and absorbs the buffer
+    /// once at process finish. Because the export order is recovered
+    /// entirely by the sort in [`Trace::sorted_events`], the wall-clock
+    /// order in which buffers are absorbed is irrelevant: the result is
+    /// byte-identical to recording every event through the shared lock.
+    pub fn absorb(&self, mut batch: Vec<TraceEvent>) {
+        self.events.lock().append(&mut batch);
+    }
+
     /// Events in the deterministic export order.
     ///
     /// Under [`crate::Execution::Parallel`] events from different
@@ -249,6 +261,93 @@ mod tests {
         assert!(json.contains("\"dur\": 2.000"));
         assert!(json.contains("disk_read"));
         assert!(json.trim_end().ends_with(']'));
+    }
+
+    /// The per-process-buffer path must be observationally identical to
+    /// the old globally-locked path: on a randomized workload, absorbing
+    /// whole per-process buffers (in any wall-clock order) exports the
+    /// exact event sequence that per-event `record` calls produce.
+    mod merge_order {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn build_event(pid: u32, start: u64, len: u64, kind_sel: u8, bytes: u64) -> TraceEvent {
+            let kind = match kind_sel % 7 {
+                0 => EventKind::Compute,
+                1 => EventKind::Send {
+                    dst: Pid(pid ^ 1),
+                    bytes,
+                },
+                2 => EventKind::Recv {
+                    src: Pid(pid ^ 1),
+                    bytes,
+                },
+                3 => EventKind::DiskRead { bytes },
+                4 => EventKind::DiskWrite { bytes },
+                5 => EventKind::Nfs { bytes },
+                _ => EventKind::OneSided { bytes },
+            };
+            TraceEvent {
+                pid: Pid(pid),
+                start: SimTime(start),
+                end: SimTime(start + len),
+                kind,
+            }
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            #[test]
+            fn absorbed_buffers_export_identically_to_global_records(
+                // (pid, start, len, kind selector, bytes) per event; small
+                // ranges force heavy collisions on (start, pid) so the
+                // tie-breaking tail of the sort key is exercised.
+                evs in collection::vec(
+                    (0u32..6, 0u64..50, 0u64..5, 0u8..7, 0u64..4), 1..120),
+                absorb_order_seed in 0u64..1000,
+            ) {
+                let events: Vec<TraceEvent> = evs
+                    .iter()
+                    .map(|&(p, s, l, k, b)| build_event(p, s, l, k, b))
+                    .collect();
+
+                // Reference: every event through the shared-lock path, in
+                // generation order (an arbitrary wall-clock interleaving).
+                let global = Trace::new();
+                for e in &events {
+                    global.record(e.pid, e.start, e.end, e.kind.clone());
+                }
+
+                // Candidate: split into per-process buffers (preserving
+                // each process's own order, as the engine does), then
+                // absorb the buffers in a seed-rotated process order to
+                // model nondeterministic process-finish order.
+                let buffered = Trace::new();
+                let npids = 6;
+                let mut bufs: Vec<Vec<TraceEvent>> = vec![Vec::new(); npids];
+                for e in &events {
+                    bufs[e.pid.index()].push(e.clone());
+                }
+                for i in 0..npids {
+                    let p = (i + absorb_order_seed as usize) % npids;
+                    buffered.absorb(std::mem::take(&mut bufs[p]));
+                }
+
+                prop_assert_eq!(global.len(), buffered.len());
+                prop_assert_eq!(global.sorted_events(), buffered.sorted_events());
+            }
+        }
+    }
+
+    #[test]
+    fn absorb_empty_batch_is_noop() {
+        let t = Trace::new();
+        t.absorb(Vec::new());
+        assert!(t.is_empty());
+        t.record(Pid(0), SimTime(1), SimTime(2), EventKind::Compute);
+        t.absorb(Vec::new());
+        assert_eq!(t.len(), 1);
     }
 
     #[test]
