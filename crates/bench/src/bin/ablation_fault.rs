@@ -92,32 +92,35 @@ fn spark_with_executor_loss(
 }
 
 fn main() {
+    let args = hpcbd_bench::BenchArgs::parse();
     hpcbd_bench::banner("Ablation A4 (lineage vs checkpoint/restart)");
-    let (input, placement, iters) = if hpcbd_bench::quick_mode() {
+    let (input, placement, iters) = if args.quick {
         (PagerankInput::small(), Placement::new(2, 4), 6u32)
     } else {
         (PagerankInput::paper(), Placement::new(4, 8), 10)
     };
     let _ = SparkVariant::BigDataBenchTuned;
-    let spark_clean = spark_with_executor_loss(&input, placement, None);
-    // Kill executor 1 midway through the clean runtime (plus the ~0.9s
-    // app startup that precedes the measured span).
-    let fail_at = SimTime(((0.9 + spark_clean * 0.5) * 1e9) as u64);
-    let spark_fault = spark_with_executor_loss(&input, placement, Some(fail_at));
-    let mpi_clean = mpi_with_checkpoint(placement, iters, 3, None);
-    let mpi_fault = mpi_with_checkpoint(placement, iters, 3, Some(iters / 2));
-    let mpi_no_ck_clean = mpi_with_checkpoint(placement, iters, 0, None);
-    println!("Spark PageRank          clean: {spark_clean:.3}s   with executor loss: {spark_fault:.3}s  (+{:.0}%)",
-        (spark_fault / spark_clean - 1.0) * 100.0);
-    println!("MPI iterative           clean: {mpi_clean:.3}s   with rank failure:  {mpi_fault:.3}s  (+{:.0}%)",
-        (mpi_fault / mpi_clean - 1.0) * 100.0);
-    println!(
-        "MPI without checkpoints clean: {mpi_no_ck_clean:.3}s  (checkpoint overhead {:.0}%)",
-        (mpi_clean / mpi_no_ck_clean - 1.0) * 100.0
-    );
-    println!();
-    println!("shape: Spark recovers by recomputing only the lost partitions");
-    println!("(lineage), paying nothing in the failure-free run; MPI pays the");
-    println!("checkpoint tax on every run and replays whole iterations on");
-    println!("failure.");
+    hpcbd_bench::run_with_report("ablation_fault", &args, || {
+        let spark_clean = spark_with_executor_loss(&input, placement, None);
+        // Kill executor 1 midway through the clean runtime (plus the ~0.9s
+        // app startup that precedes the measured span).
+        let fail_at = SimTime(((0.9 + spark_clean * 0.5) * 1e9) as u64);
+        let spark_fault = spark_with_executor_loss(&input, placement, Some(fail_at));
+        let mpi_clean = mpi_with_checkpoint(placement, iters, 3, None);
+        let mpi_fault = mpi_with_checkpoint(placement, iters, 3, Some(iters / 2));
+        let mpi_no_ck_clean = mpi_with_checkpoint(placement, iters, 0, None);
+        println!("Spark PageRank          clean: {spark_clean:.3}s   with executor loss: {spark_fault:.3}s  (+{:.0}%)",
+            (spark_fault / spark_clean - 1.0) * 100.0);
+        println!("MPI iterative           clean: {mpi_clean:.3}s   with rank failure:  {mpi_fault:.3}s  (+{:.0}%)",
+            (mpi_fault / mpi_clean - 1.0) * 100.0);
+        println!(
+            "MPI without checkpoints clean: {mpi_no_ck_clean:.3}s  (checkpoint overhead {:.0}%)",
+            (mpi_clean / mpi_no_ck_clean - 1.0) * 100.0
+        );
+        println!();
+        println!("shape: Spark recovers by recomputing only the lost partitions");
+        println!("(lineage), paying nothing in the failure-free run; MPI pays the");
+        println!("checkpoint tax on every run and replays whole iterations on");
+        println!("failure.");
+    });
 }

@@ -205,8 +205,9 @@ fn crash_time(clean_secs: f64, startup_secs: f64, frac: f64) -> SimTime {
 }
 
 fn main() {
+    let args = hpcbd_bench::BenchArgs::parse();
     hpcbd_bench::banner("Ablation A4b (fault sweep: recovery cost per paradigm)");
-    let quick = hpcbd_bench::quick_mode();
+    let quick = args.quick;
     let (placement, iters, interval) = if quick {
         (Placement::new(2, 2), 6u32, 3u32)
     } else {
@@ -223,74 +224,76 @@ fn main() {
         (4, 16, 200_000.0)
     };
 
-    let mpi_clean = run_mpi(placement, iters, interval, FaultPlan::new(42));
-    let spark_clean = run_spark(
-        spark_nodes,
-        spark_epn,
-        spark_rounds,
-        spark_items,
-        FaultPlan::new(42),
-    );
-    let mr_clean = run_mr(mr_nodes, mr_blocks, mr_scale, FaultPlan::new(42));
+    hpcbd_bench::run_with_report("ablation_fault_sweep", &args, || {
+        let mpi_clean = run_mpi(placement, iters, interval, FaultPlan::new(42));
+        let spark_clean = run_spark(
+            spark_nodes,
+            spark_epn,
+            spark_rounds,
+            spark_items,
+            FaultPlan::new(42),
+        );
+        let mr_clean = run_mr(mr_nodes, mr_blocks, mr_scale, FaultPlan::new(42));
 
-    println!();
-    println!(
-        "{:<18} {:>22} {:>22} {:>22}",
-        "scenario", "MPI ckpt/restart", "Spark lineage", "MR re-execution"
-    );
-    let cell = |secs: f64, clean: f64| -> String {
-        if (secs - clean).abs() < f64::EPSILON * clean {
-            format!("{secs:9.3}s   (base)")
-        } else {
-            format!("{secs:9.3}s ({:+6.1}%)", (secs / clean - 1.0) * 100.0)
-        }
-    };
-    for sc in scenarios() {
-        let (mpi_t, spark_t, mr_t) = match sc.fault {
-            Fault::None => (mpi_clean, spark_clean, mr_clean),
-            fault => {
-                let frac = match fault {
-                    Fault::Crash { frac } => frac,
-                    _ => 0.0,
-                };
-                // Spark's measured span starts after ~0.9 s of app
-                // startup; MR's includes the 2.5 s job submission.
-                let mpi = run_mpi(
-                    placement,
-                    iters,
-                    interval,
-                    plan_for(fault, crash_time(mpi_clean, 0.0, frac)),
-                );
-                let spark = run_spark(
-                    spark_nodes,
-                    spark_epn,
-                    spark_rounds,
-                    spark_items,
-                    plan_for(fault, crash_time(spark_clean + 0.9, 0.9, frac)),
-                );
-                let mr = run_mr(
-                    mr_nodes,
-                    mr_blocks,
-                    mr_scale,
-                    plan_for(fault, crash_time(mr_clean, 2.6, frac)),
-                );
-                (mpi, spark, mr)
-            }
-        };
+        println!();
         println!(
             "{:<18} {:>22} {:>22} {:>22}",
-            sc.label,
-            cell(mpi_t, mpi_clean),
-            cell(spark_t, spark_clean),
-            cell(mr_t, mr_clean)
+            "scenario", "MPI ckpt/restart", "Spark lineage", "MR re-execution"
         );
-    }
-    println!();
-    println!("shape: the crash rows show the protocols' asymmetry — MPI replays");
-    println!("whole iterations from the last coordinated checkpoint, Spark");
-    println!("recomputes only the lost partitions' lineage, MapReduce re-runs");
-    println!("lost map tasks against surviving HDFS replicas. Stragglers hurt");
-    println!("BSP-style MPI most (every allreduce waits); speculation caps the");
-    println!("damage for Spark and MapReduce. Message drops cost retransmits");
-    println!("everywhere but trigger no recovery protocol.");
+        let cell = |secs: f64, clean: f64| -> String {
+            if (secs - clean).abs() < f64::EPSILON * clean {
+                format!("{secs:9.3}s   (base)")
+            } else {
+                format!("{secs:9.3}s ({:+6.1}%)", (secs / clean - 1.0) * 100.0)
+            }
+        };
+        for sc in scenarios() {
+            let (mpi_t, spark_t, mr_t) = match sc.fault {
+                Fault::None => (mpi_clean, spark_clean, mr_clean),
+                fault => {
+                    let frac = match fault {
+                        Fault::Crash { frac } => frac,
+                        _ => 0.0,
+                    };
+                    // Spark's measured span starts after ~0.9 s of app
+                    // startup; MR's includes the 2.5 s job submission.
+                    let mpi = run_mpi(
+                        placement,
+                        iters,
+                        interval,
+                        plan_for(fault, crash_time(mpi_clean, 0.0, frac)),
+                    );
+                    let spark = run_spark(
+                        spark_nodes,
+                        spark_epn,
+                        spark_rounds,
+                        spark_items,
+                        plan_for(fault, crash_time(spark_clean + 0.9, 0.9, frac)),
+                    );
+                    let mr = run_mr(
+                        mr_nodes,
+                        mr_blocks,
+                        mr_scale,
+                        plan_for(fault, crash_time(mr_clean, 2.6, frac)),
+                    );
+                    (mpi, spark, mr)
+                }
+            };
+            println!(
+                "{:<18} {:>22} {:>22} {:>22}",
+                sc.label,
+                cell(mpi_t, mpi_clean),
+                cell(spark_t, spark_clean),
+                cell(mr_t, mr_clean)
+            );
+        }
+        println!();
+        println!("shape: the crash rows show the protocols' asymmetry — MPI replays");
+        println!("whole iterations from the last coordinated checkpoint, Spark");
+        println!("recomputes only the lost partitions' lineage, MapReduce re-runs");
+        println!("lost map tasks against surviving HDFS replicas. Stragglers hurt");
+        println!("BSP-style MPI most (every allreduce waits); speculation caps the");
+        println!("damage for Spark and MapReduce. Message drops cost retransmits");
+        println!("everywhere but trigger no recovery protocol.");
+    });
 }

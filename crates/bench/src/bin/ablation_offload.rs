@@ -5,20 +5,19 @@
 use hpcbd_core::bench_offload::{ablation_offload, discrete_crossover};
 
 fn main() {
+    let args = hpcbd_bench::BenchArgs::parse();
     hpcbd_bench::banner("Ablation A8 (accelerator offload trade-off)");
-    let bytes = if hpcbd_bench::quick_mode() {
-        1u64 << 30
-    } else {
-        4u64 << 30
-    };
+    let bytes = if args.quick { 1u64 << 30 } else { 4u64 << 30 };
     let intensities: Vec<f64> = (0..10).map(|i| 2f64.powi(i)).collect();
-    let table = ablation_offload(bytes, &intensities);
-    println!("{table}");
-    if let Some(x) = discrete_crossover(bytes, &intensities) {
-        println!("discrete-GPU crossover at ~{x} flops/byte");
-    }
-    println!();
-    println!("shape: streaming kernels stay home (the PCIe wall); compute-");
-    println!("dense kernels pay it back; unified memory (KNL/APU style)");
-    println!("crosses over far earlier — the paper's Sec. III-D trade-off.");
+    hpcbd_bench::run_with_report("ablation_offload", &args, || {
+        let table = ablation_offload(bytes, &intensities);
+        println!("{table}");
+        if let Some(x) = discrete_crossover(bytes, &intensities) {
+            println!("discrete-GPU crossover at ~{x} flops/byte");
+        }
+        println!();
+        println!("shape: streaming kernels stay home (the PCIe wall); compute-");
+        println!("dense kernels pay it back; unified memory (KNL/APU style)");
+        println!("crosses over far earlier — the paper's Sec. III-D trade-off.");
+    });
 }

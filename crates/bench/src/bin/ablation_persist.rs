@@ -6,19 +6,22 @@ use hpcbd_cluster::Placement;
 use hpcbd_core::bench_pagerank::{persist_ablation, PagerankInput};
 
 fn main() {
+    let args = hpcbd_bench::BenchArgs::parse();
     hpcbd_bench::banner("Ablation A1 (persist vs no persist)");
-    let (input, placement) = if hpcbd_bench::quick_mode() {
+    let (input, placement) = if args.quick {
         (PagerankInput::small(), Placement::new(2, 4))
     } else {
         (PagerankInput::paper(), Placement::new(4, 16))
     };
-    let (with_persist, without) = persist_ablation(&input, placement);
-    println!("with persist:    {with_persist:.3}s");
-    println!("without persist: {without:.3}s");
-    println!("speedup:         {:.2}x", without / with_persist);
-    println!();
-    println!("note: our engine keeps shuffle map outputs durable (like Spark's");
-    println!("shuffle files), so the ablation isolates the cache-hit effect on");
-    println!("repeated materialization; the paper's full 3x also includes");
-    println!("recomputation that durable shuffle files cannot serve.");
+    hpcbd_bench::run_with_report("ablation_persist", &args, || {
+        let (with_persist, without) = persist_ablation(&input, placement);
+        println!("with persist:    {with_persist:.3}s");
+        println!("without persist: {without:.3}s");
+        println!("speedup:         {:.2}x", without / with_persist);
+        println!();
+        println!("note: our engine keeps shuffle map outputs durable (like Spark's");
+        println!("shuffle files), so the ablation isolates the cache-hit effect on");
+        println!("repeated materialization; the paper's full 3x also includes");
+        println!("recomputation that durable shuffle files cannot serve.");
+    });
 }

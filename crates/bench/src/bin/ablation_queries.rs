@@ -7,8 +7,9 @@ use hpcbd_core::bench_queries::ablation_queries;
 use hpcbd_workloads::StackExchangeDataset;
 
 fn main() {
+    let args = hpcbd_bench::BenchArgs::parse();
     hpcbd_bench::banner("Ablation A6 (repeated queries: disk jobs vs memory)");
-    let (ds, placement, counts) = if hpcbd_bench::quick_mode() {
+    let (ds, placement, counts) = if args.quick {
         let size = 2u64 << 30;
         let records = size / hpcbd_workloads::stackexchange::RECORD_BYTES;
         (
@@ -25,9 +26,11 @@ fn main() {
             vec![1u32, 2, 4, 8],
         )
     };
-    let table = ablation_queries(&ds, placement, &counts);
-    println!("{table}");
-    println!("shape: at k=1 the engines are close (both pay one ingest);");
-    println!("every extra Hadoop query re-reads and re-parses the input,");
-    println!("every extra Spark query is a cache scan — the ratio grows with k.");
+    hpcbd_bench::run_with_report("ablation_queries", &args, || {
+        let table = ablation_queries(&ds, placement, &counts);
+        println!("{table}");
+        println!("shape: at k=1 the engines are close (both pay one ingest);");
+        println!("every extra Hadoop query re-reads and re-parses the input,");
+        println!("every extra Spark query is a cache scan — the ratio grows with k.");
+    });
 }

@@ -22,19 +22,22 @@ fn run(placement: Placement, rdma_control: bool) -> f64 {
 }
 
 fn main() {
+    let args = hpcbd_bench::BenchArgs::parse();
     hpcbd_bench::banner("Ablation A3 (RDMA for control plane too)");
-    let placement = if hpcbd_bench::quick_mode() {
+    let placement = if args.quick {
         Placement::new(2, 4)
     } else {
         Placement::new(8, 8)
     };
-    let sockets = run(placement, false);
-    let rdma = run(placement, true);
-    println!("reduce action, control on java sockets: {sockets:.4}s");
-    println!("reduce action, control on verbs:        {rdma:.4}s");
-    println!("speedup: {:.2}x", sockets / rdma);
-    println!();
-    println!("shape: on driver-bound jobs (Fig. 3's regime) moving the control");
-    println!("plane to RDMA is exactly where the remaining time goes — the");
-    println!("paper's proposed future work pays off most there.");
+    hpcbd_bench::run_with_report("ablation_rdma_all", &args, || {
+        let sockets = run(placement, false);
+        let rdma = run(placement, true);
+        println!("reduce action, control on java sockets: {sockets:.4}s");
+        println!("reduce action, control on verbs:        {rdma:.4}s");
+        println!("speedup: {:.2}x", sockets / rdma);
+        println!();
+        println!("shape: on driver-bound jobs (Fig. 3's regime) moving the control");
+        println!("plane to RDMA is exactly where the remaining time goes — the");
+        println!("paper's proposed future work pays off most there.");
+    });
 }

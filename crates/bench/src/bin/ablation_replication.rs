@@ -7,29 +7,32 @@ use hpcbd_core::bench_fileread::spark_hdfs_read;
 use hpcbd_core::ResultTable;
 
 fn main() {
+    let args = hpcbd_bench::BenchArgs::parse();
     hpcbd_bench::banner("Ablation A2 (HDFS replication vs locality)");
     // Node counts must exceed the default replication (3) or every
     // block is trivially everywhere and the two columns coincide.
-    let (nodes_list, ppn, size) = if hpcbd_bench::quick_mode() {
+    let (nodes_list, ppn, size) = if args.quick {
         (vec![4u32], 4, 2u64 << 30)
     } else {
         (vec![4u32, 8], 8, 8u64 << 30)
     };
-    let mut table = ResultTable::new(
-        "Spark read time: replication 3 (default) vs = node count",
-        &["nodes", "replication 3", "replication = nodes"],
-    );
-    for nodes in nodes_list {
-        let placement = Placement::new(nodes, ppn);
-        let (t3, _) = spark_hdfs_read(placement, size, 3);
-        let (tn, _) = spark_hdfs_read(placement, size, nodes);
-        table.push_row(vec![
-            nodes.to_string(),
-            format!("{t3:.3}s"),
-            format!("{tn:.3}s"),
-        ]);
-    }
-    println!("{table}");
-    println!("shape: full replication guarantees every executor a local block,");
-    println!("removing remote-read stragglers as the node count grows.");
+    hpcbd_bench::run_with_report("ablation_replication", &args, || {
+        let mut table = ResultTable::new(
+            "Spark read time: replication 3 (default) vs = node count",
+            &["nodes", "replication 3", "replication = nodes"],
+        );
+        for nodes in nodes_list {
+            let placement = Placement::new(nodes, ppn);
+            let (t3, _) = spark_hdfs_read(placement, size, 3);
+            let (tn, _) = spark_hdfs_read(placement, size, nodes);
+            table.push_row(vec![
+                nodes.to_string(),
+                format!("{t3:.3}s"),
+                format!("{tn:.3}s"),
+            ]);
+        }
+        println!("{table}");
+        println!("shape: full replication guarantees every executor a local block,");
+        println!("removing remote-read stragglers as the node count grows.");
+    });
 }

@@ -6,17 +6,20 @@ use hpcbd_core::bench_seismic::ablation_seismic;
 use hpcbd_workloads::SeismicSurvey;
 
 fn main() {
+    let args = hpcbd_bench::BenchArgs::parse();
     hpcbd_bench::banner("Ablation A7 (seismic scan storage contention)");
-    let (survey, nodes, ppn) = if hpcbd_bench::quick_mode() {
+    let (survey, nodes, ppn) = if args.quick {
         (SeismicSurvey::new(0xA7, 32_000_000, 1600), vec![2u32, 4], 4)
     } else {
         // 1 TB logical survey (the paper's 500M traces).
         (SeismicSurvey::paper_500m(), vec![2u32, 4, 8], 8)
     };
-    let table = ablation_seismic(&survey, &nodes, ppn);
-    println!("{table}");
-    println!("shape: node-local scratch and HDFS aggregate bandwidth with the");
-    println!("node count; the single NFS server is flat no matter how many");
-    println!("readers arrive — \"parallel I/O does not solve storage");
-    println!("contention\" (Sec. III-C).");
+    hpcbd_bench::run_with_report("ablation_seismic", &args, || {
+        let table = ablation_seismic(&survey, &nodes, ppn);
+        println!("{table}");
+        println!("shape: node-local scratch and HDFS aggregate bandwidth with the");
+        println!("node count; the single NFS server is flat no matter how many");
+        println!("readers arrive — \"parallel I/O does not solve storage");
+        println!("contention\" (Sec. III-C).");
+    });
 }

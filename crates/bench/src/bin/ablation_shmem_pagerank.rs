@@ -9,34 +9,37 @@ use hpcbd_core::ResultTable;
 use hpcbd_minspark::ShuffleEngine;
 
 fn main() {
+    let args = hpcbd_bench::BenchArgs::parse();
     hpcbd_bench::banner("Ablation A5 (PageRank over OpenSHMEM)");
-    let (input, nodes_list, ppn) = if hpcbd_bench::quick_mode() {
+    let (input, nodes_list, ppn) = if args.quick {
         (PagerankInput::small(), vec![1u32, 2], 4)
     } else {
         (PagerankInput::paper(), vec![1u32, 2, 4, 8], 16)
     };
-    let mut table = ResultTable::new(
-        "PageRank: OpenSHMEM vs MPI vs tuned Spark",
-        &["nodes", "OpenSHMEM", "MPI", "Spark (tuned)"],
-    );
-    for nodes in nodes_list {
-        let placement = Placement::new(nodes, ppn);
-        let (shmem_t, _) = shmem_pagerank(&input, placement);
-        let (mpi_t, _) = mpi_pagerank(&input, placement);
-        let (spark_t, _) = spark_pagerank(
-            &input,
-            placement,
-            SparkVariant::BigDataBenchTuned,
-            ShuffleEngine::Socket,
+    hpcbd_bench::run_with_report("ablation_shmem_pagerank", &args, || {
+        let mut table = ResultTable::new(
+            "PageRank: OpenSHMEM vs MPI vs tuned Spark",
+            &["nodes", "OpenSHMEM", "MPI", "Spark (tuned)"],
         );
-        table.push_row(vec![
-            nodes.to_string(),
-            format!("{shmem_t:.3}s"),
-            format!("{mpi_t:.3}s"),
-            format!("{spark_t:.3}s"),
-        ]);
-    }
-    println!("{table}");
-    println!("shape: both HPC runtimes sit well under Spark; the one-sided");
-    println!("exchange tracks MPI's alltoall closely at these message sizes.");
+        for nodes in nodes_list {
+            let placement = Placement::new(nodes, ppn);
+            let (shmem_t, _) = shmem_pagerank(&input, placement);
+            let (mpi_t, _) = mpi_pagerank(&input, placement);
+            let (spark_t, _) = spark_pagerank(
+                &input,
+                placement,
+                SparkVariant::BigDataBenchTuned,
+                ShuffleEngine::Socket,
+            );
+            table.push_row(vec![
+                nodes.to_string(),
+                format!("{shmem_t:.3}s"),
+                format!("{mpi_t:.3}s"),
+                format!("{spark_t:.3}s"),
+            ]);
+        }
+        println!("{table}");
+        println!("shape: both HPC runtimes sit well under Spark; the one-sided");
+        println!("exchange tracks MPI's alltoall closely at these message sizes.");
+    });
 }

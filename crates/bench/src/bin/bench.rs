@@ -79,7 +79,8 @@ fn measure(
 }
 
 fn main() {
-    let quick_only = hpcbd_bench::quick_mode();
+    let shared = hpcbd_bench::BenchArgs::parse();
+    let quick_only = shared.quick;
     let args: Vec<String> = std::env::args().collect();
     let out_path = args
         .iter()
@@ -155,30 +156,35 @@ fn main() {
     }
 
     let mut measurements = Vec::new();
-    for (artifact, scale, runs, f) in &cases {
-        let seq = measure(
-            artifact,
-            scale,
-            "sequential",
-            Execution::Sequential,
-            *runs,
-            f,
-        );
-        let par = measure(
-            artifact,
-            scale,
-            &format!("parallel:{threads}"),
-            Execution::Parallel { threads },
-            *runs,
-            f,
-        );
-        assert_eq!(
-            seq.table_digest, par.table_digest,
-            "{artifact}/{scale}: sequential and parallel tables differ — determinism break"
-        );
-        measurements.push(seq);
-        measurements.push(par);
-    }
+    // Note: `--report` forces tracing on inside the engine, perturbing
+    // the wall-clock numbers — use it to inspect phases, not to compare
+    // trajectories.
+    hpcbd_bench::run_with_report("bench", &shared, || {
+        for (artifact, scale, runs, f) in &cases {
+            let seq = measure(
+                artifact,
+                scale,
+                "sequential",
+                Execution::Sequential,
+                *runs,
+                f,
+            );
+            let par = measure(
+                artifact,
+                scale,
+                &format!("parallel:{threads}"),
+                Execution::Parallel { threads },
+                *runs,
+                f,
+            );
+            assert_eq!(
+                seq.table_digest, par.table_digest,
+                "{artifact}/{scale}: sequential and parallel tables differ — determinism break"
+            );
+            measurements.push(seq);
+            measurements.push(par);
+        }
+    });
     set_default_execution(Execution::Sequential);
 
     let mut json = String::new();

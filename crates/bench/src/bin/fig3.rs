@@ -4,16 +4,19 @@ use hpcbd_cluster::Placement;
 use hpcbd_core::bench_reduce;
 
 fn main() {
+    let args = hpcbd_bench::BenchArgs::parse();
     hpcbd_bench::banner("Fig. 3 (reduce microbenchmark)");
-    let (placement, sizes, iters) = if hpcbd_bench::quick_mode() {
+    let (placement, sizes, iters) = if args.quick {
         (Placement::new(2, 4), vec![1usize, 256, 16384], 5)
     } else {
         // The paper: 8 nodes x 8 processes/node.
         (Placement::new(8, 8), bench_reduce::standard_sizes(), 20)
     };
-    let table = bench_reduce::figure3(placement, &sizes, iters);
-    println!("{table}");
-    println!("shape: MPI in microseconds and growing with size; Spark/Spark-RDMA");
-    println!("roughly flat (driver-dominated) and orders of magnitude higher;");
-    println!("RDMA indistinguishable because a reduce action shuffles nothing.");
+    hpcbd_bench::run_with_report("fig3", &args, || {
+        let table = bench_reduce::figure3(placement, &sizes, iters);
+        println!("{table}");
+        println!("shape: MPI in microseconds and growing with size; Spark/Spark-RDMA");
+        println!("roughly flat (driver-dominated) and orders of magnitude higher;");
+        println!("RDMA indistinguishable because a reduce action shuffles nothing.");
+    });
 }

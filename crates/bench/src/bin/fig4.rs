@@ -4,8 +4,9 @@ use hpcbd_core::bench_answers;
 use hpcbd_workloads::StackExchangeDataset;
 
 fn main() {
+    let args = hpcbd_bench::BenchArgs::parse();
     hpcbd_bench::banner("Fig. 4 (StackExchange AnswersCount, 80 GB)");
-    let (ds, nodes, ppn) = if hpcbd_bench::quick_mode() {
+    let (ds, nodes, ppn) = if args.quick {
         let size = 4u64 << 30;
         let records = size / hpcbd_workloads::stackexchange::RECORD_BYTES;
         (
@@ -16,9 +17,11 @@ fn main() {
     } else {
         (bench_answers::dataset(), vec![1u32, 2, 4, 6, 8], 8)
     };
-    let table = bench_answers::figure4(&ds, &nodes, ppn);
-    println!("{table}");
-    println!("shape: OpenMP disk-bound on one node; MPI infeasible below 41");
-    println!("processes (MAX_INT chunks); Spark and Hadoop scale with nodes,");
-    println!("Spark well ahead of Hadoop (no per-task disk persistence).");
+    hpcbd_bench::run_with_report("fig4", &args, || {
+        let table = bench_answers::figure4(&ds, &nodes, ppn);
+        println!("{table}");
+        println!("shape: OpenMP disk-bound on one node; MPI infeasible below 41");
+        println!("processes (MAX_INT chunks); Spark and Hadoop scale with nodes,");
+        println!("Spark well ahead of Hadoop (no per-task disk persistence).");
+    });
 }

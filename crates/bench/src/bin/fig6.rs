@@ -3,15 +3,18 @@
 use hpcbd_core::bench_pagerank::{figure6, PagerankInput};
 
 fn main() {
+    let args = hpcbd_bench::BenchArgs::parse();
     hpcbd_bench::banner("Fig. 6 (BigDataBench PageRank, 1M vertices)");
-    let (input, nodes, ppn) = if hpcbd_bench::quick_mode() {
+    let (input, nodes, ppn) = if args.quick {
         (PagerankInput::small(), vec![1u32, 2], 4)
     } else {
         (PagerankInput::paper(), vec![1u32, 2, 4, 8], 16)
     };
-    let table = figure6(&input, &nodes, ppn);
-    println!("{table}");
-    println!("shape: MPI near-flat (exchange-bound at this size); tuned Spark");
-    println!("scales down with nodes; Spark-RDMA ~= Spark because the persist+");
-    println!("co-partitioning keeps shuffle volume low.");
+    hpcbd_bench::run_with_report("fig6", &args, || {
+        let table = figure6(&input, &nodes, ppn);
+        println!("{table}");
+        println!("shape: MPI near-flat (exchange-bound at this size); tuned Spark");
+        println!("scales down with nodes; Spark-RDMA ~= Spark because the persist+");
+        println!("co-partitioning keeps shuffle volume low.");
+    });
 }

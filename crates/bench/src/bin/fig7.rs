@@ -3,14 +3,17 @@
 use hpcbd_core::bench_pagerank::{figure7, PagerankInput};
 
 fn main() {
+    let args = hpcbd_bench::BenchArgs::parse();
     hpcbd_bench::banner("Fig. 7 (HiBench PageRank, 1M vertices)");
-    let (input, nodes, ppn) = if hpcbd_bench::quick_mode() {
+    let (input, nodes, ppn) = if args.quick {
         (PagerankInput::small(), vec![1u32, 2], 4)
     } else {
         (PagerankInput::paper(), vec![1u32, 2, 4, 8], 16)
     };
-    let table = figure7(&input, &nodes, ppn);
-    println!("{table}");
-    println!("shape: with heavy per-iteration shuffling, the RDMA engine wins");
-    println!("and the gap grows with node count (more traffic crosses the wire).");
+    hpcbd_bench::run_with_report("fig7", &args, || {
+        let table = figure7(&input, &nodes, ppn);
+        println!("{table}");
+        println!("shape: with heavy per-iteration shuffling, the RDMA engine wins");
+        println!("and the gap grows with node count (more traffic crosses the wire).");
+    });
 }

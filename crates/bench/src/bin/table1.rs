@@ -3,14 +3,17 @@
 //! Constant-cost: `--quick` is accepted (harness convention) and ignored.
 
 fn main() {
+    let args = hpcbd_bench::BenchArgs::parse();
     hpcbd_bench::banner("Table I (experimental setup)");
-    let mut widths = (0usize, 0usize);
-    let rows = hpcbd_cluster::comet_summary();
-    for (k, v) in &rows {
-        widths.0 = widths.0.max(k.len());
-        widths.1 = widths.1.max(v.len());
-    }
-    for (k, v) in rows {
-        println!("| {k:<w0$} | {v:<w1$} |", w0 = widths.0, w1 = widths.1);
-    }
+    hpcbd_bench::run_with_report("table1", &args, || {
+        let mut widths = (0usize, 0usize);
+        let rows = hpcbd_cluster::comet_summary();
+        for (k, v) in &rows {
+            widths.0 = widths.0.max(k.len());
+            widths.1 = widths.1.max(v.len());
+        }
+        for (k, v) in rows {
+            println!("| {k:<w0$} | {v:<w1$} |", w0 = widths.0, w1 = widths.1);
+        }
+    });
 }

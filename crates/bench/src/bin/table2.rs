@@ -4,15 +4,18 @@ use hpcbd_cluster::Placement;
 use hpcbd_core::bench_fileread;
 
 fn main() {
+    let args = hpcbd_bench::BenchArgs::parse();
     hpcbd_bench::banner("Table II (parallel file read)");
-    let (placement, sizes) = if hpcbd_bench::quick_mode() {
+    let (placement, sizes) = if args.quick {
         (Placement::new(2, 4), vec![1u64 << 30, 4 << 30])
     } else {
         (Placement::new(8, 8), vec![8u64 << 30, 80 << 30])
     };
-    let table = bench_fileread::table2(placement, &sizes);
-    println!("{table}");
-    println!("shape: MPI fastest (raw parallel I/O); Spark-on-local next (JVM");
-    println!("parse path); Spark-on-HDFS slowest, ~25% over local — the cost of");
-    println!("the failure-transparent HDFS layer.");
+    hpcbd_bench::run_with_report("table2", &args, || {
+        let table = bench_fileread::table2(placement, &sizes);
+        println!("{table}");
+        println!("shape: MPI fastest (raw parallel I/O); Spark-on-local next (JVM");
+        println!("parse path); Spark-on-HDFS slowest, ~25% over local — the cost of");
+        println!("the failure-transparent HDFS layer.");
+    });
 }

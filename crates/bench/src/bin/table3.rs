@@ -16,6 +16,7 @@ const FILEREAD_SRC: &str = include_str!("../../../core/src/bench_fileread.rs");
 const REDUCE_SRC: &str = include_str!("../../../core/src/bench_reduce.rs");
 
 fn main() {
+    let args = hpcbd_bench::BenchArgs::parse();
     hpcbd_bench::banner("Table III (LoC and boilerplate per paradigm)");
     let regions: Vec<(&str, &str, BoilerplateSpec)> = vec![
         ("AnswersCount", "answers-openmp", BoilerplateSpec::openmp()),
@@ -40,24 +41,26 @@ fn main() {
             "boilerplate %",
         ],
     );
-    for (bench, region, spec) in regions {
-        let src = [ANSWERS_SRC, PAGERANK_SRC, FILEREAD_SRC, REDUCE_SRC]
-            .iter()
-            .find_map(|s| {
-                analyze_region(s, region, &spec)
-                    .unwrap_or_else(|e| panic!("table3 marker error: {e}"))
-            })
-            .unwrap_or_else(|| panic!("region {region} not found"));
-        table.push_row(vec![
-            bench.to_string(),
-            spec.paradigm.to_string(),
-            src.total_loc.to_string(),
-            src.boilerplate_loc.to_string(),
-            format!("{:.0}%", src.boilerplate_pct()),
-        ]);
-    }
-    println!("{table}");
-    println!("shape: OpenMP smallest with the least boilerplate; Spark compact");
-    println!("with setup-only boilerplate; MPI and the PGAS code carry explicit");
-    println!("communication plumbing; Hadoop adds job-configuration mass.");
+    hpcbd_bench::run_with_report("table3", &args, || {
+        for (bench, region, spec) in regions {
+            let src = [ANSWERS_SRC, PAGERANK_SRC, FILEREAD_SRC, REDUCE_SRC]
+                .iter()
+                .find_map(|s| {
+                    analyze_region(s, region, &spec)
+                        .unwrap_or_else(|e| panic!("table3 marker error: {e}"))
+                })
+                .unwrap_or_else(|| panic!("region {region} not found"));
+            table.push_row(vec![
+                bench.to_string(),
+                spec.paradigm.to_string(),
+                src.total_loc.to_string(),
+                src.boilerplate_loc.to_string(),
+                format!("{:.0}%", src.boilerplate_pct()),
+            ]);
+        }
+        println!("{table}");
+        println!("shape: OpenMP smallest with the least boilerplate; Spark compact");
+        println!("with setup-only boilerplate; MPI and the PGAS code carry explicit");
+        println!("communication plumbing; Hadoop adds job-configuration mass.");
+    });
 }

@@ -27,16 +27,105 @@
 //! paper-scale setup. For the constant-cost tables (`table1`, `table3`)
 //! `--quick` is accepted and ignored — there is nothing to scale down —
 //! so one invocation convention covers the whole harness (CI runs every
-//! bin with `--quick` in its smoke matrix). Criterion benches
+//! bin with `--quick` in its smoke matrix). Every binary also accepts
+//! `--report PATH` (phase-attributed JSON run report, DESIGN.md §10)
+//! and `--perfetto PATH` (Chrome-tracing export with causal flow
+//! arrows) via the shared [`BenchArgs`] parser. Criterion benches
 //! (`cargo bench`) time the *simulator's wall-clock cost* on small
 //! configurations of the same experiments; `bench_hotpath` times the
 //! engine's scheduling/tracing machinery itself.
 
 #![warn(missing_docs)]
 
+use std::path::PathBuf;
+
 /// True when `--quick` is among the CLI arguments.
 pub fn quick_mode() -> bool {
     std::env::args().any(|a| a == "--quick")
+}
+
+/// The CLI flags every harness binary shares.
+///
+/// * `--quick` — run the scaled-down configuration.
+/// * `--report PATH` — capture every simulator run the binary performs
+///   and write a phase-attributed [`hpcbd_obs::RunReport`] to PATH
+///   (also printed as a text table after the artifact's own output).
+/// * `--perfetto PATH` — additionally write the first captured run as
+///   Chrome-tracing JSON with causal flow arrows, loadable in Perfetto.
+///
+/// Unknown arguments are ignored so binaries can layer their own flags
+/// (e.g. `bench --out PATH`) on top.
+#[derive(Debug, Clone, Default)]
+pub struct BenchArgs {
+    /// `--quick` was passed.
+    pub quick: bool,
+    /// Destination of the JSON run report, if `--report` was passed.
+    pub report: Option<PathBuf>,
+    /// Destination of the Perfetto trace, if `--perfetto` was passed.
+    pub perfetto: Option<PathBuf>,
+}
+
+impl BenchArgs {
+    /// Parse the shared flags from the process arguments.
+    pub fn parse() -> BenchArgs {
+        Self::parse_from(std::env::args().skip(1))
+    }
+
+    /// Parse the shared flags from an explicit argument list.
+    pub fn parse_from(args: impl IntoIterator<Item = String>) -> BenchArgs {
+        let mut parsed = BenchArgs::default();
+        let mut it = args.into_iter();
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--quick" => parsed.quick = true,
+                "--report" => parsed.report = it.next().map(PathBuf::from),
+                "--perfetto" => parsed.perfetto = it.next().map(PathBuf::from),
+                _ => {}
+            }
+        }
+        parsed
+    }
+}
+
+/// Run an artifact's body, optionally capturing every simulator run it
+/// performs into a [`hpcbd_obs::RunReport`].
+///
+/// With neither `--report` nor `--perfetto` this is a plain call to `f`
+/// — no capture, no tracing, zero overhead. Otherwise the body is
+/// bracketed with [`hpcbd_simnet::begin_capture`] /
+/// [`hpcbd_simnet::end_capture`] (which forces tracing on inside the
+/// engine), the report is built, written, and its text rendering is
+/// printed after the artifact's own output.
+pub fn run_with_report<R>(artifact: &str, args: &BenchArgs, f: impl FnOnce() -> R) -> R {
+    if args.report.is_none() && args.perfetto.is_none() {
+        return f();
+    }
+    hpcbd_simnet::begin_capture();
+    let result = f();
+    let captures = hpcbd_simnet::end_capture();
+    let report = hpcbd_obs::RunReport::from_captures(artifact, args.quick, &captures);
+    println!();
+    print!("{}", report.render_text());
+    if let Some(path) = &args.report {
+        match std::fs::write(path, report.to_json()) {
+            Ok(()) => println!("report written to {}", path.display()),
+            Err(e) => eprintln!("failed to write report {}: {e}", path.display()),
+        }
+    }
+    if let Some(path) = &args.perfetto {
+        match captures.first() {
+            Some(cap) => {
+                let graph = hpcbd_obs::match_events(&cap.events);
+                let json = hpcbd_obs::to_perfetto_json(cap, &graph);
+                match std::fs::write(path, json) {
+                    Ok(()) => println!("perfetto trace written to {}", path.display()),
+                    Err(e) => eprintln!("failed to write trace {}: {e}", path.display()),
+                }
+            }
+            None => eprintln!("no simulator run captured; perfetto trace not written"),
+        }
+    }
+    result
 }
 
 /// Standard banner for harness output.
@@ -46,4 +135,35 @@ pub fn banner(artifact: &str) {
     println!("(virtual times from the simulated Comet platform; see");
     println!(" EXPERIMENTS.md for the paper-vs-measured discussion)");
     println!("==============================================================");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> BenchArgs {
+        BenchArgs::parse_from(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parses_shared_flags() {
+        let a = parse(&["--quick", "--report", "out.json"]);
+        assert!(a.quick);
+        assert_eq!(a.report.as_deref(), Some(std::path::Path::new("out.json")));
+        assert!(a.perfetto.is_none());
+    }
+
+    #[test]
+    fn ignores_unknown_flags() {
+        let a = parse(&["--out", "BENCH_simnet.json", "--perfetto", "t.json"]);
+        assert!(!a.quick);
+        assert!(a.report.is_none());
+        assert_eq!(a.perfetto.as_deref(), Some(std::path::Path::new("t.json")));
+    }
+
+    #[test]
+    fn missing_value_yields_none() {
+        let a = parse(&["--report"]);
+        assert!(a.report.is_none());
+    }
 }

@@ -115,7 +115,8 @@ pub fn mpi_pagerank(input: &PagerankInput, placement: Placement) -> (f64, Vec<f6
         let local_edges: usize = adj.iter().map(|a| a.len()).sum();
         let mut ranks: Vec<f64> = vec![1.0; (v1 - v0) as usize];
         let t0 = rank.now();
-        for _ in 0..input.iters {
+        for iter in 0..input.iters {
+            rank.span_open_with(|| format!("pagerank/iter/{iter}"));
             // Bucket contributions by destination owner (packed as
             // [dest, share] f64 pairs for the typed alltoall).
             let mut buckets: Vec<Vec<f64>> = vec![Vec::new(); p as usize];
@@ -147,6 +148,7 @@ pub fn mpi_pagerank(input: &PagerankInput, placement: Placement) -> (f64, Vec<f6
             for (r, c) in ranks.iter_mut().zip(&contrib) {
                 *r = 0.15 + 0.85 * c;
             }
+            rank.span_close();
         }
         let elapsed = (rank.now() - t0).as_secs_f64();
         // Gather the full vector at rank 0 for validation.
@@ -290,6 +292,7 @@ pub fn shmem_pagerank(input: &PagerankInput, placement: Placement) -> (f64, Vec<
             let mut ranks: Vec<f64> = vec![1.0; (v1 - v0) as usize];
             let t0 = pe.now();
             for iter in 0..input.iters {
+                pe.span_open_with(|| format!("pagerank/iter/{iter}"));
                 let mut buckets: Vec<Vec<f64>> = vec![Vec::new(); p as usize];
                 for (i, outs) in adj.iter().enumerate() {
                     let share = ranks[i] / outs.len() as f64;
@@ -337,6 +340,7 @@ pub fn shmem_pagerank(input: &PagerankInput, placement: Placement) -> (f64, Vec<
                     *r = 0.15 + 0.85 * c;
                 }
                 pe.barrier_all();
+                pe.span_close();
             }
             ((pe.now() - t0).as_secs_f64(), ranks)
         },

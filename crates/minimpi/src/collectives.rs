@@ -34,6 +34,7 @@ impl MpiRank<'_> {
         if n == 1 {
             return;
         }
+        self.ctx.span_open("mpi/barrier");
         let me = self.rank();
         let mut step = 1u32;
         while step < n {
@@ -43,6 +44,7 @@ impl MpiRank<'_> {
             let _ = self.recv::<u8>(Some(src), tag);
             step <<= 1;
         }
+        self.ctx.span_close();
     }
 
     /// MPI_Bcast: binomial tree rooted at `root`.
@@ -50,6 +52,7 @@ impl MpiRank<'_> {
         let tag = self.next_coll_tag();
         let n = self.size();
         let me = self.rank();
+        self.ctx.span_open("mpi/bcast");
         // Re-number so the root is virtual rank 0.
         let vrank = (me + n - root) % n;
         let mut buf: Option<Arc<Vec<T>>> = if me == root {
@@ -76,6 +79,7 @@ impl MpiRank<'_> {
             }
             bit <<= 1;
         }
+        self.ctx.span_close();
         buf
     }
 
@@ -86,6 +90,7 @@ impl MpiRank<'_> {
         let tag = self.next_coll_tag();
         let n = self.size();
         let me = self.rank();
+        self.ctx.span_open("mpi/reduce");
         let vrank = (me + n - root) % n;
         let mut acc: Vec<T> = data.to_vec();
         let mut bit = 1u32;
@@ -95,6 +100,7 @@ impl MpiRank<'_> {
                 let parent_v = vrank ^ bit;
                 let parent = (parent_v + root) % n;
                 self.send_arc(parent, tag, Arc::new(acc));
+                self.ctx.span_close();
                 return None;
             }
             let child_v = vrank | bit;
@@ -110,6 +116,7 @@ impl MpiRank<'_> {
                 break;
             }
         }
+        self.ctx.span_close();
         if me == root {
             Some(acc)
         } else {
@@ -126,10 +133,13 @@ impl MpiRank<'_> {
         }
         // Selection goes through the memoized cost-model table: PageRank
         // evaluates the identical (comm, bytes) key every iteration.
-        match allreduce_algo(self.size(), bytes) {
+        self.ctx.span_open("mpi/allreduce");
+        let acc = match allreduce_algo(self.size(), bytes) {
             AllreduceAlgo::RecursiveDoubling => self.allreduce_recursive_doubling(op, data),
             AllreduceAlgo::Ring => self.allreduce_ring(op, data),
-        }
+        };
+        self.ctx.span_close();
+        acc
     }
 
     /// Recursive doubling: ⌈log₂ n⌉ exchange rounds, each with the full
@@ -226,7 +236,8 @@ impl MpiRank<'_> {
         let tag = self.next_coll_tag();
         let n = self.size();
         let me = self.rank();
-        if me == root {
+        self.ctx.span_open("mpi/scatter");
+        let out = if me == root {
             let data = data.expect("root must supply scatter buffer");
             assert!(
                 data.len().is_multiple_of(n as usize),
@@ -246,7 +257,9 @@ impl MpiRank<'_> {
         } else {
             let (v, _) = self.recv::<T>(Some(root), tag);
             (*v).clone()
-        }
+        };
+        self.ctx.span_close();
+        out
     }
 
     /// MPI_Gather: inverse of scatter; root returns the concatenation in
@@ -255,7 +268,8 @@ impl MpiRank<'_> {
         let tag = self.next_coll_tag();
         let n = self.size();
         let me = self.rank();
-        if me == root {
+        self.ctx.span_open("mpi/gather");
+        let out = if me == root {
             let mut parts: Vec<Vec<T>> = vec![Vec::new(); n as usize];
             parts[me as usize] = data.to_vec();
             for _ in 0..n - 1 {
@@ -267,7 +281,9 @@ impl MpiRank<'_> {
         } else {
             self.send_arc(root, tag, std::sync::Arc::new(data.to_vec()));
             None
-        }
+        };
+        self.ctx.span_close();
+        out
     }
 
     /// MPI_Allgather: ring algorithm; returns rank-ordered concatenation
@@ -276,6 +292,7 @@ impl MpiRank<'_> {
         let tag = self.next_coll_tag();
         let n = self.size() as usize;
         let me = self.rank() as usize;
+        self.ctx.span_open("mpi/allgather");
         let mut parts: Vec<Vec<T>> = vec![Vec::new(); n];
         parts[me] = data.to_vec();
         let right = ((me + 1) % n) as u32;
@@ -287,6 +304,7 @@ impl MpiRank<'_> {
             let (v, _) = self.recv::<T>(Some(left), tag);
             parts[recv_idx] = (*v).clone();
         }
+        self.ctx.span_close();
         parts.concat()
     }
 
@@ -297,6 +315,7 @@ impl MpiRank<'_> {
         let n = self.size();
         let me = self.rank();
         assert_eq!(chunks.len(), n as usize, "one chunk per destination");
+        self.ctx.span_open("mpi/alltoall");
         let mut out: Vec<Vec<T>> = vec![Vec::new(); n as usize];
         out[me as usize] = chunks[me as usize].clone();
         // Rotated pairwise exchange: in step s we send to me+s and receive
@@ -309,6 +328,7 @@ impl MpiRank<'_> {
             let (v, _) = self.recv::<T>(Some(src), tag);
             out[src as usize] = (*v).clone();
         }
+        self.ctx.span_close();
         out
     }
 
@@ -327,6 +347,7 @@ impl MpiRank<'_> {
             return data.to_vec();
         }
         let tag = self.next_coll_tag();
+        self.ctx.span_open("mpi/reduce_scatter");
         let mut acc = data.to_vec();
         let right = ((me + 1) % n) as u32;
         let left = ((me + n - 1) % n) as u32;
@@ -342,6 +363,7 @@ impl MpiRank<'_> {
             op.combine_into(dst, &v);
             self.charge_elementwise::<T>(block);
         }
+        self.ctx.span_close();
         acc[me * block..(me + 1) * block].to_vec()
     }
 
@@ -351,6 +373,7 @@ impl MpiRank<'_> {
         let tag = self.next_coll_tag();
         let me = self.rank();
         let n = self.size();
+        self.ctx.span_open("mpi/scan");
         let mut acc = data.to_vec();
         if me > 0 {
             let (prefix, _) = self.recv::<T>(Some(me - 1), tag);
@@ -362,6 +385,7 @@ impl MpiRank<'_> {
         if me + 1 < n {
             self.send_arc(me + 1, tag, Arc::new(acc.clone()));
         }
+        self.ctx.span_close();
         acc
     }
 

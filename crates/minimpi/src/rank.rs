@@ -128,6 +128,26 @@ impl<'a> MpiRank<'a> {
         self.ctx.now()
     }
 
+    /// Open a named phase span on this rank's trace (no-op when tracing
+    /// is off; see [`ProcCtx::span_open`]).
+    #[inline]
+    pub fn span_open(&mut self, label: impl Into<Arc<str>>) {
+        self.ctx.span_open(label);
+    }
+
+    /// Open a phase span with a lazily formatted label (the closure runs
+    /// only when tracing is on).
+    #[inline]
+    pub fn span_open_with(&mut self, label: impl FnOnce() -> String) {
+        self.ctx.span_open_with(label);
+    }
+
+    /// Close the innermost open phase span.
+    #[inline]
+    pub fn span_close(&mut self) {
+        self.ctx.span_close();
+    }
+
     /// Pick the transport for talking to `dst` (verbs across nodes,
     /// shared memory within one).
     #[inline]

@@ -357,6 +357,7 @@ where
     let mut done_maps = 0u32;
 
     // ---- Map phase ----
+    ctx.span_open("mr/map_wave");
     while done_maps < total_maps {
         // Speculative execution: with no fresh work left but idle slots
         // and stragglers in flight, launch one backup copy per laggard
@@ -470,7 +471,10 @@ where
         }
     }
 
+    ctx.span_close();
+
     // ---- Reduce phase ----
+    ctx.span_open("mr/reduce_wave");
     let blocks_by_task: HashMap<u32, HdfsBlock> = file
         .blocks
         .iter()
@@ -639,6 +643,8 @@ where
         }
     }
 
+    ctx.span_close();
+
     // ---- Teardown ----
     // Shutdown goes to every worker, including ones presumed dead: a
     // worker wrongly declared dead by a slow ping is still blocked on its
@@ -709,6 +715,7 @@ where
                         return;
                     }
                 }
+                ctx.span_open("mr/task/map");
                 ctx.advance(job.conf.task_jvm_startup);
                 job.hdfs.read_block(ctx, block);
                 let records = job.format.sample_records(block.offset, block.len);
@@ -767,11 +774,13 @@ where
                     }),
                     &control(),
                 );
+                ctx.span_close();
             }
             WorkerMsg::Reduce {
                 partition,
                 map_tasks,
             } => {
+                ctx.span_open("mr/task/reduce");
                 ctx.advance(job.conf.task_jvm_startup);
                 let scale = job.format.logical_scale();
                 let ipoib = Transport::ipoib_socket();
@@ -843,6 +852,7 @@ where
                         }),
                         &control(),
                     );
+                    ctx.span_close();
                     continue;
                 }
                 // Merge sort cost over logical pairs.
@@ -873,6 +883,7 @@ where
                     }),
                     &control(),
                 );
+                ctx.span_close();
             }
         }
     }

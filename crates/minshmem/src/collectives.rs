@@ -16,6 +16,7 @@ impl PeCtx<'_> {
             return;
         }
         let me = self.pe();
+        self.ctx.span_open("shmem/barrier_all");
         let mut step = 1u32;
         let mut round = 0u64;
         while step < n {
@@ -25,6 +26,7 @@ impl PeCtx<'_> {
             step <<= 1;
             round += 1;
         }
+        self.ctx.span_close();
     }
 
     /// `shmem_broadcast`: the root puts its local copy of `arr` into every
@@ -37,6 +39,7 @@ impl PeCtx<'_> {
             return;
         }
         let vrank = (me + n - root) % n;
+        self.ctx.span_open("shmem/broadcast");
         if vrank != 0 {
             self.wait_signal(sig);
         }
@@ -50,6 +53,7 @@ impl PeCtx<'_> {
             }
             bit <<= 1;
         }
+        self.ctx.span_close();
     }
 
     /// `shmem_sum_to_all` over `f64` symmetric arrays: every PE ends with
@@ -74,6 +78,7 @@ impl PeCtx<'_> {
         let rounds = 1 + pof2.trailing_zeros() as usize;
         let scratch = self.malloc::<f64>("sum_to_all.scratch", len * rounds, 0.0);
         let sig = self.next_coll_seq();
+        self.ctx.span_open("shmem/sum_to_all");
         if me >= pof2 {
             let mine = self.local_clone(arr);
             self.put_signal(&scratch, 0, &mine, me - pof2, sig);
@@ -100,6 +105,7 @@ impl PeCtx<'_> {
                 self.put_signal(arr, 0, &mine, me + pof2, sig + 63);
             }
         }
+        self.ctx.span_close();
         self.free(scratch);
     }
 
@@ -114,6 +120,7 @@ impl PeCtx<'_> {
         let me = self.pe();
         assert_eq!(dst.len(), src.len() * n as usize, "collect buffer sizing");
         let sig = self.next_coll_seq();
+        self.ctx.span_open("shmem/collect");
         let mine = self.local_clone(src);
         let off = me as usize * src.len();
         for peer in 0..n {
@@ -127,6 +134,7 @@ impl PeCtx<'_> {
         for _ in 0..n - 1 {
             self.wait_signal(sig);
         }
+        self.ctx.span_close();
     }
 
     /// `shmem_alltoall`: PE `p`'s chunk `d` of `src` (length `len`,
@@ -143,6 +151,7 @@ impl PeCtx<'_> {
         assert_eq!(src.len(), n as usize * len, "src sizing");
         assert_eq!(dst.len(), n as usize * len, "dst sizing");
         let sig = self.next_coll_seq();
+        self.ctx.span_open("shmem/alltoall");
         let mine = self.local_clone(src);
         for peer in 0..n {
             let chunk = &mine[peer as usize * len..(peer as usize + 1) * len];
@@ -156,6 +165,7 @@ impl PeCtx<'_> {
         for _ in 0..n - 1 {
             self.wait_signal(sig);
         }
+        self.ctx.span_close();
     }
 
     fn accumulate_scratch(&mut self, arr: &SymArray<f64>, scratch: &SymArray<f64>, offset: usize) {

@@ -83,6 +83,26 @@ impl<'a> PeCtx<'a> {
         self.ctx.now()
     }
 
+    /// Open a named phase span on this PE's trace (no-op when tracing is
+    /// off; see [`ProcCtx::span_open`]).
+    #[inline]
+    pub fn span_open(&mut self, label: impl Into<std::sync::Arc<str>>) {
+        self.ctx.span_open(label);
+    }
+
+    /// Open a phase span with a lazily formatted label (the closure runs
+    /// only when tracing is on).
+    #[inline]
+    pub fn span_open_with(&mut self, label: impl FnOnce() -> String) {
+        self.ctx.span_open_with(label);
+    }
+
+    /// Close the innermost open phase span.
+    #[inline]
+    pub fn span_close(&mut self) {
+        self.ctx.span_close();
+    }
+
     /// `shmem_malloc` + initialization: collectively allocate a symmetric
     /// array of `len` elements, filled with `fill`, on every PE. All PEs
     /// must call with identical arguments (symmetric execution), like the

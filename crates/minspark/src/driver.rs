@@ -248,6 +248,7 @@ impl<'a> SparkDriver<'a> {
     }
 
     fn run_action(&mut self, target: RddId, action: ActionFn) -> Vec<(u32, Option<PartValue>)> {
+        self.ctx.span_open_with(|| format!("spark/job/{target}"));
         self.ctx.advance(self.app.config.job_submit_overhead);
         for sid in self.app.plan.stage_shuffle_inputs(target) {
             self.ensure_shuffle(sid);
@@ -264,6 +265,7 @@ impl<'a> SparkDriver<'a> {
             .collect();
         let mut out = self.run_tasks(tasks);
         out.sort_by_key(|(p, _)| *p);
+        self.ctx.span_close();
         out
     }
 
@@ -463,6 +465,14 @@ impl<'a> SparkDriver<'a> {
     }
 
     fn run_wave(&mut self, tasks: Vec<TaskSpec>) -> WaveOutcome {
+        // Each recovery round of a stage is one wave; label it by what
+        // the tasks produce (map outputs vs action results).
+        let stage_kind = match tasks.first().map(|t| &t.kind) {
+            Some(TaskKind::ShuffleMap { .. }) => "shuffle",
+            _ => "result",
+        };
+        self.ctx
+            .span_open_with(|| format!("spark/stage/{stage_kind}"));
         let exec_pids: Vec<Pid> = self.app.exec_pids.read().clone();
         let control = self.app.config.control_transport();
         let mut pending: VecDeque<TaskSpec> = tasks.into();
@@ -735,6 +745,7 @@ impl<'a> SparkDriver<'a> {
                 }
             }
         }
+        self.ctx.span_close();
         WaveOutcome {
             done,
             fetch_failures,

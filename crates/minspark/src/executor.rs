@@ -129,7 +129,12 @@ pub(crate) fn executor_loop(ctx: &mut ProcCtx, app: Arc<AppShared>, me: ExecId) 
             ExecCmd::Task(task) => {
                 crate::metrics::SparkMetrics::add(&app.metrics.tasks_launched, 1);
                 ctx.advance(app.config.task_launch_overhead);
+                ctx.span_open(match &task.kind {
+                    TaskKind::ShuffleMap { .. } => "spark/task/shuffle_map",
+                    TaskKind::Action(_) => "spark/task/action",
+                });
                 let outcome = run_task(ctx, &app, me, task);
+                ctx.span_close();
                 let reply = match outcome {
                     Ok((result, bytes)) => (
                         ExecMsg::TaskDone {

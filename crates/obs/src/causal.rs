@@ -1,0 +1,246 @@
+//! Send→Recv causal matching over a captured event stream.
+//!
+//! The trace records message endpoints independently: the sender logs a
+//! `Send { dst, bytes }` span covering its endpoint CPU cost, the
+//! receiver logs a `Recv { src, bytes }` span covering its blocking
+//! time. The engine delivers messages between a (src, dst) pair of a
+//! given logical size in FIFO order (the sender NIC serializes, and
+//! mailbox matching takes the earliest arrival), so the k-th send on
+//! the stream `(src, dst, bytes)` pairs with the k-th completed recv on
+//! the same stream. Tag-selective receives can reorder *differently
+//! sized* messages freely — those land on different streams — while
+//! same-size reordering is rare and only weakens attribution, never
+//! correctness: a pair whose send ends after the recv ends is causally
+//! impossible and is dropped (counted in
+//! [`CausalGraph::unmatched_recvs`]).
+//!
+//! Determinism: input order is the deterministic trace export order,
+//! per-stream ordering is by `(end, start, index)` — no wall-clock
+//! state anywhere.
+
+use std::collections::HashMap;
+
+use hpcbd_simnet::{EventKind, TraceEvent};
+
+/// One matched message: indices into the captured event slice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CausalEdge {
+    /// Index of the `Send` event.
+    pub send: usize,
+    /// Index of the `Recv` event that consumed it.
+    pub recv: usize,
+}
+
+/// The cross-process causal structure of one run.
+#[derive(Debug, Default)]
+pub struct CausalGraph {
+    /// Matched send→recv pairs, ordered by recv event index.
+    pub edges: Vec<CausalEdge>,
+    /// For each event index, the matched send's index if the event is a
+    /// matched `Recv`.
+    send_of_recv: HashMap<usize, usize>,
+    /// `Recv` events with no causally valid matching send.
+    pub unmatched_recvs: u64,
+}
+
+impl CausalGraph {
+    /// The matched `Send` event index for recv event `recv_idx`, if any.
+    pub fn matched_send(&self, recv_idx: usize) -> Option<usize> {
+        self.send_of_recv.get(&recv_idx).copied()
+    }
+}
+
+/// Build the causal graph of a captured run. `events` must be in the
+/// deterministic export order ([`hpcbd_simnet::Trace::sorted_events`]).
+pub fn match_events(events: &[TraceEvent]) -> CausalGraph {
+    // Stream key: (src pid, dst pid, logical bytes).
+    type Key = (u32, u32, u64);
+    let mut sends: HashMap<Key, Vec<usize>> = HashMap::new();
+    let mut recvs: HashMap<Key, Vec<usize>> = HashMap::new();
+    for (i, e) in events.iter().enumerate() {
+        match e.kind {
+            EventKind::Send { dst, bytes } => {
+                sends.entry((e.pid.0, dst.0, bytes)).or_default().push(i);
+            }
+            EventKind::Recv { src, bytes } => {
+                recvs.entry((src.0, e.pid.0, bytes)).or_default().push(i);
+            }
+            _ => {}
+        }
+    }
+    let mut graph = CausalGraph::default();
+    // Deterministic stream visit order (HashMap iteration order is not).
+    let mut keys: Vec<Key> = recvs.keys().copied().collect();
+    keys.sort_unstable();
+    for key in keys {
+        let mut rs = recvs.remove(&key).unwrap_or_default();
+        let mut ss = sends.remove(&key).unwrap_or_default();
+        // Sends fire in start order (already the export order); recvs
+        // complete in end order — the mailbox hands out earliest
+        // arrivals first, so completion order is the FIFO order.
+        ss.sort_by_key(|&i| (events[i].start, events[i].end, i));
+        rs.sort_by_key(|&i| (events[i].end, events[i].start, i));
+        let mut si = ss.into_iter();
+        for r in rs {
+            match si.next() {
+                // A send that finishes after the recv completes cannot
+                // have caused it; drop the pair rather than invent a
+                // backwards edge.
+                Some(s) if events[s].end <= events[r].end => {
+                    graph.edges.push(CausalEdge { send: s, recv: r });
+                    graph.send_of_recv.insert(r, s);
+                }
+                _ => graph.unmatched_recvs += 1,
+            }
+        }
+    }
+    graph.edges.sort_unstable_by_key(|e| (e.recv, e.send));
+    graph
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpcbd_simnet::{Pid, SimTime};
+
+    fn ev(pid: u32, start: u64, end: u64, kind: EventKind) -> TraceEvent {
+        TraceEvent {
+            pid: Pid(pid),
+            start: SimTime(start),
+            end: SimTime(end),
+            kind,
+        }
+    }
+
+    #[test]
+    fn fifo_pairs_in_order() {
+        let events = vec![
+            ev(
+                0,
+                0,
+                10,
+                EventKind::Send {
+                    dst: Pid(1),
+                    bytes: 64,
+                },
+            ),
+            ev(
+                0,
+                10,
+                20,
+                EventKind::Send {
+                    dst: Pid(1),
+                    bytes: 64,
+                },
+            ),
+            ev(
+                1,
+                0,
+                30,
+                EventKind::Recv {
+                    src: Pid(0),
+                    bytes: 64,
+                },
+            ),
+            ev(
+                1,
+                30,
+                45,
+                EventKind::Recv {
+                    src: Pid(0),
+                    bytes: 64,
+                },
+            ),
+        ];
+        let g = match_events(&events);
+        assert_eq!(g.edges.len(), 2);
+        assert_eq!(g.matched_send(2), Some(0));
+        assert_eq!(g.matched_send(3), Some(1));
+        assert_eq!(g.unmatched_recvs, 0);
+    }
+
+    #[test]
+    fn different_sizes_are_different_streams() {
+        let events = vec![
+            ev(
+                0,
+                0,
+                10,
+                EventKind::Send {
+                    dst: Pid(1),
+                    bytes: 100,
+                },
+            ),
+            ev(
+                0,
+                10,
+                20,
+                EventKind::Send {
+                    dst: Pid(1),
+                    bytes: 200,
+                },
+            ),
+            // Receiver takes the 200-byte message first (tag selection).
+            ev(
+                1,
+                0,
+                30,
+                EventKind::Recv {
+                    src: Pid(0),
+                    bytes: 200,
+                },
+            ),
+            ev(
+                1,
+                30,
+                45,
+                EventKind::Recv {
+                    src: Pid(0),
+                    bytes: 100,
+                },
+            ),
+        ];
+        let g = match_events(&events);
+        assert_eq!(g.matched_send(2), Some(1));
+        assert_eq!(g.matched_send(3), Some(0));
+    }
+
+    #[test]
+    fn causally_impossible_pairs_are_dropped() {
+        let events = vec![
+            // Send finishes after the recv completes: bogus pair.
+            ev(
+                0,
+                0,
+                50,
+                EventKind::Send {
+                    dst: Pid(1),
+                    bytes: 8,
+                },
+            ),
+            ev(
+                1,
+                0,
+                20,
+                EventKind::Recv {
+                    src: Pid(0),
+                    bytes: 8,
+                },
+            ),
+            // And a recv with no send at all.
+            ev(
+                1,
+                20,
+                40,
+                EventKind::Recv {
+                    src: Pid(2),
+                    bytes: 8,
+                },
+            ),
+        ];
+        let g = match_events(&events);
+        assert!(g.edges.is_empty());
+        assert_eq!(g.unmatched_recvs, 2);
+        assert_eq!(g.matched_send(1), None);
+    }
+}

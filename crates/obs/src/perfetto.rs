@@ -1,0 +1,128 @@
+//! Extended Perfetto / Chrome-tracing export: the full event timeline
+//! (phase spans included) plus flow arrows for every matched send→recv
+//! edge, so the causal structure is visible in the UI.
+//!
+//! Builds on the same complete-event (`ph: "X"`) encoding as
+//! [`hpcbd_simnet::Trace::to_chrome_json`]; flow arrows use `ph: "s"` /
+//! `ph: "f"` pairs whose `id` is the edge index.
+
+use hpcbd_simnet::observe::RunCapture;
+use hpcbd_simnet::{json_escape, EventKind};
+
+use crate::causal::CausalGraph;
+
+fn us(nanos: u64) -> String {
+    format!("{:.3}", nanos as f64 / 1e3)
+}
+
+/// Render a captured run (events + causal edges) as a Chrome tracing
+/// JSON array loadable in Perfetto.
+pub fn to_perfetto_json(cap: &RunCapture, graph: &CausalGraph) -> String {
+    let mut out = String::from("[\n");
+    let mut first = true;
+    let mut push = |line: String, out: &mut String| {
+        if !std::mem::take(&mut first) {
+            out.push_str(",\n");
+        }
+        out.push_str(&line);
+    };
+    for e in &cap.events {
+        let name: &str = match &e.kind {
+            EventKind::Phase { label, .. } => label,
+            _ => e.kind.label(),
+        };
+        let proc = cap
+            .proc_names
+            .get(e.pid.index())
+            .map(|s| s.as_str())
+            .unwrap_or("?");
+        push(
+            format!(
+                "  {{\"name\": \"{}\", \"cat\": \"{}\", \"ph\": \"X\", \"ts\": {}, \"dur\": {}, \"pid\": 0, \"tid\": {}, \"args\": {{\"proc\": \"{}\"}}}}",
+                json_escape(name),
+                e.kind.label(),
+                us(e.start.nanos()),
+                us(e.end.nanos().saturating_sub(e.start.nanos())),
+                e.pid.0,
+                json_escape(proc),
+            ),
+            &mut out,
+        );
+    }
+    for (i, edge) in graph.edges.iter().enumerate() {
+        let s = &cap.events[edge.send];
+        let r = &cap.events[edge.recv];
+        push(
+            format!(
+                "  {{\"name\": \"msg\", \"cat\": \"flow\", \"ph\": \"s\", \"id\": {i}, \"ts\": {}, \"pid\": 0, \"tid\": {}}}",
+                us(s.end.nanos()),
+                s.pid.0,
+            ),
+            &mut out,
+        );
+        push(
+            format!(
+                "  {{\"name\": \"msg\", \"cat\": \"flow\", \"ph\": \"f\", \"bp\": \"e\", \"id\": {i}, \"ts\": {}, \"pid\": 0, \"tid\": {}}}",
+                us(r.end.nanos()),
+                r.pid.0,
+            ),
+            &mut out,
+        );
+    }
+    out.push_str("\n]\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::causal::match_events;
+    use crate::json::JsonValue;
+    use hpcbd_simnet::{NodeId, Pid, ProcStats, SimTime, TraceEvent};
+
+    #[test]
+    fn flow_arrows_connect_matched_pairs() {
+        let ev = |pid: u32, start: u64, end: u64, kind: EventKind| TraceEvent {
+            pid: Pid(pid),
+            start: SimTime(start),
+            end: SimTime(end),
+            kind,
+        };
+        let cap = RunCapture {
+            proc_names: vec!["send\"er".into(), "recv".into()],
+            proc_nodes: vec![NodeId(0), NodeId(1)],
+            finishes: vec![SimTime(10), SimTime(30)],
+            stats: vec![ProcStats::default(), ProcStats::default()],
+            makespan: SimTime(30),
+            cluster_nodes: 2,
+            dropped_msgs: 0,
+            events: vec![
+                ev(
+                    0,
+                    0,
+                    10,
+                    EventKind::Send {
+                        dst: Pid(1),
+                        bytes: 64,
+                    },
+                ),
+                ev(
+                    1,
+                    0,
+                    30,
+                    EventKind::Recv {
+                        src: Pid(0),
+                        bytes: 64,
+                    },
+                ),
+            ],
+        };
+        let graph = match_events(&cap.events);
+        let json = to_perfetto_json(&cap, &graph);
+        assert!(json.contains("\"ph\": \"s\""), "json: {json}");
+        assert!(json.contains("\"ph\": \"f\""), "json: {json}");
+        assert!(json.contains(r#"send\"er"#), "escaped name: {json}");
+        // The whole document must be valid JSON.
+        JsonValue::parse(&json).expect("perfetto export must parse");
+    }
+}

@@ -388,6 +388,9 @@ pub struct ProcCtx {
     /// Per-process append-only trace buffer; merged into the shared
     /// [`crate::trace::Trace`] once, at process finish.
     trace_buf: Vec<TraceEvent>,
+    /// Open phase spans: `(label, open time)`, innermost last. Always
+    /// empty when tracing is off (the span API is a no-op then).
+    span_stack: Vec<(Arc<str>, SimTime)>,
     /// In-flight cap above which `release_turn` keeps the token; `0`
     /// encodes sequential mode, making release a no-op without a lock.
     release_cap: usize,
@@ -466,6 +469,71 @@ impl ProcCtx {
     #[inline]
     pub fn fault_plan(&self) -> Option<&Arc<crate::faults::FaultPlan>> {
         self.faults.as_ref()
+    }
+
+    /// Whether tracing (and with it the span API) is active for this
+    /// run. Lets callers skip building dynamic span labels when the
+    /// result would be discarded.
+    #[inline]
+    pub fn tracing_enabled(&self) -> bool {
+        self.tracing
+    }
+
+    /// Open a nestable phase span at the current virtual time. The span
+    /// is recorded into the trace as a [`crate::trace::EventKind::Phase`]
+    /// when the matching [`ProcCtx::span_close`] runs (any spans still
+    /// open when the process finishes are closed at its finish time).
+    /// No-op — including the label conversion — when tracing is off.
+    #[inline]
+    pub fn span_open(&mut self, label: impl Into<Arc<str>>) {
+        if self.tracing {
+            self.span_stack.push((label.into(), self.clock));
+        }
+    }
+
+    /// Like [`ProcCtx::span_open`] but the label is built lazily, so
+    /// `format!`-style labels cost nothing when tracing is off.
+    #[inline]
+    pub fn span_open_with(&mut self, label: impl FnOnce() -> String) {
+        if self.tracing {
+            self.span_stack.push((label().into(), self.clock));
+        }
+    }
+
+    /// Close the innermost open phase span, recording it as a trace
+    /// event covering `[open, now]`. No-op when tracing is off or no
+    /// span is open.
+    #[inline]
+    pub fn span_close(&mut self) {
+        if !self.tracing {
+            return;
+        }
+        if let Some((label, start)) = self.span_stack.pop() {
+            let depth = self.span_stack.len() as u32;
+            let end = self.clock;
+            self.trace_buf.push(TraceEvent {
+                pid: self.pid,
+                start,
+                end,
+                kind: crate::trace::EventKind::Phase { label, depth },
+            });
+        }
+    }
+
+    /// Run `f` inside a phase span: `span_open(label)`, `f`, `span_close`.
+    #[inline]
+    pub fn span<R>(&mut self, label: impl Into<Arc<str>>, f: impl FnOnce(&mut ProcCtx) -> R) -> R {
+        self.span_open(label);
+        let out = f(self);
+        self.span_close();
+        out
+    }
+
+    /// Close every span still open (process finish / unwind path).
+    fn close_all_spans(&mut self) {
+        while !self.span_stack.is_empty() {
+            self.span_close();
+        }
     }
 
     /// Earliest scheduled crash of this process's node, if any. Server
@@ -1165,6 +1233,16 @@ impl Sim {
     pub fn run(self) -> SimReport {
         let n = self.spawns.len();
         assert!(n > 0, "simulation has no processes");
+        // When a run capture is active (bench bins building a RunReport),
+        // force tracing on so the capture sees the full event stream. One
+        // relaxed atomic load on the cold setup path; nothing on the hot
+        // path changes.
+        let capturing = crate::observe::capture_active();
+        if capturing {
+            self.world
+                .trace
+                .get_or_init(|| Arc::new(crate::trace::Trace::new()));
+        }
         let proc_nodes: Arc<Vec<NodeId>> = Arc::new(self.spawns.iter().map(|s| s.node).collect());
         let nodes = self.world.topology.len();
         let release_cap = match self.exec {
@@ -1245,6 +1323,7 @@ impl Sim {
                         faults,
                         tracing,
                         trace_buf: Vec::new(),
+                        span_stack: Vec::new(),
                         release_cap,
                     };
                     if reason == WakeReason::Deadlock {
@@ -1324,12 +1403,16 @@ impl Sim {
                 let mut g = arc.lock();
                 g.iter_mut().map(|o| o.take()).collect()
             });
-        SimReport {
+        let report = SimReport {
             procs,
             results,
             dropped_msgs: dropped,
             trace: self.world.trace.get().cloned(),
+        };
+        if capturing {
+            crate::observe::record_run(&report, self.world.topology.len());
         }
+        report
     }
 }
 
@@ -1357,7 +1440,10 @@ fn finish_proc(engine: &Arc<Engine>, ctx: &mut ProcCtx, panic_info: Option<(Stri
     }
     // Merge this process's trace buffer into the shared trace exactly
     // once. Export order is recovered by the sort in `sorted_events`, so
-    // the append order across processes is irrelevant.
+    // the append order across processes is irrelevant. Spans left open
+    // (early return, panic unwind) close at the finish time first so the
+    // exported trace only ever contains well-formed phase events.
+    ctx.close_all_spans();
     if ctx.tracing {
         if let Some(tr) = ctx.world.trace.get() {
             tr.absorb(std::mem::take(&mut ctx.trace_buf));

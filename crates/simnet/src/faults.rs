@@ -134,6 +134,17 @@ impl FaultEvent {
             FaultEvent::Recovery { .. } => "recovery",
         }
     }
+
+    /// Extra virtual delay this event injected into the run (zero for
+    /// events that carry no delay, like crashes and recovery actions).
+    pub fn injected_delay(&self) -> SimDuration {
+        match self {
+            FaultEvent::MessageDropped { delay, .. }
+            | FaultEvent::LinkDegraded { delay, .. }
+            | FaultEvent::LinkPartitioned { delay, .. } => *delay,
+            FaultEvent::NodeCrash { .. } | FaultEvent::Recovery { .. } => SimDuration::ZERO,
+        }
+    }
 }
 
 /// A deterministic, virtual-time-scheduled fault scenario. Built with

@@ -58,6 +58,7 @@ pub mod faults;
 pub mod fs;
 pub mod hash;
 pub mod message;
+pub mod observe;
 pub mod parallel;
 pub mod queue;
 pub mod stats;
@@ -77,12 +78,13 @@ pub use faults::{FaultEvent, FaultPlan, LinkFault};
 pub use fs::{FileEntry, Mount, SimFs};
 pub use hash::{det_hash, partition_of, DetHasher};
 pub use message::{MatchSpec, Message, Payload, Tag};
+pub use observe::{begin_capture, capture_active, end_capture, RunCapture};
 pub use parallel::{default_execution, set_default_execution, Execution};
 pub use queue::{CalendarQueue, OrderKey};
 pub use stats::ProcStats;
 pub use time::{SimDuration, SimTime};
 pub use topology::{DiskSpec, Node, NodeId, NodeSpec, Topology};
-pub use trace::{EventKind, Trace, TraceEvent};
+pub use trace::{json_escape, EventKind, Trace, TraceEvent};
 pub use transport::Transport;
 
 #[cfg(test)]
@@ -403,6 +405,67 @@ mod engine_tests {
         assert!(json.contains("producer"));
         let txt = trace.render_text(&names);
         assert!(txt.contains("consumer"));
+    }
+
+    #[test]
+    fn spans_record_nested_phase_events() {
+        let mut sim = two_node_sim();
+        let trace = sim.enable_tracing();
+        sim.spawn(NodeId(0), "worker", |ctx| {
+            ctx.span_open("job");
+            for i in 0..2 {
+                ctx.span_open_with(|| format!("job/iter/{i}"));
+                ctx.compute(Work::flops(1.0e6), 1.0);
+                ctx.span_close();
+            }
+            ctx.span_close();
+            // Left open deliberately: must auto-close at process finish.
+            ctx.span_open("dangling");
+            ctx.compute(Work::flops(1.0e6), 1.0);
+        });
+        sim.spawn(NodeId(1), "other", |_| {});
+        let report = sim.run();
+        let phases: Vec<(String, u32, SimTime, SimTime)> = trace
+            .sorted_events()
+            .iter()
+            .filter_map(|e| match &e.kind {
+                EventKind::Phase { label, depth } => {
+                    Some((label.to_string(), *depth, e.start, e.end))
+                }
+                _ => None,
+            })
+            .collect();
+        let mut labels: Vec<&str> = phases.iter().map(|p| p.0.as_str()).collect();
+        labels.sort_unstable();
+        assert_eq!(labels, vec!["dangling", "job", "job/iter/0", "job/iter/1"]);
+        let job = phases.iter().find(|p| p.0 == "job").unwrap();
+        assert_eq!(job.1, 0, "outermost span has depth 0");
+        for it in phases.iter().filter(|p| p.0.starts_with("job/iter")) {
+            assert_eq!(it.1, 1, "nested span has depth 1");
+            assert!(job.2 <= it.2 && it.3 <= job.3, "iter inside job");
+        }
+        let dangling = phases.iter().find(|p| p.0 == "dangling").unwrap();
+        assert_eq!(
+            dangling.3, report.procs[0].finish,
+            "auto-closed at process finish"
+        );
+    }
+
+    #[test]
+    fn spans_are_noops_without_tracing() {
+        let mut sim = two_node_sim();
+        sim.spawn(NodeId(0), "w", |ctx| {
+            assert!(!ctx.tracing_enabled());
+            ctx.span_open("never");
+            ctx.span_open_with(|| unreachable!("label must not be built"));
+            ctx.compute(Work::flops(1.0e6), 1.0);
+            ctx.span_close();
+            ctx.span_close();
+            ctx.span("alsonever", |c| c.now())
+        });
+        sim.spawn(NodeId(1), "q", |_| {});
+        let report = sim.run();
+        assert!(report.trace.is_none());
     }
 
     #[test]

@@ -14,5 +14,6 @@ pub use hpcbd_minmapreduce as minmapreduce;
 pub use hpcbd_minomp as minomp;
 pub use hpcbd_minshmem as minshmem;
 pub use hpcbd_minspark as minspark;
+pub use hpcbd_obs as obs;
 pub use hpcbd_simnet as simnet;
 pub use hpcbd_workloads as workloads;

@@ -237,3 +237,37 @@ fn faulty_runs_are_bit_identical_across_modes() {
     assert_eq!(runs[0], runs[2], "parallel differs from sequential");
     assert_eq!(runs[2], runs[3], "parallel runs differ");
 }
+
+/// The observability layer must not disturb determinism, and its own
+/// output must be deterministic: capturing a Fig. 6 quick run and
+/// rendering the full [`hpcbd::obs::RunReport`] (phase attribution,
+/// causal critical path, category breakdowns) must produce byte-identical
+/// JSON under both execution modes.
+#[test]
+fn run_reports_are_byte_identical_across_modes() {
+    fn run_once() -> String {
+        hpcbd::simnet::begin_capture();
+        let input = bench_pagerank::PagerankInput::small();
+        let _ = bench_pagerank::figure6(&input, &[2u32], 4);
+        let captures = hpcbd::simnet::end_capture();
+        assert!(
+            !captures.is_empty(),
+            "figure6 must produce at least one captured run"
+        );
+        hpcbd::obs::RunReport::from_captures("fig6", true, &captures).to_json()
+    }
+
+    let reports = four_runs(run_once);
+    assert_eq!(reports[0], reports[1], "sequential reports differ");
+    assert_eq!(
+        reports[0], reports[2],
+        "parallel report differs from sequential"
+    );
+    assert_eq!(reports[2], reports[3], "parallel reports differ");
+    // The report must actually contain phase attribution, not an empty
+    // shell: PageRank iterations and runtime collectives are annotated.
+    assert!(
+        reports[0].contains("pagerank/iter/*"),
+        "per-iteration spans missing from report"
+    );
+}

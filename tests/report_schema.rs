@@ -1,0 +1,141 @@
+//! Golden-schema and round-trip tests for the `hpcbd-obs` run report.
+//!
+//! The report JSON (`hpcbd.report.v1`) is the machine-readable artifact
+//! every bench bin emits under `--report`; downstream tooling (the CI
+//! `report-smoke` step, EXPERIMENTS.md tables) depends on its shape and
+//! on its byte-stability. These tests pin both without pinning the
+//! virtual-time numbers themselves: the schema keys, the canonical
+//! serialization (parse → serialize is the identity on report output),
+//! and the critical-path invariants (categories tile the makespan; the
+//! path is never longer than the run).
+
+use hpcbd::core::bench_pagerank;
+use hpcbd::obs::{JsonValue, RunReport};
+
+/// Capture one Fig. 6 quick pipeline and build its report.
+///
+/// Capture state is process-global; every test in this binary funnels
+/// through this helper, which serializes on a local mutex.
+fn fig6_report() -> RunReport {
+    use std::sync::Mutex;
+    static CAP_GUARD: Mutex<()> = Mutex::new(());
+    let _g = CAP_GUARD.lock().unwrap();
+    hpcbd::simnet::begin_capture();
+    let input = bench_pagerank::PagerankInput::small();
+    let _ = bench_pagerank::figure6(&input, &[2u32], 4);
+    let captures = hpcbd::simnet::end_capture();
+    assert!(
+        !captures.is_empty(),
+        "figure6 must capture at least one run"
+    );
+    RunReport::from_captures("fig6", true, &captures)
+}
+
+#[test]
+fn report_json_has_stable_schema_and_round_trips() {
+    let report = fig6_report();
+    let json = report.to_json();
+
+    // Canonical form: parsing and re-serializing is the identity.
+    let parsed = JsonValue::parse(json.trim_end()).expect("report JSON must parse");
+    assert_eq!(
+        parsed.serialize(),
+        json.trim_end(),
+        "report serialization must be canonical (parse∘serialize = id)"
+    );
+
+    // Top-level schema.
+    assert_eq!(
+        parsed.get("schema").and_then(|v| match v {
+            JsonValue::Str(s) => Some(s.as_str()),
+            _ => None,
+        }),
+        Some("hpcbd.report.v1")
+    );
+    assert!(parsed.get("bench").is_some());
+    assert!(parsed.get("quick").is_some());
+    let runs = parsed
+        .get("runs")
+        .and_then(|r| r.as_arr())
+        .expect("runs array");
+    assert!(!runs.is_empty(), "fig6 quick must capture runs");
+
+    // Per-run schema: every key downstream tooling reads must be present.
+    for run in runs {
+        for key in [
+            "run",
+            "procs",
+            "cluster_nodes",
+            "makespan_ns",
+            "dropped_msgs",
+            "totals",
+            "critical_path",
+            "phases",
+            "histograms",
+            "causal",
+        ] {
+            assert!(run.get(key).is_some(), "run section missing key {key:?}");
+        }
+        let crit = run.get("critical_path").unwrap();
+        for key in [
+            "length_ns",
+            "makespan_ns",
+            "by_category",
+            "top_contributors",
+        ] {
+            assert!(crit.get(key).is_some(), "critical_path missing {key:?}");
+        }
+        for phase in run.get("phases").unwrap().as_arr().unwrap() {
+            for key in ["phase", "spans", "span_ns"] {
+                assert!(phase.get(key).is_some(), "phase row missing {key:?}");
+            }
+        }
+    }
+}
+
+#[test]
+fn critical_path_tiles_the_makespan() {
+    let report = fig6_report();
+    for s in &report.sections {
+        let makespan = s.makespan.nanos();
+        let by_cat_sum: u64 = s.crit.by_category.iter().sum();
+        assert_eq!(
+            by_cat_sum, makespan,
+            "run {}: category breakdown must tile [0, makespan] exactly",
+            s.index
+        );
+        assert!(
+            s.crit.length.nanos() <= makespan,
+            "run {}: critical path ({}) longer than makespan ({})",
+            s.index,
+            s.crit.length.nanos(),
+            makespan
+        );
+        // Per-phase critical-path attribution must also tile the makespan:
+        // every segment lands in exactly one (phase, category) cell.
+        let phase_sum: u64 = s.phases.iter().map(|p| p.crit.iter().sum::<u64>()).sum();
+        assert_eq!(
+            phase_sum, makespan,
+            "run {}: per-phase attribution must tile the makespan",
+            s.index
+        );
+    }
+}
+
+#[test]
+fn repeated_captures_are_byte_identical() {
+    let a = fig6_report().to_json();
+    let b = fig6_report().to_json();
+    assert_eq!(a, b, "same pipeline, same bytes");
+}
+
+#[test]
+fn report_sees_runtime_phase_annotations() {
+    let report = fig6_report();
+    let json = report.to_json();
+    // Fig. 6 runs PageRank on MPI and Spark: both runtimes' span labels
+    // must survive into the report (numeric path segments normalized).
+    for label in ["pagerank/iter/*", "mpi/alltoall", "spark/stage/"] {
+        assert!(json.contains(label), "report missing phase label {label:?}");
+    }
+}
