@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Wall-clock trajectory regression gate.
+
+Compares two BENCH_simnet.json files (previous successful run vs this
+run) row by row, keyed on (artifact, scale, mode). Macro rows — the
+`paper`-scale ones, which run long enough for wall_min_s to be stable —
+gate the build: a >15% regression in any of them fails. `quick` rows
+are single-digit-millisecond and dominated by process noise, so they
+are reported but never fail the gate. New rows (fresh artifact or mode)
+and rows that disappeared are reported as informational.
+
+Usage: bench_gate.py <previous.json> <current.json>
+Exit:  0 clean, 1 regression, 2 usage/parse error.
+"""
+
+import json
+import sys
+
+THRESHOLD = 0.15  # fractional wall_min_s increase that fails a macro row
+GATED_SCALES = {"paper"}
+
+
+def rows(path):
+    with open(path) as f:
+        doc = json.load(f)
+    out = {}
+    for r in doc.get("results", []):
+        out[(r["artifact"], r["scale"], r["mode"])] = float(r["wall_min_s"])
+    return out
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    try:
+        prev, curr = rows(argv[1]), rows(argv[2])
+    except (OSError, ValueError, KeyError) as e:
+        print(f"bench_gate: cannot read trajectory files: {e}", file=sys.stderr)
+        return 2
+
+    regressions = []
+    for key in sorted(curr):
+        artifact, scale, mode = key
+        new = curr[key]
+        old = prev.get(key)
+        label = f"{artifact}/{scale}/{mode}"
+        if old is None:
+            print(f"  NEW    {label}: {new:.6f}s (no previous row)")
+            continue
+        delta = (new - old) / old if old > 0 else 0.0
+        gated = scale in GATED_SCALES
+        if gated and delta > THRESHOLD:
+            regressions.append((label, old, new, delta))
+            print(f"  FAIL   {label}: {old:.6f}s -> {new:.6f}s ({delta:+.1%})")
+        else:
+            tag = "ok" if gated else "info"
+            print(f"  {tag:<6} {label}: {old:.6f}s -> {new:.6f}s ({delta:+.1%})")
+    for key in sorted(set(prev) - set(curr)):
+        print(f"  GONE   {'/'.join(key)}: row no longer produced")
+
+    if regressions:
+        print(
+            f"bench_gate: {len(regressions)} macro row(s) regressed "
+            f">{THRESHOLD:.0%} in wall_min_s",
+            file=sys.stderr,
+        )
+        return 1
+    print("bench_gate: no macro-row regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

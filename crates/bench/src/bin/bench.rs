@@ -11,6 +11,11 @@
 //! Flags:
 //! * `--quick` — measure only the quick-scale configurations (CI smoke).
 //! * `--out PATH` — output path (default `BENCH_simnet.json`).
+//! * `--digests` — skip timing entirely: run each configuration once
+//!   per execution mode, assert the cross-mode digests agree, and print
+//!   only the digest lines. The output is fully deterministic, which
+//!   lets this bin join the golden registry the `conformance` gate
+//!   checks (wall-clock numbers never could).
 //!
 //! Each run also records an FNV-1a digest of the produced table; the
 //! emitter asserts sequential and parallel digests agree, so a
@@ -153,6 +158,22 @@ fn main() {
             2,
             Box::new(|| figure6(&PagerankInput::paper(), &[1u32, 2, 4, 8], 16).to_csv()),
         ));
+    }
+
+    if args.iter().any(|a| a == "--digests") {
+        for (artifact, scale, _runs, f) in &cases {
+            set_default_execution(Execution::Sequential);
+            let seq = digest(&f());
+            set_default_execution(Execution::Parallel { threads });
+            let par = digest(&f());
+            set_default_execution(Execution::Sequential);
+            assert_eq!(
+                seq, par,
+                "{artifact}/{scale}: sequential and parallel tables differ — determinism break"
+            );
+            println!("{artifact}/{scale} table_digest={seq:016x}");
+        }
+        return;
     }
 
     let mut measurements = Vec::new();

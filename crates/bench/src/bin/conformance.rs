@@ -1,0 +1,437 @@
+//! `conformance` — the determinism gate CI actually runs.
+//!
+//! Three subcommands (see DESIGN.md §11 for the underlying model):
+//!
+//! * `conformance gate [--bless] [--golden DIR]` — recompute every
+//!   bench bin's `--quick` output by invoking the sibling release
+//!   binaries, diff each against the golden registry pinned under
+//!   `results/golden/`, re-run a subset in parallel execution mode
+//!   against the *same* goldens (cross-mode coverage), and byte-compare
+//!   phase-attributed JSON reports across modes. `--bless` re-pins the
+//!   registry after an intentional behaviour change; the PR diff then
+//!   shows exactly which table rows moved.
+//! * `conformance explore [--seed N] [--schedules N] [--threads N]
+//!   [--pipeline fig3|fig6|fault|all] [--repro-out PATH]` — run the
+//!   schedule-perturbation explorer (`hpcbd-check`) over representative
+//!   pipelines; on divergence, write a replayable repro file and fail.
+//! * `conformance lint [--pipeline ...]` — run the determinism lint
+//!   matrix (thread sweep, shuffled polling, allocator poisoning) over
+//!   the same pipelines.
+//!
+//! Exit status is the gate verdict: 0 clean, 1 divergence/mismatch,
+//! 2 usage or environment error.
+
+use std::path::PathBuf;
+use std::process::{Command, ExitCode};
+
+use hpcbd_check::{lint_workload, Explorer, GoldenRegistry, GoldenStatus};
+use hpcbd_cluster::Placement;
+use hpcbd_core::bench_pagerank::{figure6, PagerankInput};
+use hpcbd_core::bench_reduce;
+
+/// Every bench bin the golden registry pins, with the argument set that
+/// makes its output deterministic. `bench` needs `--digests` because its
+/// normal output is wall-clock timings.
+const BINS: &[(&str, &[&str])] = &[
+    ("table1", &["--quick"]),
+    ("fig3", &["--quick"]),
+    ("table2", &["--quick"]),
+    ("fig4", &["--quick"]),
+    ("fig6", &["--quick"]),
+    ("fig7", &["--quick"]),
+    ("table3", &["--quick"]),
+    ("ablation_persist", &["--quick"]),
+    ("ablation_replication", &["--quick"]),
+    ("ablation_rdma_all", &["--quick"]),
+    ("ablation_fault", &["--quick"]),
+    ("ablation_fault_sweep", &["--quick"]),
+    ("ablation_shmem_pagerank", &["--quick"]),
+    ("ablation_offload", &["--quick"]),
+    ("ablation_queries", &["--quick"]),
+    ("ablation_seismic", &["--quick"]),
+    ("bench", &["--quick", "--digests"]),
+];
+
+/// Bins additionally re-run under `HPCBD_EXECUTION=parallel:4` against
+/// the same goldens: a cheap cross-mode determinism check on the two
+/// pipelines that stress the scheduler hardest (iterative allreduce,
+/// fault recovery).
+const CROSS_MODE: &[&str] = &["fig6", "ablation_fault_sweep"];
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: conformance <gate|explore|lint> [options]\n\
+         \n\
+         gate    [--bless] [--golden DIR]\n\
+         explore [--seed N] [--schedules N] [--threads N]\n\
+         \x20       [--pipeline fig3|fig6|fault|all] [--repro-out PATH]\n\
+         lint    [--pipeline fig3|fig6|fault|all]"
+    );
+    ExitCode::from(2)
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("gate") => gate(&args[1..]),
+        Some("explore") => explore(&args[1..]),
+        Some("lint") => lint(&args[1..]),
+        _ => usage(),
+    }
+}
+
+// ---------------------------------------------------------------- gate
+
+/// Locate a sibling bench binary next to this executable.
+fn sibling(name: &str) -> Result<PathBuf, String> {
+    let me = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
+    let dir = me.parent().ok_or("executable has no parent directory")?;
+    let path = dir.join(format!("{name}{}", std::env::consts::EXE_SUFFIX));
+    if path.exists() {
+        Ok(path)
+    } else {
+        Err(format!(
+            "{} not found — build the whole workspace first (cargo build --release)",
+            path.display()
+        ))
+    }
+}
+
+/// Run one bench bin and capture its stdout. `execution` is the
+/// `HPCBD_EXECUTION` value, or `None` for the default (sequential).
+fn run_bin(name: &str, extra: &[&str], execution: Option<&str>) -> Result<String, String> {
+    let mut cmd = Command::new(sibling(name)?);
+    cmd.args(extra);
+    match execution {
+        Some(v) => {
+            cmd.env("HPCBD_EXECUTION", v);
+        }
+        None => {
+            cmd.env_remove("HPCBD_EXECUTION");
+        }
+    }
+    let out = cmd.output().map_err(|e| format!("spawn {name}: {e}"))?;
+    if !out.status.success() {
+        return Err(format!(
+            "{name} exited with {}:\n{}",
+            out.status,
+            String::from_utf8_lossy(&out.stderr)
+        ));
+    }
+    String::from_utf8(out.stdout).map_err(|_| format!("{name}: stdout is not UTF-8"))
+}
+
+fn gate(args: &[String]) -> ExitCode {
+    let bless = args.iter().any(|a| a == "--bless");
+    let golden_dir = flag_value(args, "--golden")
+        .or_else(|| std::env::var("HPCBD_GOLDEN_DIR").ok())
+        .unwrap_or_else(|| "results/golden".to_string());
+    let registry = GoldenRegistry::open(&golden_dir);
+    println!(
+        "conformance gate: {} bins, registry at {golden_dir}{}",
+        BINS.len(),
+        if bless { " (blessing)" } else { "" }
+    );
+
+    let mut failures = 0u32;
+    fn check(registry: &GoldenRegistry, failures: &mut u32, name: &str, output: &str, label: &str) {
+        match registry.check(name, output) {
+            Ok(GoldenStatus::Match) => println!("  PASS {label}"),
+            Ok(GoldenStatus::Missing) => {
+                *failures += 1;
+                println!("  FAIL {label}: no golden pinned (run `conformance gate --bless`)");
+            }
+            Ok(GoldenStatus::Mismatch { diag }) => {
+                *failures += 1;
+                println!("  FAIL {label}:");
+                for line in diag.lines() {
+                    println!("       {line}");
+                }
+            }
+            Err(e) => {
+                *failures += 1;
+                println!("  FAIL {label}: registry I/O error: {e}");
+            }
+        }
+    }
+
+    for (name, extra) in BINS {
+        match run_bin(name, extra, None) {
+            Ok(output) => {
+                if bless {
+                    match registry.bless(name, &output) {
+                        Ok(()) => println!("  BLESS {name}"),
+                        Err(e) => {
+                            failures += 1;
+                            println!("  FAIL {name}: bless: {e}");
+                        }
+                    }
+                } else {
+                    check(&registry, &mut failures, name, &output, name);
+                }
+            }
+            Err(e) => {
+                failures += 1;
+                println!("  FAIL {name}: {e}");
+            }
+        }
+    }
+
+    // Cross-mode: the same goldens must reproduce under the parallel
+    // engine — goldens double as cross-mode determinism oracles.
+    if !bless {
+        for name in CROSS_MODE {
+            let extra = BINS
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, e)| *e)
+                .unwrap();
+            match run_bin(name, extra, Some("parallel:4")) {
+                Ok(output) => check(
+                    &registry,
+                    &mut failures,
+                    name,
+                    &output,
+                    &format!("{name} [parallel:4]"),
+                ),
+                Err(e) => {
+                    failures += 1;
+                    println!("  FAIL {name} [parallel:4]: {e}");
+                }
+            }
+        }
+
+        // Phase-attributed reports must be byte-identical across modes.
+        match report_cross_mode() {
+            Ok(()) => println!("  PASS fig6 report [sequential == parallel:4]"),
+            Err(e) => {
+                failures += 1;
+                println!("  FAIL fig6 report cross-mode:");
+                for line in e.lines() {
+                    println!("       {line}");
+                }
+            }
+        }
+    }
+
+    if failures == 0 {
+        println!("conformance gate: clean");
+        ExitCode::SUCCESS
+    } else {
+        println!("conformance gate: {failures} failure(s)");
+        ExitCode::FAILURE
+    }
+}
+
+/// Run `fig6 --quick --report` under both execution modes and
+/// byte-compare the two `hpcbd.report.v1` JSON documents.
+fn report_cross_mode() -> Result<(), String> {
+    let tmp = std::env::temp_dir();
+    let seq_path = tmp.join(format!("hpcbd-conf-{}-seq.json", std::process::id()));
+    let par_path = tmp.join(format!("hpcbd-conf-{}-par.json", std::process::id()));
+    let result = (|| {
+        run_bin(
+            "fig6",
+            &["--quick", "--report", &seq_path.display().to_string()],
+            None,
+        )?;
+        run_bin(
+            "fig6",
+            &["--quick", "--report", &par_path.display().to_string()],
+            Some("parallel:4"),
+        )?;
+        let seq = std::fs::read_to_string(&seq_path).map_err(|e| format!("read report: {e}"))?;
+        let par = std::fs::read_to_string(&par_path).map_err(|e| format!("read report: {e}"))?;
+        if seq == par {
+            Ok(())
+        } else {
+            Err(match hpcbd_obs::first_divergence(&seq, &par) {
+                Some(d) => d.render(),
+                None => "reports differ only in trailing whitespace".to_string(),
+            })
+        }
+    })();
+    let _ = std::fs::remove_file(&seq_path);
+    let _ = std::fs::remove_file(&par_path);
+    result
+}
+
+// ------------------------------------------------------- explore / lint
+
+/// The pipelines the explorer and lint cover: the reduce collective
+/// sweep (fig3), the iterative PageRank pipeline (fig6), and an
+/// adversarial faulty workload (crash + straggler + degraded link +
+/// message drops). Small configurations — each must be cheap enough to
+/// re-run dozens of times.
+type Pipeline = (&'static str, fn());
+
+fn pipelines(filter: &str) -> Result<Vec<Pipeline>, ExitCode> {
+    let all: Vec<Pipeline> = vec![
+        ("fig3", || {
+            bench_reduce::figure3(Placement::new(2, 4), &[1usize, 4096], 3);
+        }),
+        ("fig6", || {
+            figure6(&PagerankInput::small(), &[1u32, 2], 4);
+        }),
+        ("fault", fault_pipeline),
+    ];
+    if filter == "all" {
+        return Ok(all);
+    }
+    let picked: Vec<_> = all.into_iter().filter(|(n, _)| *n == filter).collect();
+    if picked.is_empty() {
+        eprintln!("unknown pipeline `{filter}` (expected fig3, fig6, fault or all)");
+        return Err(ExitCode::from(2));
+    }
+    Ok(picked)
+}
+
+/// The adversarial faulty workload from the tier-1 determinism suite:
+/// a node crash under a deadline-looped sink, a permanent straggler, a
+/// degraded link, and heavy message drops, all in one plan.
+fn fault_pipeline() {
+    use hpcbd_simnet::{
+        FaultPlan, MatchSpec, NodeId, Payload, Pid, Sim, SimDuration, SimTime, Topology, Transport,
+        Work,
+    };
+    let mut sim = Sim::new(Topology::comet(3));
+    sim.set_fault_plan(
+        FaultPlan::new(99)
+            .crash_node(NodeId(1), SimTime(40_000_000))
+            .slow_node(NodeId(2), SimTime(0), SimTime(u64::MAX), 3.0)
+            .degrade_link(NodeId(0), NodeId(2), SimTime(0), SimTime(u64::MAX), 2.5)
+            .drop_messages(100_000),
+    );
+    let sink = sim.spawn(NodeId(1), "sink".to_string(), move |ctx| {
+        let crash = ctx.node_crash_time();
+        let mut seen = 0u64;
+        while let Ok(m) = ctx.recv_deadline(MatchSpec::tag(9), crash) {
+            seen += m.bytes;
+        }
+        seen
+    });
+    let n = 4u32;
+    for i in 0..n {
+        let node = NodeId(i % 3);
+        sim.spawn(node, format!("w{i}"), move |ctx| {
+            let tr = Transport::ipoib_socket();
+            let me = ctx.pid();
+            let right = Pid(1 + (me.0 % n));
+            let mut acc = 0u64;
+            for round in 0..6u64 {
+                ctx.compute(Work::new(2.0e6 * (1.0 + me.0 as f64), 64.0), 1.0);
+                ctx.send(sink, 9, 256, Payload::Empty, &tr);
+                ctx.send(right, 7, 128 + 64 * round, Payload::value(round), &tr);
+                let m = ctx.recv(MatchSpec::tag(7));
+                if let Payload::Value(v) = &m.payload {
+                    acc += v.downcast_ref::<u64>().unwrap() + m.bytes;
+                }
+                if ctx
+                    .recv_timeout(MatchSpec::tag(55), SimDuration::from_micros(40))
+                    .is_err()
+                {
+                    acc += 1;
+                }
+            }
+            acc
+        });
+    }
+    sim.run();
+}
+
+fn explore(args: &[String]) -> ExitCode {
+    let seed: u64 = flag_value(args, "--seed")
+        .and_then(|v| parse_u64(&v))
+        .unwrap_or(0xC0FFEE);
+    let schedules: usize = flag_value(args, "--schedules")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64);
+    let threads: usize = flag_value(args, "--threads")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4);
+    let filter = flag_value(args, "--pipeline").unwrap_or_else(|| "all".to_string());
+    let repro_out = flag_value(args, "--repro-out");
+    let pipes = match pipelines(&filter) {
+        Ok(p) => p,
+        Err(code) => return code,
+    };
+
+    println!(
+        "conformance explore: seed={seed:#x} schedules={schedules} threads={threads} \
+         pipelines={filter}"
+    );
+    for (name, workload) in pipes {
+        let report = Explorer::new(seed)
+            .schedules(schedules)
+            .threads(threads)
+            .explore(workload);
+        match &report.divergence {
+            None => println!(
+                "  PASS {name}: {} perturbed schedule(s), oracle sha256={}",
+                report.schedules_run, report.oracle_digest
+            ),
+            Some(d) => {
+                println!(
+                    "  FAIL {name} after {} schedule(s):\n{}",
+                    report.schedules_run,
+                    d.render()
+                );
+                if let Some(path) = &repro_out {
+                    let repro = format!(
+                        "hpcbd conformance divergence repro\n\
+                         pipeline:  {name}\n\
+                         command:   conformance explore --pipeline {name} --seed {seed:#x} \
+                         --schedules {schedules} --threads {threads}\n\
+                         oracle sha256: {}\n\n{}",
+                        report.oracle_digest,
+                        d.render()
+                    );
+                    match std::fs::write(path, repro) {
+                        Ok(()) => println!("  repro written to {path}"),
+                        Err(e) => eprintln!("  failed to write repro {path}: {e}"),
+                    }
+                }
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    println!("conformance explore: clean");
+    ExitCode::SUCCESS
+}
+
+fn lint(args: &[String]) -> ExitCode {
+    let filter = flag_value(args, "--pipeline").unwrap_or_else(|| "all".to_string());
+    let pipes = match pipelines(&filter) {
+        Ok(p) => p,
+        Err(code) => return code,
+    };
+    println!("conformance lint: pipelines={filter}");
+    for (name, workload) in pipes {
+        let report = lint_workload(workload);
+        match &report.divergence {
+            None => println!("  PASS {name}: {} condition(s)", report.conditions.len()),
+            Some(d) => {
+                println!("  FAIL {name}:\n{}", d.render());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    println!("conformance lint: clean");
+    ExitCode::SUCCESS
+}
+
+/// Parse decimal or `0x`-prefixed hex.
+fn parse_u64(s: &str) -> Option<u64> {
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}

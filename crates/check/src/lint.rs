@@ -1,0 +1,188 @@
+//! The determinism lint: double-run a workload under skewed host
+//! conditions and demand bit-identical captures.
+//!
+//! The explorer (`explore.rs`) attacks the *scheduler*; the lint attacks
+//! the *host environment* the workload runs in. Each condition varies
+//! one thing the engine's contract says must not matter:
+//!
+//! * **sequential replay** — the same sequential run twice; catches
+//!   per-run nondeterminism with no concurrency at all (fresh hash
+//!   seeds, iteration over address-keyed maps, wall-clock reads).
+//! * **thread-count sweep** — parallel mode at 1, 2 and 8 threads;
+//!   catches results that depend on how many compute segments overlap.
+//! * **shuffled shard polling** — perturbation seeds that jitter and
+//!   reorder every queue interaction (holds, token keeps, fast-path
+//!   defeats), so processes poll shared state in shuffled wall-clock
+//!   orders; catches "first poller wins" races.
+//! * **allocator-address poisoning** — a seeded set of junk heap
+//!   allocations is held alive across the run, shifting every address
+//!   the workload's own allocations land on; catches any ordering
+//!   derived from pointer values.
+//!
+//! All conditions compare against the same sequential oracle, so a lint
+//! pass certifies one workload across the whole condition matrix.
+
+use hpcbd_simnet::{det_hash, set_default_execution, set_perturbation, Execution, Perturbation};
+
+use crate::compare::{compare_runs, Classification, Divergence};
+use crate::explore::{harness_lock, run_captured, RestoreGlobals};
+
+/// Thread counts the sweep condition runs at.
+const THREAD_SWEEP: [usize; 3] = [1, 2, 8];
+/// Base seeds for the shuffled-polling condition.
+const POLL_SEEDS: [u64; 2] = [0xD00D, 0xFEED];
+/// Rounds of allocator poisoning.
+const POISON_ROUNDS: u64 = 2;
+
+/// Result of linting one workload.
+#[derive(Debug)]
+pub struct LintReport {
+    /// Conditions that ran (in order), whether or not one diverged.
+    pub conditions: Vec<String>,
+    /// First divergence found, if any; `condition` names the culprit.
+    pub divergence: Option<Divergence>,
+}
+
+impl LintReport {
+    /// Panic with the first-divergence report unless every condition
+    /// reproduced the oracle bit-identically.
+    pub fn assert_clean(&self) {
+        if let Some(d) = &self.divergence {
+            panic!(
+                "determinism lint failed after conditions {:?}:\n{}",
+                self.conditions,
+                d.render()
+            );
+        }
+    }
+}
+
+/// Junk heap allocations with seeded sizes, held alive for the duration
+/// of a poisoned run so the workload's own allocations land on shifted
+/// addresses.
+fn poison_allocations(round: u64) -> Vec<Vec<u8>> {
+    (0..64u64)
+        .map(|i| {
+            let sz = 1 + (det_hash(&(0xA110Cu64, round, i)) % 4096) as usize;
+            vec![0xA5u8; sz]
+        })
+        .collect()
+}
+
+/// Run the full lint matrix over a workload. The workload must be
+/// re-runnable; each condition reruns it from scratch.
+pub fn lint_workload<F: Fn()>(workload: F) -> LintReport {
+    let _guard = harness_lock();
+    let _restore = RestoreGlobals::capture();
+    let mut conditions = Vec::new();
+
+    set_perturbation(None);
+    set_default_execution(Execution::Sequential);
+    let oracle = run_captured(&workload);
+    assert!(
+        !oracle.is_empty(),
+        "workload ran no simulations inside the capture window"
+    );
+
+    let check = |condition: String, conditions: &mut Vec<String>| -> Option<Divergence> {
+        conditions.push(condition.clone());
+        let run = run_captured(&workload);
+        compare_runs(&oracle, &run).map(|mut d| {
+            d.condition = condition;
+            d
+        })
+    };
+
+    // Sequential replay: divergence here is host nondeterminism by
+    // construction (no scheduler involved).
+    if let Some(mut d) = check("sequential replay".into(), &mut conditions) {
+        d.classification = Some(Classification::HostNondeterminism);
+        return LintReport {
+            conditions,
+            divergence: Some(d),
+        };
+    }
+
+    for t in THREAD_SWEEP {
+        set_default_execution(Execution::Parallel { threads: t });
+        if let Some(d) = check(format!("thread sweep t={t}"), &mut conditions) {
+            return LintReport {
+                conditions,
+                divergence: Some(d),
+            };
+        }
+    }
+
+    for seed in POLL_SEEDS {
+        set_perturbation(Some(Perturbation::from_seed(seed)));
+        set_default_execution(Execution::Parallel { threads: 4 });
+        let cond = format!("shuffled polling seed={seed:#x}");
+        if let Some(d) = check(cond, &mut conditions) {
+            return LintReport {
+                conditions,
+                divergence: Some(d),
+            };
+        }
+    }
+    set_perturbation(None);
+
+    for round in 0..POISON_ROUNDS {
+        let _junk = poison_allocations(round);
+        set_default_execution(Execution::Parallel { threads: 4 });
+        let cond = format!("allocator poisoning round={round}");
+        if let Some(d) = check(cond, &mut conditions) {
+            return LintReport {
+                conditions,
+                divergence: Some(d),
+            };
+        }
+    }
+
+    LintReport {
+        conditions,
+        divergence: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpcbd_simnet::{MatchSpec, NodeId, Payload, Pid, Sim, Topology, Transport, Work};
+
+    fn ring_workload() {
+        let tr = Transport::ipoib_socket();
+        let n = 4u32;
+        let mut sim = Sim::new(Topology::comet(2));
+        for p in 0..n {
+            sim.spawn(NodeId(p % 2), format!("r{p}"), move |ctx| {
+                ctx.compute(Work::flops(2.0e6), 1.0);
+                ctx.send(Pid((p + 1) % n), 1, 512, Payload::Empty, &tr);
+                ctx.recv(MatchSpec::tag(1));
+            });
+        }
+        sim.run();
+    }
+
+    #[test]
+    fn clean_workload_passes_the_full_matrix() {
+        let report = lint_workload(ring_workload);
+        report.assert_clean();
+        // replay + 3 thread counts + 2 poll seeds + 2 poison rounds.
+        assert_eq!(report.conditions.len(), 8);
+    }
+
+    #[test]
+    fn poison_allocations_are_seeded_and_nonempty() {
+        let a = poison_allocations(0);
+        let b = poison_allocations(0);
+        assert_eq!(
+            a.iter().map(Vec::len).collect::<Vec<_>>(),
+            b.iter().map(Vec::len).collect::<Vec<_>>()
+        );
+        let c = poison_allocations(1);
+        assert_ne!(
+            a.iter().map(Vec::len).collect::<Vec<_>>(),
+            c.iter().map(Vec::len).collect::<Vec<_>>()
+        );
+    }
+}

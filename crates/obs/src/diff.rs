@@ -1,0 +1,94 @@
+//! Line-level first-divergence diffing for deterministic text artifacts.
+//!
+//! Everything this workspace emits for conformance checking — CSV
+//! tables, `hpcbd.report.v1` JSON, trace exports — is line-oriented and
+//! byte-deterministic, so "where do two outputs first differ" is the
+//! whole diagnosis: a full diff of two diverged event streams is noise,
+//! the first differing line is the bug's address. Used by the golden
+//! digest registry and the `conformance` gate (`hpcbd-check`).
+
+/// The first point at which two line-oriented texts disagree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LineDivergence {
+    /// 1-indexed line number of the first disagreement.
+    pub line: usize,
+    /// The expected line, or `None` if the expected text ended here.
+    pub expected: Option<String>,
+    /// The actual line, or `None` if the actual text ended here.
+    pub got: Option<String>,
+}
+
+impl LineDivergence {
+    /// Compact one-screen rendering for gate output.
+    pub fn render(&self) -> String {
+        fn show(side: &Option<String>) -> String {
+            match side {
+                Some(l) => format!("{l:?}"),
+                None => "<end of output>".to_string(),
+            }
+        }
+        format!(
+            "first divergence at line {}:\n  expected: {}\n  got:      {}",
+            self.line,
+            show(&self.expected),
+            show(&self.got)
+        )
+    }
+}
+
+/// Compare two texts line by line and report the first differing line,
+/// or `None` when they are identical. A trailing-newline difference
+/// counts: an extra line on either side diverges at the position where
+/// the other side ended.
+pub fn first_divergence(expected: &str, got: &str) -> Option<LineDivergence> {
+    let mut e = expected.lines();
+    let mut g = got.lines();
+    let mut line = 0usize;
+    loop {
+        line += 1;
+        match (e.next(), g.next()) {
+            (None, None) => return None,
+            (el, gl) if el == gl => continue,
+            (el, gl) => {
+                return Some(LineDivergence {
+                    line,
+                    expected: el.map(str::to_string),
+                    got: gl.map(str::to_string),
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_texts_have_no_divergence() {
+        assert_eq!(first_divergence("a\nb\nc\n", "a\nb\nc\n"), None);
+        assert_eq!(first_divergence("", ""), None);
+    }
+
+    #[test]
+    fn first_differing_line_is_reported() {
+        let d = first_divergence("a\nb\nc\n", "a\nX\nc\n").unwrap();
+        assert_eq!(d.line, 2);
+        assert_eq!(d.expected.as_deref(), Some("b"));
+        assert_eq!(d.got.as_deref(), Some("X"));
+        assert!(d.render().contains("line 2"));
+    }
+
+    #[test]
+    fn length_mismatch_diverges_at_the_shorter_end() {
+        let d = first_divergence("a\nb\n", "a\nb\nextra\n").unwrap();
+        assert_eq!(d.line, 3);
+        assert_eq!(d.expected, None);
+        assert_eq!(d.got.as_deref(), Some("extra"));
+        assert!(d.render().contains("<end of output>"));
+
+        let d = first_divergence("a\nb\nmore\n", "a\nb\n").unwrap();
+        assert_eq!(d.line, 3);
+        assert_eq!(d.got, None);
+    }
+}

@@ -26,12 +26,14 @@
 
 pub mod causal;
 pub mod critical;
+pub mod diff;
 pub mod json;
 pub mod perfetto;
 pub mod report;
 
 pub use causal::{match_events, CausalEdge, CausalGraph};
 pub use critical::{critical_path, Category, CriticalPath, Segment};
+pub use diff::{first_divergence, LineDivergence};
 pub use json::JsonValue;
 pub use perfetto::to_perfetto_json;
 pub use report::{PhaseRow, RunReport, RunSection};

@@ -249,6 +249,10 @@ struct Engine {
     shards: Vec<ProcShard>,
     nodes: Vec<Mutex<NodeRes>>,
     nfs_free: Mutex<SimTime>,
+    /// Installed schedule perturbation (conformance harness only; see
+    /// [`crate::perturb`]). Resolved once at `Sim::run`; `None` on
+    /// normal runs, so the hot path pays one pointer test.
+    perturb: Option<Arc<crate::perturb::Perturbation>>,
     /// Messages sent to processes that had already finished.
     /// Token-serialized; atomic only for `Sync`.
     dropped_msgs: AtomicU64,
@@ -278,6 +282,17 @@ impl Engine {
             if g.procs[cand.pid.index()].gen != cand.gen {
                 g.runnable.pop_min(); // stale entry
                 continue;
+            }
+            // Perturbation (conformance harness): defer this grant while
+            // other processes are still in flight. The candidate remains
+            // the minimum, so only the grant's wall-clock moment moves —
+            // every in-flight process re-triggers dispatch when it aligns
+            // or finishes, and holds stop once the in-flight set drains,
+            // so progress (and the deadlock detector) is unaffected.
+            if let Some(p) = &self.perturb {
+                if !g.inflight.is_empty() && p.hold_grant(cand.time.nanos(), cand.pid.0, cand.gen) {
+                    return;
+                }
             }
             // Conservative lookahead frontier: an in-flight process q
             // re-enters the queue at some (t, q) with t >= lb_q. Grant
@@ -394,6 +409,12 @@ pub struct ProcCtx {
     /// In-flight cap above which `release_turn` keeps the token; `0`
     /// encodes sequential mode, making release a no-op without a lock.
     release_cap: usize,
+    /// Schedule perturbation (conformance harness; `None` on normal
+    /// runs) plus a per-process visible-op counter salting its
+    /// decisions. The counter is deterministic per process, so a seed
+    /// replays the same decision sequence.
+    perturb: Option<Arc<crate::perturb::Perturbation>>,
+    perturb_ops: u64,
 }
 
 impl ProcCtx {
@@ -598,6 +619,17 @@ impl ProcCtx {
     /// deadlock (the caller must not touch shared state).
     fn align_quiet(&mut self) -> bool {
         let me = self.pid;
+        // Perturbation (conformance harness): jitter the wall-clock
+        // approach to the scheduler lock and sometimes force the slow
+        // (queue + condvar) path even when the fast path would apply.
+        // Both choices are inside the frontier rule's admitted set, so
+        // virtual-time results cannot change.
+        let mut force_slow_path = false;
+        if let Some(p) = &self.perturb {
+            self.perturb_ops += 1;
+            p.jitter(me.0, self.perturb_ops);
+            force_slow_path = p.defeat_fast_path(me.0, self.perturb_ops);
+        }
         {
             let mut g = self.engine.sched.lock();
             if g.deadlocked {
@@ -616,7 +648,7 @@ impl ProcCtx {
             // the condvar park/wake entirely. The grant decision is the
             // same one `try_dispatch` would make for our pushed entry, so
             // the schedule (and every virtual-time result) is unchanged.
-            if g.turn.is_none() {
+            if g.turn.is_none() && !force_slow_path {
                 // Clean stale heads so the comparison sees a live entry.
                 while let Some(k) = g.runnable.peek_min() {
                     if g.procs[k.pid.index()].gen != k.gen {
@@ -678,6 +710,15 @@ impl ProcCtx {
     fn release_turn(&mut self) {
         if self.release_cap == 0 {
             return; // sequential: keep the token; the next align passes it
+        }
+        // Perturbation (conformance harness): sometimes keep the token
+        // through the next compute segment — exactly the legal behaviour
+        // the engine already exhibits when the in-flight cap is reached.
+        if let Some(p) = &self.perturb {
+            self.perturb_ops += 1;
+            if p.keep_token(self.pid.0, self.perturb_ops) {
+                return;
+            }
         }
         let mut g = self.engine.sched.lock();
         if g.deadlocked {
@@ -1249,7 +1290,9 @@ impl Sim {
             Execution::Sequential => 0,
             Execution::Parallel { threads } => threads,
         };
+        let perturb = crate::perturb::current_perturbation();
         let engine = Arc::new(Engine {
+            perturb: perturb.clone(),
             sched: Mutex::new(Sched {
                 procs: (0..n)
                     .map(|_| SchedProc {
@@ -1304,6 +1347,7 @@ impl Sim {
             let world = self.world.clone();
             let proc_nodes = proc_nodes.clone();
             let results = results.clone();
+            let perturb = perturb.clone();
             let handle = std::thread::Builder::new()
                 .name(format!("sim-{}", spawn.name))
                 .stack_size(1 << 21)
@@ -1325,6 +1369,8 @@ impl Sim {
                         trace_buf: Vec::new(),
                         span_stack: Vec::new(),
                         release_cap,
+                        perturb,
+                        perturb_ops: 0,
                     };
                     if reason == WakeReason::Deadlock {
                         // Simulation tore down before we ever ran.

@@ -60,6 +60,7 @@ pub mod hash;
 pub mod message;
 pub mod observe;
 pub mod parallel;
+pub mod perturb;
 pub mod queue;
 pub mod stats;
 pub mod time;
@@ -80,6 +81,7 @@ pub use hash::{det_hash, partition_of, DetHasher};
 pub use message::{MatchSpec, Message, Payload, Tag};
 pub use observe::{begin_capture, capture_active, end_capture, RunCapture};
 pub use parallel::{default_execution, set_default_execution, Execution};
+pub use perturb::{current_perturbation, set_perturbation, Perturbation};
 pub use queue::{CalendarQueue, OrderKey};
 pub use stats::ProcStats;
 pub use time::{SimDuration, SimTime};

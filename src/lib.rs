@@ -5,6 +5,7 @@
 //! Experiments". See `DESIGN.md` at the repository root for the system
 //! inventory and the per-experiment index.
 
+pub use hpcbd_check as check;
 pub use hpcbd_cluster as cluster;
 pub use hpcbd_core as core;
 pub use hpcbd_metrics as metrics;
