@@ -42,6 +42,35 @@ fn digest(s: &str) -> u64 {
     h
 }
 
+/// Per-simulated-process memory overhead, measured as the VmHWM delta
+/// across a run of `procs` trivial processes divided by `procs`. Each
+/// process still gets the full treatment — a coroutine stack, a wake
+/// slot, a grant — so the number tracks what a 48k-process Comet run
+/// actually charges per rank. Linux-only (`/proc/self/status`); returns
+/// `None` elsewhere. Must run *before* the measurement cases: VmHWM is
+/// a high-water mark, so anything bigger run first would mask the delta.
+fn proc_mem_probe(procs: u32) -> Option<(u64, u64)> {
+    fn vm_hwm_kib() -> Option<u64> {
+        let status = std::fs::read_to_string("/proc/self/status").ok()?;
+        let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+        line.split_whitespace().nth(1)?.parse().ok()
+    }
+    let before = vm_hwm_kib()?;
+    let nodes = 64u32;
+    let mut sim = hpcbd_simnet::Sim::new(hpcbd_simnet::Topology::comet(nodes));
+    for i in 0..procs {
+        sim.spawn(
+            hpcbd_simnet::NodeId(i % nodes),
+            format!("probe-{i}"),
+            |_ctx| {},
+        );
+    }
+    sim.run();
+    let after = vm_hwm_kib()?;
+    let delta_kib = after.saturating_sub(before);
+    Some((delta_kib, delta_kib * 1024 / procs as u64))
+}
+
 struct Measurement {
     artifact: &'static str,
     scale: &'static str,
@@ -176,6 +205,17 @@ fn main() {
         return;
     }
 
+    // Probe first (VmHWM only rises); 8192 processes is enough to
+    // swamp the baseline yet costs well under a second.
+    let probe_procs = 8192u32;
+    let proc_mem = proc_mem_probe(probe_procs);
+    match proc_mem {
+        Some((delta_kib, per_proc)) => eprintln!(
+            "  proc_mem: {probe_procs} procs, VmHWM delta {delta_kib} KiB, {per_proc} B/proc"
+        ),
+        None => eprintln!("  proc_mem: unavailable (no /proc/self/status)"),
+    }
+
     let mut measurements = Vec::new();
     // Note: `--report` forces tracing on inside the engine, perturbing
     // the wall-clock numbers — use it to inspect phases, not to compare
@@ -213,6 +253,17 @@ fn main() {
     json.push_str("  \"schema\": 1,\n");
     let _ = writeln!(json, "  \"host_cores\": {host_cores},");
     let _ = writeln!(json, "  \"parallel_threads\": {threads},");
+    // Top-level, not a results row: the trajectory gate iterates
+    // `results` expecting wall-clock fields.
+    match proc_mem {
+        Some((delta_kib, per_proc)) => {
+            let _ = writeln!(
+                json,
+                "  \"proc_mem\": {{\"procs\": {probe_procs}, \"vm_hwm_delta_kib\": {delta_kib}, \"per_proc_bytes\": {per_proc}}},"
+            );
+        }
+        None => json.push_str("  \"proc_mem\": null,\n"),
+    }
     json.push_str("  \"results\": [\n");
     for (i, m) in measurements.iter().enumerate() {
         let _ = write!(

@@ -332,6 +332,88 @@ impl MpiRank<'_> {
         out
     }
 
+    /// Sparse personalized all-to-all (MPI_Alltoallv for mostly-empty
+    /// send matrices), via the Bruck rotation.
+    ///
+    /// `items` is this rank's outgoing traffic as `(dst, payload)` pairs;
+    /// the result is the incoming traffic as `(src, payload)` pairs, in
+    /// unspecified order. Semantically equivalent to [`MpiRank::alltoall`]
+    /// with empty chunks for silent destinations, but the cost scales as
+    /// O(log n) messages per rank instead of O(n): round `k` forwards to
+    /// rank `me + 2^k (mod n)` every held item whose remaining hop
+    /// distance `(dst - me) mod n` has bit `k` set, so each item reaches
+    /// its destination in at most ⌈log₂ n⌉ hops and each rank exchanges
+    /// exactly one (possibly empty) message per round. At a full Comet
+    /// (47,616 ranks) that is 16 messages per rank where the dense
+    /// exchange would send 47,615 — the difference between a feasible and
+    /// an O(n²)-message PageRank edge exchange. Works for any
+    /// communicator size, including non-powers-of-two. Fully
+    /// synchronizing: every rank participates in every round.
+    pub fn alltoallv_sparse<T: MpiScalar>(
+        &mut self,
+        items: Vec<(u32, Vec<T>)>,
+    ) -> Vec<(u32, Vec<T>)> {
+        let tag = self.next_coll_tag();
+        let n = self.size();
+        let me = self.rank();
+        self.ctx.span_open("mpi/alltoallv_sparse");
+        let mut mine: Vec<(u32, Vec<T>)> = Vec::new();
+        // In-flight routing state: (origin, destination, payload).
+        let mut held: Vec<(u32, u32, Vec<T>)> = Vec::new();
+        for (dst, v) in items {
+            assert!(dst < n, "alltoallv_sparse destination {dst} out of range");
+            if dst == me {
+                mine.push((me, v));
+            } else {
+                held.push((me, dst, v));
+            }
+        }
+        let mut k = 0u32;
+        while (1u64 << k) < n as u64 {
+            let offset = 1u32 << k;
+            let to = (me + offset) % n;
+            let from = (me + n - offset) % n;
+            let (batch, keep): (Vec<_>, Vec<_>) = held
+                .into_iter()
+                .partition(|&(_, dst, _)| ((dst + n - me) % n) & offset != 0);
+            held = keep;
+            // Wire size: payload elements plus an 8-byte routing header
+            // per item (origin + destination).
+            let bytes: u64 = batch
+                .iter()
+                .map(|(_, _, v)| v.len() as u64 * T::BYTES + 8)
+                .sum();
+            let bytes = (bytes as f64 * self.bytes_scale) as u64;
+            let tr = *self.transport_to(to);
+            let pid = self.map.pid(to);
+            self.ctx
+                .send(pid, tag, bytes, hpcbd_simnet::Payload::value(batch), &tr);
+            let spec = hpcbd_simnet::MatchSpec {
+                src: Some(self.map.pid(from)),
+                tag: Some(tag),
+            };
+            let msg = self.ctx.recv(spec);
+            let received = msg.expect_value::<Vec<(u32, u32, Vec<T>)>>();
+            let mut elems = 0usize;
+            for (src, dst, v) in received.iter() {
+                elems += v.len();
+                if *dst == me {
+                    mine.push((*src, v.clone()));
+                } else {
+                    held.push((*src, *dst, v.clone()));
+                }
+            }
+            // Repacking cost of the received batch.
+            if elems > 0 {
+                self.charge_elementwise::<T>(elems);
+            }
+            k += 1;
+        }
+        debug_assert!(held.is_empty(), "undelivered alltoallv_sparse items");
+        self.ctx.span_close();
+        mine
+    }
+
     /// MPI_Reduce_scatter_block: element-wise reduce of a `size *
     /// block`-element vector, rank `r` keeping block `r`. Implemented as
     /// the reduce-scatter phase of the ring (bandwidth-optimal).
@@ -547,6 +629,78 @@ mod tests {
             for (src, chunk) in rows.iter().enumerate() {
                 assert_eq!(chunk, &vec![src as u32 * 10 + me as u32]);
             }
+        }
+    }
+
+    #[test]
+    fn alltoallv_sparse_matches_dense_alltoall() {
+        // Every rank sends a distinct payload to every other rank; the
+        // Bruck rotation must deliver the same (src, payload) multiset
+        // the dense pairwise exchange produces, at every communicator
+        // size including non-powers-of-two.
+        for n in [1u32, 2, 3, 4, 5, 7, 8, 12] {
+            let out = mpirun(Placement::new(1, n), move |rank| {
+                let me = rank.rank();
+                let items: Vec<(u32, Vec<u32>)> =
+                    (0..n).map(|dst| (dst, vec![me * 100 + dst, me])).collect();
+                let mut got = rank.alltoallv_sparse(items);
+                got.sort();
+                got
+            });
+            for (me, got) in out.results.iter().enumerate() {
+                let expect: Vec<(u32, Vec<u32>)> = (0..n)
+                    .map(|src| (src, vec![src * 100 + me as u32, src]))
+                    .collect();
+                assert_eq!(got, &expect, "n={n} me={me}");
+            }
+        }
+    }
+
+    #[test]
+    fn alltoallv_sparse_handles_sparse_and_empty_traffic() {
+        // Only rank 0 sends (to the last rank); everyone else has no
+        // items but still participates in every round.
+        let n = 6u32;
+        let out = mpirun(Placement::new(2, 3), move |rank| {
+            let me = rank.rank();
+            let items: Vec<(u32, Vec<f64>)> = if me == 0 {
+                vec![(n - 1, vec![2.5, -1.0])]
+            } else {
+                Vec::new()
+            };
+            rank.alltoallv_sparse(items)
+        });
+        for (me, got) in out.results.iter().enumerate() {
+            if me as u32 == n - 1 {
+                assert_eq!(got, &vec![(0u32, vec![2.5, -1.0])]);
+            } else {
+                assert!(got.is_empty(), "rank {me} received unexpected items");
+            }
+        }
+    }
+
+    #[test]
+    fn alltoallv_sparse_self_items_and_composition() {
+        let out = mpirun(Placement::new(1, 5), |rank| {
+            let me = rank.rank();
+            // Self-addressed item plus one to the next rank; then another
+            // collective to confirm the tag counters stayed aligned.
+            let got = rank.alltoallv_sparse(vec![
+                (me, vec![me as i64]),
+                ((me + 1) % 5, vec![-(me as i64)]),
+            ]);
+            let s = rank.allreduce(ReduceOp::Sum, &[1.0f64]);
+            let mut got = got;
+            got.sort();
+            (got, s[0])
+        });
+        for (me, (got, s)) in out.results.iter().enumerate() {
+            let me = me as u32;
+            let prev = (me + 4) % 5;
+            let mut expect = vec![(me, vec![me as i64]), (prev, vec![-(prev as i64)])];
+            expect.sort();
+            assert_eq!(got, &expect);
+            assert_eq!(*s, 5.0);
         }
     }
 

@@ -1,12 +1,18 @@
 //! The conservative virtual-time execution engine.
 //!
-//! Every simulated process is an OS thread executing real Rust code. The
-//! engine enforces a single invariant: **whenever a process performs a
-//! simulation-visible operation (message send/delivery, disk
-//! reservation, sleep), it is the process with the minimum virtual clock
-//! among all runnable processes, and those commit windows are totally
-//! ordered.** The commit token is passed through per-process condition
-//! variables; the ready queue is a calendar bucket queue
+//! Every simulated process is a stackful coroutine ([`crate::coro`])
+//! executing real Rust code — a few hundred KiB of lazily-paged stack
+//! instead of the 2 MiB OS thread of earlier versions, which is what
+//! lets a full SDSC Comet (1984 nodes x 24 ≈ 48k processes) run on a
+//! laptop-class host. The engine enforces a single invariant:
+//! **whenever a process performs a simulation-visible operation
+//! (message send/delivery, disk reservation, sleep), it is the process
+//! with the minimum virtual clock among all runnable processes, and
+//! those commit windows are totally ordered.** The commit token is
+//! passed through explicit per-process wakers: a wake stores the grant
+//! in the process's slot and enqueues its coroutine on the worker
+//! resume queue; parking is an in-process context switch, not a condvar
+//! wait. The ready queue is a calendar bucket queue
 //! ([`crate::queue::CalendarQueue`]) ordered by
 //! `(virtual time, pid, generation)`, a key chosen to be independent of
 //! the wall-clock order in which entries are pushed — which is what lets
@@ -150,31 +156,43 @@ enum Status {
     Done,
 }
 
+/// Per-process waker slot. A wake stores the grant value; `parked`
+/// tracks whether the process's coroutine is suspended and therefore
+/// needs a resume-queue push to observe it (see [`Engine::wake`]).
 struct Slot {
-    m: Mutex<Option<(SimTime, WakeReason)>>,
-    cv: Condvar,
+    m: Mutex<SlotState>,
+}
+
+struct SlotState {
+    value: Option<(SimTime, WakeReason)>,
+    /// True while the coroutine is suspended with no pending value — the
+    /// state in which a wake must enqueue it for resumption. Starts true:
+    /// a coroutine first runs when its first wake enqueues it.
+    parked: bool,
 }
 
 impl Slot {
     fn new() -> Slot {
         Slot {
-            m: Mutex::new(None),
-            cv: Condvar::new(),
+            m: Mutex::new(SlotState {
+                value: None,
+                parked: true,
+            }),
         }
     }
 
-    fn wake(&self, clock: SimTime, reason: WakeReason) {
-        let mut g = self.m.lock();
-        *g = Some((clock, reason));
-        self.cv.notify_one();
-    }
-
+    /// Wait (in the coroutine sense) until a wake value is available.
+    /// Must run inside this process's coroutine. If the value raced in
+    /// between the caller's last visible operation and this park, it is
+    /// consumed without suspending at all — the fast path that replaces
+    /// the old condvar's wake-before-wait case.
     fn park(&self) -> (SimTime, WakeReason) {
-        let mut g = self.m.lock();
-        while g.is_none() {
-            self.cv.wait(&mut g);
+        loop {
+            if let Some(v) = self.m.lock().value.take() {
+                return v;
+            }
+            crate::coro::suspend();
         }
-        g.take().unwrap()
     }
 }
 
@@ -262,10 +280,44 @@ struct Engine {
     /// basis of faulty-run bit-determinism. Only advanced when the plan
     /// actually enables drops.
     fault_seq: AtomicU64,
-    done: Condvar,
+    /// Coroutines ready to be resumed by a worker. Lock order: `sched`
+    /// and a slot lock may be held when taking this lock, never the
+    /// reverse.
+    resume: Mutex<ResumeQ>,
+    resume_cv: Condvar,
+}
+
+/// The worker pool's resume queue: pids whose coroutines have a pending
+/// wake value and await a worker.
+struct ResumeQ {
+    q: std::collections::VecDeque<Pid>,
+    /// Set once the last process finished (or a worker spawn failed);
+    /// workers exit when the queue is drained.
+    shutdown: bool,
 }
 
 impl Engine {
+    /// Hand `pid` a wake value, enqueuing its coroutine for resumption
+    /// if it is parked. If the coroutine is currently running (e.g. it
+    /// granted itself between pushing its ready-queue entry and
+    /// parking), the value alone suffices: its park loop consumes it
+    /// without suspending, or its worker re-enqueues it at switch-out.
+    fn wake(&self, pid: Pid, clock: SimTime, reason: WakeReason) {
+        let mut s = self.shards[pid.index()].slot.m.lock();
+        debug_assert!(s.value.is_none(), "second wake before {pid} parked");
+        s.value = Some((clock, reason));
+        if s.parked {
+            s.parked = false;
+            drop(s);
+            self.enqueue_resume(pid);
+        }
+    }
+
+    fn enqueue_resume(&self, pid: Pid) {
+        let mut q = self.resume.lock();
+        q.q.push_back(pid);
+        self.resume_cv.notify_one();
+    }
     /// Grant the commit token to the next runnable process if the
     /// conservative frontier allows it; otherwise detect completion or
     /// deadlock. Caller holds the sched lock. Idempotent: safe to call
@@ -325,7 +377,7 @@ impl Engine {
             g.turn = Some(cand.pid);
             let clock = p.clock;
             let reason = p.wake_reason;
-            self.shards[cand.pid.index()].slot.wake(clock, reason);
+            self.wake(cand.pid, clock, reason);
             return;
         }
         // Nothing grantable. With compute still in flight this is a
@@ -345,18 +397,21 @@ impl Engine {
                     ));
                 }
             }
+            let mut doomed = Vec::new();
             for (i, p) in g.procs.iter_mut().enumerate() {
                 if matches!(p.status, Status::Blocked { .. }) {
                     p.status = Status::Running;
                     p.wake_reason = WakeReason::Deadlock;
-                    self.shards[i].slot.wake(p.clock, WakeReason::Deadlock);
+                    doomed.push((Pid(i as u32), p.clock));
                 }
+            }
+            for (pid, clock) in doomed {
+                self.wake(pid, clock, WakeReason::Deadlock);
             }
             // Stash the diagnostic through the panics channel.
             g.panics
                 .push((Pid(u32::MAX), format!("deadlock: {diag}"), true));
         }
-        self.done.notify_all();
     }
 
     /// Deliver a message, waking the destination if it is blocked on a
@@ -1334,24 +1389,32 @@ impl Sim {
             nfs_free: Mutex::new(SimTime::ZERO),
             dropped_msgs: AtomicU64::new(0),
             fault_seq: AtomicU64::new(0),
-            done: Condvar::new(),
+            resume: Mutex::new(ResumeQ {
+                q: std::collections::VecDeque::new(),
+                shutdown: false,
+            }),
+            resume_cv: Condvar::new(),
         });
 
         type ResultSlots = Vec<Option<Box<dyn Any + Send>>>;
         let results: Arc<Mutex<ResultSlots>> = Arc::new(Mutex::new((0..n).map(|_| None).collect()));
 
-        let mut handles = Vec::with_capacity(n);
-        for (i, spawn) in self.spawns.into_iter().enumerate() {
-            let pid = Pid(i as u32);
-            let engine = engine.clone();
-            let world = self.world.clone();
-            let proc_nodes = proc_nodes.clone();
-            let results = results.clone();
-            let perturb = perturb.clone();
-            let handle = std::thread::Builder::new()
-                .name(format!("sim-{}", spawn.name))
-                .stack_size(1 << 21)
-                .spawn(move || {
+        // One coroutine per process, each running the full process body
+        // on its own lazily-paged stack. Bodies start suspended; the
+        // scheduler's first wake enqueues them on the resume queue.
+        let specs: Vec<(String, Box<dyn FnOnce() + Send>)> = self
+            .spawns
+            .into_iter()
+            .enumerate()
+            .map(|(i, spawn)| {
+                let pid = Pid(i as u32);
+                let engine = engine.clone();
+                let world = self.world.clone();
+                let proc_nodes = proc_nodes.clone();
+                let results = results.clone();
+                let perturb = perturb.clone();
+                let name = spawn.name;
+                let body: Box<dyn FnOnce() + Send> = Box::new(move || {
                     // Wait for the first grant.
                     let (clock, reason) = engine.shards[pid.index()].slot.park();
                     let tracing = world.trace.get().is_some();
@@ -1392,12 +1455,14 @@ impl Sim {
                             finish_proc(&engine, &mut ctx, Some((msg, was_deadlock)));
                         }
                     }
-                })
-                .expect("spawn simulation thread");
-            handles.push(handle);
-        }
+                });
+                (name, body)
+            })
+            .collect();
+        let coros = crate::coro::Coroutines::build(specs);
 
-        // Enqueue every process at its start time and wait for the end.
+        // Enqueue every process at its start time and kick off the first
+        // grant; it lands on the resume queue the workers drain below.
         {
             let mut g = engine.sched.lock();
             for i in 0..n {
@@ -1405,13 +1470,44 @@ impl Sim {
                 Sched::push(&mut g, Pid(i as u32), t);
             }
             engine.try_dispatch(&mut g);
-            while g.live > 0 {
-                engine.done.wait(&mut g);
-            }
         }
-        for h in handles {
-            let _ = h.join();
+
+        // Worker pool. The old engine ran every process on its own OS
+        // thread but the frontier rule capped concurrency at the token
+        // holder plus `threads` in-flight compute segments — so that is
+        // exactly the worker count. Sequential mode runs the single
+        // worker on the calling thread: zero thread spawns per run.
+        let workers = match self.exec {
+            Execution::Sequential => 1,
+            Execution::Parallel { threads } => threads.saturating_add(1).min(512).min(n),
+        };
+        if workers <= 1 {
+            worker_loop(&engine, &coros);
+        } else {
+            std::thread::scope(|scope| {
+                for w in 1..workers {
+                    let engine = &engine;
+                    let coros = &coros;
+                    let spawned = std::thread::Builder::new()
+                        .name(format!("sim-worker-{w}"))
+                        .spawn_scoped(scope, move || worker_loop(engine, coros));
+                    if let Err(e) = spawned {
+                        // Let the already-spawned workers drain and exit
+                        // before unwinding, or the scope join would hang.
+                        let mut q = engine.resume.lock();
+                        q.shutdown = true;
+                        engine.resume_cv.notify_all();
+                        drop(q);
+                        panic!(
+                            "failed to spawn engine worker thread {w} of {workers} \
+                             for {n} simulated processes: {e}"
+                        );
+                    }
+                }
+                worker_loop(&engine, &coros);
+            });
         }
+        drop(coros);
 
         let g = engine.sched.lock();
         // Report application panics first; deadlock only if nothing else.
@@ -1516,8 +1612,51 @@ fn finish_proc(engine: &Arc<Engine>, ctx: &mut ProcCtx, panic_info: Option<(Stri
     }
     g.live -= 1;
     if g.live == 0 {
-        engine.done.notify_all();
+        // Last process: signal the worker pool to exit once the queue
+        // drains. This coroutine performs no further visible operation
+        // (its results are already stored), so it runs straight to
+        // completion and its worker observes the shutdown.
+        let mut q = engine.resume.lock();
+        q.shutdown = true;
+        engine.resume_cv.notify_all();
     } else if !g.deadlocked {
         engine.try_dispatch(&mut g);
+    }
+}
+
+/// Drain the resume queue, running each popped coroutine until its next
+/// suspension. Runs on the calling thread in sequential mode and on the
+/// fixed worker pool in parallel mode; exits when the queue is empty
+/// after shutdown was signalled.
+fn worker_loop(engine: &Engine, coros: &crate::coro::Coroutines) {
+    loop {
+        let pid = {
+            let mut q = engine.resume.lock();
+            loop {
+                if let Some(pid) = q.q.pop_front() {
+                    break pid;
+                }
+                if q.shutdown {
+                    return;
+                }
+                engine.resume_cv.wait(&mut q);
+            }
+        };
+        match coros.resume(pid.index()) {
+            crate::coro::SwitchOut::Done => {}
+            crate::coro::SwitchOut::Parked => {
+                // Publish the parked state — or, if a wake raced in
+                // between the coroutine's last value check and its
+                // context save, re-enqueue it ourselves (the waker saw
+                // `parked == false` and deliberately left that to us).
+                let mut s = engine.shards[pid.index()].slot.m.lock();
+                if s.value.is_some() {
+                    drop(s);
+                    engine.enqueue_resume(pid);
+                } else {
+                    s.parked = true;
+                }
+            }
+        }
     }
 }

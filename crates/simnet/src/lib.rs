@@ -3,8 +3,9 @@
 //! This crate is the substrate of the `hpcbd` study: a conservative
 //! discrete-event engine on which mini implementations of MPI, OpenMP,
 //! OpenSHMEM, HDFS, Hadoop MapReduce and Spark all execute. Simulated
-//! processes are OS threads running *real* Rust code; the time they are
-//! charged comes from explicit cost models for computation
+//! processes are stackful coroutines running *real* Rust code on small
+//! lazily-paged stacks (a full 48k-process Comet fits on a laptop); the
+//! time they are charged comes from explicit cost models for computation
 //! ([`Work`]/[`RuntimeClass`]), network transports ([`Transport`]), and
 //! storage devices ([`topology::DiskSpec`]).
 //!
@@ -50,6 +51,7 @@
 
 #![warn(missing_docs)]
 
+mod coro;
 pub mod cost;
 pub mod dataset;
 pub mod engine;

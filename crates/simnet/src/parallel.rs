@@ -74,14 +74,42 @@ impl Execution {
 
     /// Parse the `HPCBD_EXECUTION` environment variable:
     /// `sequential` (default), `parallel` (auto-sized), or `parallel:N`.
+    ///
+    /// A malformed value falls back to [`Execution::Sequential`], but not
+    /// silently: a one-time stderr warning names the rejected value, so a
+    /// typo like `paralell:4` cannot quietly benchmark the wrong mode.
     pub fn from_env() -> Execution {
-        match std::env::var("HPCBD_EXECUTION") {
-            Ok(v) => Execution::parse(&v).unwrap_or(Execution::Sequential),
-            Err(_) => Execution::Sequential,
+        let (exec, rejected) = Execution::from_env_value(std::env::var("HPCBD_EXECUTION").ok());
+        if let Some(bad) = rejected {
+            static WARN_ONCE: std::sync::Once = std::sync::Once::new();
+            WARN_ONCE.call_once(|| {
+                eprintln!(
+                    "warning: unrecognized HPCBD_EXECUTION value {bad:?} \
+                     (expected `sequential`, `parallel`, or `parallel:N`); \
+                     falling back to sequential execution"
+                );
+            });
+        }
+        exec
+    }
+
+    /// Resolve an `HPCBD_EXECUTION` value (or its absence) to a mode plus,
+    /// when the value was malformed, the value to warn about. Split from
+    /// [`Execution::from_env`] so the fallback is testable without
+    /// touching the process environment or capturing stderr.
+    fn from_env_value(v: Option<String>) -> (Execution, Option<String>) {
+        match v {
+            Some(v) => match Execution::parse(&v) {
+                Some(e) => (e, None),
+                None => (Execution::Sequential, Some(v)),
+            },
+            None => (Execution::Sequential, None),
         }
     }
 
-    /// Parse `sequential` / `seq`, `parallel` / `par`, or `parallel:N`.
+    /// Parse `sequential` / `seq`, `parallel` / `par`, or `parallel:N`
+    /// with `N >= 1` (a zero-thread pool is meaningless and rejected;
+    /// whitespace around the mode or the thread count is tolerated).
     pub fn parse(s: &str) -> Option<Execution> {
         let s = s.trim();
         match s {
@@ -91,8 +119,12 @@ impl Execution {
                 let threads = s
                     .strip_prefix("parallel:")
                     .or_else(|| s.strip_prefix("par:"))?
+                    .trim()
                     .parse::<usize>()
                     .ok()?;
+                if threads == 0 {
+                    return None;
+                }
                 Some(Execution::Parallel { threads })
             }
         }
@@ -137,6 +169,64 @@ mod tests {
             Some(Execution::Parallel { .. })
         ));
         assert_eq!(Execution::parse("bogus"), None);
+    }
+
+    #[test]
+    fn parse_rejects_zero_threads() {
+        assert_eq!(Execution::parse("parallel:0"), None);
+        assert_eq!(Execution::parse("par:0"), None);
+        assert_eq!(Execution::parse(" parallel:0 "), None);
+    }
+
+    #[test]
+    fn parse_tolerates_whitespace() {
+        assert_eq!(
+            Execution::parse("  parallel:8\n"),
+            Some(Execution::Parallel { threads: 8 })
+        );
+        assert_eq!(
+            Execution::parse("parallel: 8"),
+            Some(Execution::Parallel { threads: 8 })
+        );
+        assert_eq!(Execution::parse("\tseq "), Some(Execution::Sequential));
+    }
+
+    #[test]
+    fn parse_bounds_thread_counts() {
+        assert_eq!(
+            Execution::parse(&format!("parallel:{}", usize::MAX)),
+            Some(Execution::Parallel {
+                threads: usize::MAX
+            })
+        );
+        // One past usize::MAX overflows the parse and is rejected, not
+        // wrapped or clamped to something surprising.
+        assert_eq!(Execution::parse("parallel:18446744073709551616"), None);
+        assert_eq!(Execution::parse("parallel:-1"), None);
+        assert_eq!(Execution::parse("parallel:"), None);
+        assert_eq!(Execution::parse("parallel:4x"), None);
+    }
+
+    #[test]
+    fn env_fallback_reports_the_malformed_value() {
+        // Well-formed values pass through without a warning.
+        let (e, warn) = Execution::from_env_value(Some("parallel:4".into()));
+        assert_eq!(e, Execution::Parallel { threads: 4 });
+        assert_eq!(warn, None);
+        // Absent variable: sequential, nothing to warn about.
+        assert_eq!(
+            Execution::from_env_value(None),
+            (Execution::Sequential, None)
+        );
+        // The classic typo falls back to sequential but surfaces the
+        // offending value for the one-time warning.
+        let (e, warn) = Execution::from_env_value(Some("paralell:4".into()));
+        assert_eq!(e, Execution::Sequential);
+        assert_eq!(warn.as_deref(), Some("paralell:4"));
+        // So does a zero thread count.
+        let (e, warn) = Execution::from_env_value(Some("parallel:0".into()));
+        assert_eq!(e, Execution::Sequential);
+        assert_eq!(warn.as_deref(), Some("parallel:0"));
     }
 
     #[test]

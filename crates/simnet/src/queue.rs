@@ -389,6 +389,44 @@ mod tests {
                 }
                 prop_assert!(cal.is_empty());
             }
+
+            /// Bucket-index and year-window arithmetic near the end of
+            /// the clock. Recv deadlines sit at `u64::MAX - delta`, so
+            /// `locate_min`'s `last / width + 1` year bound is one step
+            /// from overflowing u64 (hence the u128 there) and
+            /// `bucket_of`'s division lands in the last "year" of the
+            /// calendar. Mix far-end keys with small ones and check the
+            /// pop order against the heap oracle — including pops taken
+            /// *between* pushes, which move the cursor (`last`) to the
+            /// far end and exercise the overflow-prone sweep directly.
+            #[test]
+            fn survives_deadlines_near_u64_max(
+                // sel < 4: push near u64::MAX; sel == 4: push small;
+                // sel > 4: pop. Heavier far-end weighting on purpose.
+                ops in collection::vec((0u8..7, 0u64..5000, 0u32..16, 0u64..8), 1..200),
+            ) {
+                let mut cal = CalendarQueue::new();
+                let mut heap: BinaryHeap<Reverse<OrderKey>> = BinaryHeap::new();
+                for &(sel, delta, pid, gen) in &ops {
+                    if sel < 5 {
+                        let time = if sel < 4 { u64::MAX - delta } else { delta };
+                        let key = OrderKey {
+                            time: SimTime(time),
+                            pid: Pid(pid),
+                            gen,
+                        };
+                        cal.push(key);
+                        heap.push(Reverse(key));
+                    } else {
+                        prop_assert_eq!(cal.peek_min(), heap.peek().map(|r| r.0));
+                        prop_assert_eq!(cal.pop_min(), heap.pop().map(|r| r.0));
+                    }
+                }
+                while let Some(expect) = heap.pop() {
+                    prop_assert_eq!(cal.pop_min(), Some(expect.0));
+                }
+                prop_assert!(cal.is_empty());
+            }
         }
     }
 }
