@@ -10,8 +10,9 @@
 //! diffs the `--quick` output of sequential vs parallel runs verbatim.
 
 use hpcbd_cluster::Placement;
-use hpcbd_minimpi::{mpirun_faulty, Checkpointer, FaultPolicy, ReduceOp};
+use hpcbd_minimpi::{mpirun_faulty, CheckpointMode, Checkpointer, FaultPolicy, ReduceOp};
 use hpcbd_minmapreduce::{InputFormat, JobConf, MrJobBuilder};
+use hpcbd_minshmem::{shmem_run_faulty, PeCtx, ShmemCheckpointer};
 use hpcbd_minspark::{ShuffleEngine, SparkCluster, SparkConfig};
 use hpcbd_simnet::{FaultPlan, NodeId, SimDuration, SimTime, Work};
 use std::sync::Arc;
@@ -195,6 +196,169 @@ fn run_mr(nodes: u32, blocks: u64, scale: f64, plan: FaultPlan) -> f64 {
     builder.run(nodes).elapsed.as_secs_f64()
 }
 
+// ------------------------------------------ A4c: coordinated vs async --
+
+/// One semantic checkpoint-mode data point: virtual seconds, the final
+/// state value (for oracle comparison), and iterations replayed.
+struct CkptPoint {
+    secs: f64,
+    state: u64,
+    replayed: u64,
+}
+
+/// Iterative MPI job whose *state* is checkpointed (payload capture) and
+/// restored semantically on failure: lost iterations are re-executed by
+/// the main loop from the restored value, so the final state proves the
+/// restart read the last *durable* checkpoint.
+fn run_mpi_ckpt(
+    placement: Placement,
+    iters: u32,
+    interval: u32,
+    mode: CheckpointMode,
+    plan: FaultPlan,
+) -> CkptPoint {
+    let out = mpirun_faulty(placement, plan, move |rank| {
+        let per_iter = Work::new(2.0e8, 8.0e8);
+        let stall = SimDuration::from_secs(4);
+        let mut ck = Checkpointer::new(interval, 24u64 << 20).with_mode(mode);
+        let mut state = 0u64;
+        let mut replayed = 0u64;
+        let mut iter = 0;
+        while iter < iters {
+            rank.ctx().compute(per_iter, 1.0);
+            let r = rank.allreduce(ReduceOp::Sum, &[f64::from(iter + 1)]);
+            state = state.wrapping_add((r[0] as u64).wrapping_mul(u64::from(iter) + 1));
+            ck.after_iteration_with(rank, iter, || state);
+            if ck.poll_plan_failure(
+                rank,
+                FaultPolicy::Restart {
+                    relaunch_stall: stall,
+                },
+            ) {
+                let resume = ck.restart_semantic(rank, stall, iter + 1);
+                replayed += u64::from(iter + 1 - resume);
+                state = ck.restore_payload::<u64>(resume).unwrap_or(0);
+                iter = resume;
+                continue;
+            }
+            iter += 1;
+        }
+        (rank.now().as_secs_f64(), state, replayed)
+    });
+    fold_points(&out.results)
+}
+
+/// The SHMEM mirror of [`run_mpi_ckpt`]: state evolves over
+/// `sum_to_all`, checkpoints drain through the symmetric heap's node
+/// disks, restart agreement goes through an allgather.
+fn run_shmem_ckpt(
+    placement: Placement,
+    iters: u32,
+    interval: u32,
+    mode: CheckpointMode,
+    plan: FaultPlan,
+) -> CkptPoint {
+    let out = shmem_run_faulty(placement, plan, move |pe: &mut PeCtx| {
+        let per_iter = Work::new(2.0e8, 8.0e8);
+        let stall = SimDuration::from_secs(4);
+        let mut ck = ShmemCheckpointer::new(interval, 24u64 << 20).with_mode(mode);
+        let acc = pe.malloc::<f64>("a4c_acc", 1, 0.0);
+        let mut state = 0u64;
+        let mut replayed = 0u64;
+        let mut iter = 0;
+        while iter < iters {
+            pe.ctx().compute(per_iter, 1.0);
+            pe.local_write(&acc, 0, &[f64::from(iter + 1)]);
+            pe.sum_to_all(&acc);
+            let v = pe.local_clone(&acc)[0];
+            state = state.wrapping_add((v as u64).wrapping_mul(u64::from(iter) + 1));
+            ck.after_iteration_with(pe, iter, || state);
+            if ck.poll_plan_failure(
+                pe,
+                FaultPolicy::Restart {
+                    relaunch_stall: stall,
+                },
+            ) {
+                let resume = ck.restart_semantic(pe, stall, iter + 1);
+                replayed += u64::from(iter + 1 - resume);
+                state = ck.restore_payload::<u64>(resume).unwrap_or(0);
+                iter = resume;
+                continue;
+            }
+            iter += 1;
+        }
+        pe.free(acc);
+        (pe.now().as_secs_f64(), state, replayed)
+    });
+    fold_points(&out.results)
+}
+
+/// Collapse per-process `(secs, state, replayed)` tuples: slowest clock
+/// wins, states must agree (they are allreduce-derived), replay sums.
+fn fold_points(results: &[(f64, u64, u64)]) -> CkptPoint {
+    let secs = results.iter().map(|r| r.0).fold(0.0, f64::max);
+    let state = results[0].1;
+    assert!(
+        results.iter().all(|r| r.1 == state),
+        "collective-derived state must agree across processes"
+    );
+    CkptPoint {
+        secs,
+        state,
+        replayed: results.iter().map(|r| r.2).sum(),
+    }
+}
+
+/// The A4c table: coordinated vs asynchronous checkpointing at equal
+/// interval, fault-free and under a node crash, for MPI and SHMEM.
+fn a4c_async_ckpt(placement: Placement, iters: u32, interval: u32) {
+    println!();
+    println!(
+        "A4c — coordinated vs async checkpointing (interval {interval}, {} iters):",
+        iters
+    );
+    println!(
+        "{:<8} {:<12} {:>12} {:>20} {:>9} {:>7}",
+        "runtime", "ckpt mode", "clean", "node-crash @55%", "replayed", "result"
+    );
+    type Runner = fn(Placement, u32, u32, CheckpointMode, FaultPlan) -> CkptPoint;
+    let runners: [(&str, Runner); 2] = [("mpi", run_mpi_ckpt), ("shmem", run_shmem_ckpt)];
+    for (name, run) in runners {
+        for mode in [CheckpointMode::Coordinated, CheckpointMode::Async] {
+            let clean = run(placement, iters, interval, mode, FaultPlan::new(7));
+            let crash_at = SimTime((clean.secs * 0.55 * 1e9) as u64);
+            let plan = FaultPlan::new(7).crash_node(NodeId(1), crash_at);
+            let faulty = run(placement, iters, interval, mode, plan);
+            let ok = faulty.state == clean.state;
+            assert!(
+                ok,
+                "{name}/{mode:?}: restart must reproduce the fault-free state \
+                 (got {}, oracle {})",
+                faulty.state, clean.state
+            );
+            println!(
+                "{:<8} {:<12} {:>11.3}s {:>10.3}s ({:+6.1}%) {:>9} {:>7}",
+                name,
+                match mode {
+                    CheckpointMode::Coordinated => "coordinated",
+                    CheckpointMode::Async => "async",
+                },
+                clean.secs,
+                faulty.secs,
+                (faulty.secs / clean.secs - 1.0) * 100.0,
+                faulty.replayed,
+                if ok { "ok" } else { "CORRUPT" }
+            );
+        }
+    }
+    println!();
+    println!("shape: at equal interval the async mode's steady-state (clean) cost");
+    println!("is lower — the drain overlaps later iterations instead of stopping");
+    println!("the world — while restart still lands on the last checkpoint whose");
+    println!("background drain had fully reached the disk before the crash (a");
+    println!("mid-drain crash forfeits that snapshot and replays further back).");
+}
+
 // --------------------------------------------------------------- main --
 
 /// Crash time for a paradigm: `frac` through the clean runtime, offset
@@ -295,5 +459,7 @@ fn main() {
         println!("BSP-style MPI most (every allreduce waits); speculation caps the");
         println!("damage for Spark and MapReduce. Message drops cost retransmits");
         println!("everywhere but trigger no recovery protocol.");
+
+        a4c_async_ckpt(placement, iters, interval);
     });
 }

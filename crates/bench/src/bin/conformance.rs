@@ -1,6 +1,7 @@
 //! `conformance` — the determinism gate CI actually runs.
 //!
-//! Three subcommands (see DESIGN.md §11 for the underlying model):
+//! Four subcommands (see DESIGN.md §11 and §13 for the underlying
+//! model):
 //!
 //! * `conformance gate [--bless] [--golden DIR]` — recompute every
 //!   bench bin's `--quick` output by invoking the sibling release
@@ -17,6 +18,13 @@
 //! * `conformance lint [--pipeline ...]` — run the determinism lint
 //!   matrix (thread sweep, shuffled polling, allocator poisoning) over
 //!   the same pipelines.
+//! * `conformance campaign [--seed N] [--campaigns N] [--plan-out PATH]`
+//!   — run the seeded fault-campaign explorer (`hpcbd-check`): first a
+//!   self-test that plants [`hpcbd_minimpi::RecoveryBug`] and demands
+//!   the harness catch the silent corruption (with a shrunk minimal
+//!   plan), then N adversarial campaigns per runtime (MPI, SHMEM,
+//!   Spark) under both execution modes, each of which must end
+//!   digest-equal to the fault-free oracle or in a structured abort.
 //!
 //! Exit status is the gate verdict: 0 clean, 1 divergence/mismatch,
 //! 2 usage or environment error.
@@ -60,12 +68,13 @@ const CROSS_MODE: &[&str] = &["fig6", "ablation_fault_sweep"];
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: conformance <gate|explore|lint> [options]\n\
+        "usage: conformance <gate|explore|lint|campaign> [options]\n\
          \n\
-         gate    [--bless] [--golden DIR]\n\
-         explore [--seed N] [--schedules N] [--threads N]\n\
-         \x20       [--pipeline fig3|fig6|fault|all] [--repro-out PATH]\n\
-         lint    [--pipeline fig3|fig6|fault|all]"
+         gate     [--bless] [--golden DIR]\n\
+         explore  [--seed N] [--schedules N] [--threads N]\n\
+         \x20        [--pipeline fig3|fig6|fault|all] [--repro-out PATH]\n\
+         lint     [--pipeline fig3|fig6|fault|all]\n\
+         campaign [--seed N] [--campaigns N] [--plan-out PATH]"
     );
     ExitCode::from(2)
 }
@@ -83,6 +92,7 @@ fn main() -> ExitCode {
         Some("gate") => gate(&args[1..]),
         Some("explore") => explore(&args[1..]),
         Some("lint") => lint(&args[1..]),
+        Some("campaign") => campaign(&args[1..]),
         _ => usage(),
     }
 }
@@ -425,6 +435,314 @@ fn lint(args: &[String]) -> ExitCode {
     }
     println!("conformance lint: clean");
     ExitCode::SUCCESS
+}
+
+// ------------------------------------------------------------ campaign
+
+/// The fault-campaign robustness gate (DESIGN.md §13). The campaign
+/// *generator, classifier and shrinker* live in `hpcbd-check`
+/// (dependency-light, simnet only); the concrete runtime workloads are
+/// composed here, where every runtime crate is in scope.
+mod campaign_workloads {
+    use hpcbd_check::{classify_run, CampaignOutcome, CampaignSpace};
+    use hpcbd_cluster::Placement;
+    use hpcbd_minimpi::{
+        mpirun_faulty, CheckpointMode, Checkpointer, FaultPolicy, RecoveryBug, ReduceOp,
+    };
+    use hpcbd_minshmem::{shmem_run_faulty, PeCtx, ShmemCheckpointer};
+    use hpcbd_minspark::{SparkCluster, SparkConfig};
+    use hpcbd_simnet::{FaultPlan, NodeId, SimDuration, SimTime, Work};
+
+    /// A runtime under campaign test: a name, the closure that runs it
+    /// under a plan, and the space of faults the generator may aim at
+    /// (derived from an oracle run).
+    pub struct Subject {
+        /// Runtime name (`mpi`, `shmem`, `spark`).
+        pub name: &'static str,
+        /// Fault-free oracle result.
+        pub oracle: u64,
+        /// What the generator may target.
+        pub space: CampaignSpace,
+        run: Box<dyn Fn(&FaultPlan) -> u64>,
+    }
+
+    impl Subject {
+        /// Classify one campaign run against the oracle.
+        pub fn classify(&self, plan: &FaultPlan) -> CampaignOutcome {
+            classify_run(&self.oracle, || (self.run)(plan))
+        }
+    }
+
+    /// Iterative MPI job with asynchronous checkpointing and semantic
+    /// restart; the state value is the digest. `bug` plants
+    /// [`RecoveryBug::RestartUndrained`] for the harness self-test.
+    fn mpi_job(
+        plan: &FaultPlan,
+        bug: Option<RecoveryBug>,
+    ) -> (u64, SimTime, Vec<(SimTime, SimTime)>) {
+        let plan = plan.clone();
+        let out = mpirun_faulty(Placement::new(2, 2), plan, move |rank| {
+            let work = Work::new(5.0e7, 0.0);
+            let stall = SimDuration::from_secs(1);
+            let mut ck = Checkpointer::new(2, 64 << 20).with_mode(CheckpointMode::Async);
+            if let Some(b) = bug {
+                ck = ck.with_planted_bug(b);
+            }
+            let mut state = 0u64;
+            let mut iter = 0u32;
+            while iter < 8 {
+                rank.ctx().compute(work, 1.0);
+                let r = rank.allreduce(ReduceOp::Sum, &[f64::from(iter + 1)]);
+                state = state.wrapping_add((r[0] as u64).wrapping_mul(u64::from(iter) + 1));
+                ck.after_iteration_with(rank, iter, || state);
+                if ck.poll_plan_failure(
+                    rank,
+                    FaultPolicy::Restart {
+                        relaunch_stall: stall,
+                    },
+                ) {
+                    let resume = ck.restart_semantic(rank, stall, iter + 1);
+                    state = ck.restore_payload::<u64>(resume).unwrap_or(0);
+                    iter = resume;
+                    continue;
+                }
+                iter += 1;
+            }
+            (state, rank.now(), ck.drain_windows())
+        });
+        let end = out.results.iter().map(|r| r.1).max().expect("ranks > 0");
+        (out.results[0].0, end, out.results[0].2.clone())
+    }
+
+    /// The SHMEM mirror of [`mpi_job`]: state over `sum_to_all`,
+    /// background drains through the symmetric heap's node disks.
+    fn shmem_job(plan: &FaultPlan) -> (u64, SimTime, Vec<(SimTime, SimTime)>) {
+        let plan = plan.clone();
+        let out = shmem_run_faulty(Placement::new(2, 2), plan, |pe: &mut PeCtx| {
+            let work = Work::new(5.0e7, 0.0);
+            let stall = SimDuration::from_secs(1);
+            let mut ck = ShmemCheckpointer::new(2, 64 << 20).with_mode(CheckpointMode::Async);
+            let acc = pe.malloc::<f64>("campaign_acc", 1, 0.0);
+            let mut state = 0u64;
+            let mut iter = 0u32;
+            while iter < 8 {
+                pe.ctx().compute(work, 1.0);
+                pe.local_write(&acc, 0, &[f64::from(iter + 1)]);
+                pe.sum_to_all(&acc);
+                let v = pe.local_clone(&acc)[0];
+                state = state.wrapping_add((v as u64).wrapping_mul(u64::from(iter) + 1));
+                ck.after_iteration_with(pe, iter, || state);
+                if ck.poll_plan_failure(
+                    pe,
+                    FaultPolicy::Restart {
+                        relaunch_stall: stall,
+                    },
+                ) {
+                    let resume = ck.restart_semantic(pe, stall, iter + 1);
+                    state = ck.restore_payload::<u64>(resume).unwrap_or(0);
+                    iter = resume;
+                    continue;
+                }
+                iter += 1;
+            }
+            pe.free(acc);
+            (state, pe.now(), ck.drain_windows())
+        });
+        let end = out.results.iter().map(|r| r.1).max().expect("pes > 0");
+        (out.results[0].0, end, out.results[0].2.clone())
+    }
+
+    /// Spark job whose digest folds the collected key/value pairs, so a
+    /// lineage recomputation that loses or duplicates data is visible.
+    fn spark_job(plan: &FaultPlan) -> (u64, SimTime) {
+        let config = SparkConfig {
+            executors_per_node: 1,
+            task_timeout: SimDuration::from_secs(5),
+            ..SparkConfig::default()
+        };
+        let mut cluster = SparkCluster::new(3, config);
+        if !plan.is_empty() {
+            cluster = cluster.faults(plan.clone());
+        }
+        cluster
+            .run(|sc| {
+                let xs = sc.parallelize((0..800u64).collect::<Vec<u64>>(), 8);
+                let pairs = xs.map_with_cost(Work::new(2.0e6, 64.0), 8, |x| (x % 16, *x));
+                let red = pairs.reduce_by_key(8, |a, b| a.wrapping_add(*b));
+                let digest = sc
+                    .collect(&red)
+                    .into_iter()
+                    .fold(0u64, |acc, (k, v)| acc.wrapping_mul(31).wrapping_add(k ^ v));
+                (digest, sc.now())
+            })
+            .value
+    }
+
+    /// Build the three campaign subjects, deriving each space (horizon,
+    /// protected nodes, drain windows) from a fault-free oracle run.
+    pub fn subjects() -> Vec<Subject> {
+        let none = FaultPlan::new(0);
+        let (mpi_oracle, mpi_end, mpi_windows) = mpi_job(&none, None);
+        let (shmem_oracle, shmem_end, shmem_windows) = shmem_job(&none);
+        let (spark_oracle, spark_end) = spark_job(&none);
+        vec![
+            Subject {
+                name: "mpi",
+                oracle: mpi_oracle,
+                space: CampaignSpace::new(2, mpi_end).with_drain_windows(mpi_windows),
+                run: Box::new(|p| mpi_job(p, None).0),
+            },
+            Subject {
+                name: "shmem",
+                oracle: shmem_oracle,
+                space: CampaignSpace::new(2, shmem_end).with_drain_windows(shmem_windows),
+                run: Box::new(|p| shmem_job(p).0),
+            },
+            Subject {
+                // Node 0 hosts the driver — a real SPOF the cluster
+                // builder refuses to crash, so the generator must not
+                // aim at it.
+                name: "spark",
+                oracle: spark_oracle,
+                space: CampaignSpace::new(3, spark_end).protect(NodeId(0)),
+                run: Box::new(|p| spark_job(p).0),
+            },
+        ]
+    }
+
+    /// Harness self-test: plant [`RecoveryBug::RestartUndrained`] and
+    /// demand a drain-window crash be caught as a silent corruption.
+    /// Returns the shrunk minimal plan description, or an error if the
+    /// planted bug escaped every drain-crash campaign.
+    pub fn planted_bug_self_test(seed: u64) -> Result<String, String> {
+        use hpcbd_check::{generate_plan, shrink_plan, CampaignKind};
+        let none = FaultPlan::new(0);
+        let (oracle, end, windows) = mpi_job(&none, None);
+        if windows.is_empty() {
+            return Err("oracle run produced no drain windows".to_string());
+        }
+        let space = CampaignSpace::new(2, end).with_drain_windows(windows);
+        let buggy = |plan: &FaultPlan| {
+            classify_run(&oracle, || {
+                mpi_job(plan, Some(RecoveryBug::RestartUndrained)).0
+            })
+        };
+        for s in seed..seed + 8 {
+            let plan = generate_plan(&space, CampaignKind::DrainCrash, s);
+            if !buggy(&plan).is_violation() {
+                continue;
+            }
+            // Caught. Shrink to the minimal plan that still trips it.
+            let minimal = shrink_plan(&plan, |p| buggy(p).is_violation());
+            // The unplanted runtime must survive the same minimal plan.
+            return match classify_run(&oracle, || mpi_job(&minimal, None).0) {
+                CampaignOutcome::OracleEqual => Ok(minimal.describe()),
+                other => Err(format!(
+                    "minimal plan breaks the UNPLANTED runtime too: {other:?}\n{}",
+                    minimal.describe()
+                )),
+            };
+        }
+        Err("planted RestartUndrained bug escaped 8 drain-crash campaigns".to_string())
+    }
+}
+
+fn campaign(args: &[String]) -> ExitCode {
+    use hpcbd_check::{generate_campaigns, shrink_plan, CampaignTally};
+    use hpcbd_simnet::{set_default_execution, Execution};
+
+    let seed: u64 = flag_value(args, "--seed")
+        .and_then(|v| parse_u64(&v))
+        .unwrap_or(0xFA_0175);
+    let count: usize = flag_value(args, "--campaigns")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10);
+    let plan_out = flag_value(args, "--plan-out");
+    println!("conformance campaign: seed={seed:#x} campaigns={count} per runtime+mode");
+
+    // Structured aborts and classified violations unwind through
+    // catch_unwind by design; the default hook's backtrace spew for
+    // each *expected* panic would drown the verdict lines.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+
+    // Self-test first: the gate is only trustworthy if it demonstrably
+    // catches a planted recovery bug.
+    match campaign_workloads::planted_bug_self_test(seed) {
+        Ok(minimal) => {
+            println!("  PASS self-test: planted RestartUndrained caught; shrunk minimal plan:");
+            for line in minimal.lines() {
+                println!("       {line}");
+            }
+        }
+        Err(e) => {
+            println!("  FAIL self-test: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let mut failures = 0u32;
+    let mut artifact = String::new();
+    for exec in [Execution::Sequential, Execution::Parallel { threads: 4 }] {
+        set_default_execution(exec);
+        let mode = match exec {
+            Execution::Sequential => "sequential",
+            Execution::Parallel { .. } => "parallel:4",
+        };
+        for subject in campaign_workloads::subjects() {
+            let campaigns = generate_campaigns(&subject.space, seed, count);
+            let mut tally = CampaignTally::default();
+            for c in &campaigns {
+                let outcome = subject.classify(&c.plan);
+                let shrunk = if outcome.is_violation() {
+                    let minimal = shrink_plan(&c.plan, |p| subject.classify(p).is_violation());
+                    Some(minimal.describe())
+                } else {
+                    None
+                };
+                tally.record(c, &outcome, shrunk.as_deref());
+            }
+            if tally.violations.is_empty() {
+                println!(
+                    "  PASS {} [{mode}]: {} campaign(s) — {} oracle-equal, {} structured abort(s)",
+                    subject.name,
+                    tally.total(),
+                    tally.oracle_equal,
+                    tally.aborts
+                );
+            } else {
+                failures += tally.violations.len() as u32;
+                for (kind, vseed, detail) in &tally.violations {
+                    println!("  FAIL {} [{mode}] {kind} seed={vseed:#x}:", subject.name);
+                    for line in detail.lines() {
+                        println!("       {line}");
+                    }
+                    artifact.push_str(&format!(
+                        "runtime: {}\nexecution: {mode}\nkind: {kind}\nseed: {vseed:#x}\n\
+                         replay: conformance campaign --seed {vseed:#x} --campaigns 1\n\
+                         {detail}\n\n",
+                        subject.name
+                    ));
+                }
+            }
+        }
+    }
+    set_default_execution(Execution::Sequential);
+    std::panic::set_hook(default_hook);
+
+    if let (Some(path), false) = (&plan_out, artifact.is_empty()) {
+        match std::fs::write(path, &artifact) {
+            Ok(()) => println!("  minimal fault plan(s) written to {path}"),
+            Err(e) => eprintln!("  failed to write {path}: {e}"),
+        }
+    }
+    if failures == 0 {
+        println!("conformance campaign: clean");
+        ExitCode::SUCCESS
+    } else {
+        println!("conformance campaign: {failures} violation(s)");
+        ExitCode::FAILURE
+    }
 }
 
 /// Parse decimal or `0x`-prefixed hex.

@@ -12,6 +12,12 @@
 //!   sequential oracle bit-for-bit. Divergences are shrunk to the first
 //!   differing event — `(event index, pids, order key, record)` — and
 //!   classified by replay as schedule-dependent or host nondeterminism.
+//! * [`campaign`] generates seeded adversarial fault campaigns (crash
+//!   storms, correlated failures, straggler bursts, partition+drop
+//!   combos, crashes inside checkpoint drains) and demands every run
+//!   end digest-equal to the fault-free oracle or in a structured
+//!   abort — never a hang, never a silent corruption. Violations are
+//!   shrunk to a minimal fault plan by delta debugging.
 //! * [`lint`] double-runs workloads under skewed host conditions:
 //!   thread-count sweeps, shuffled shard polling, allocator-address
 //!   poisoning.
@@ -23,12 +29,17 @@
 
 #![warn(missing_docs)]
 
+pub mod campaign;
 pub mod compare;
 pub mod explore;
 pub mod golden;
 pub mod lint;
 pub mod sha256;
 
+pub use campaign::{
+    classify_run, generate_campaigns, generate_plan, shrink_plan, Campaign, CampaignKind,
+    CampaignOutcome, CampaignSpace, CampaignTally,
+};
 pub use compare::{capture_digest, compare_captures, compare_runs, Classification, Divergence};
 pub use explore::{harness_lock, ExploreReport, Explorer};
 pub use golden::{GoldenRegistry, GoldenStatus, MANIFEST};

@@ -36,7 +36,7 @@ pub mod rank;
 pub mod rma;
 pub mod subcomm;
 
-pub use checkpoint::{Checkpointer, FaultPolicy};
+pub use checkpoint::{CheckpointMode, Checkpointer, FaultPolicy, RecoveryBug};
 pub use datatype::{MpiScalar, ReduceOp};
 pub use io::{MpiFile, MpiIoError};
 pub use launch::{mpirun, mpirun_faulty, mpirun_on, mpirun_with, MpiJob, MpiOutput};

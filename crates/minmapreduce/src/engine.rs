@@ -18,7 +18,7 @@ use hpcbd_cluster::ClusterSpec;
 use hpcbd_minhdfs::{Hdfs, HdfsBlock, HdfsConfig};
 use hpcbd_simnet::{
     partition_of, FaultEvent, FaultPlan, MatchSpec, NodeId, Payload, Pid, ProcCtx, RuntimeClass,
-    Sim, SimDuration, SimTime, Tag, Transport, Work,
+    Sim, SimDuration, SimTime, StructuredAbort, Tag, Transport, Work,
 };
 
 use crate::types::{InputFormat, JobConf, LocalityStats};
@@ -463,10 +463,12 @@ where
                         pending.push_back((task, block));
                     }
                 }
-                assert!(
-                    alive.iter().any(|a| *a),
-                    "every worker died; job cannot finish"
-                );
+                if !alive.iter().any(|a| *a) {
+                    StructuredAbort::raise(
+                        "mapreduce",
+                        "job aborted: every worker died; job cannot finish",
+                    );
+                }
             }
         }
     }
@@ -635,10 +637,12 @@ where
                         }
                     }
                 }
-                assert!(
-                    alive.iter().any(|a| *a),
-                    "every worker died; job cannot finish"
-                );
+                if !alive.iter().any(|a| *a) {
+                    StructuredAbort::raise(
+                        "mapreduce",
+                        "job aborted: every worker died; job cannot finish",
+                    );
+                }
             }
         }
     }

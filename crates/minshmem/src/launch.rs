@@ -3,7 +3,7 @@
 use std::sync::Arc;
 
 use hpcbd_cluster::{ClusterSpec, Placement, RankMap};
-use hpcbd_simnet::{Execution, Pid, ProcCtx, Sim, SimReport, SimTime};
+use hpcbd_simnet::{Execution, FaultPlan, Pid, ProcCtx, Sim, SimReport, SimTime};
 
 use crate::heap::SymHeaps;
 use crate::pe::PeCtx;
@@ -90,6 +90,7 @@ where
         &ClusterSpec::comet(placement.nodes),
         placement,
         Some(exec),
+        None,
         f,
     )
 }
@@ -100,13 +101,32 @@ where
     T: Send + 'static,
     F: Fn(&mut PeCtx) -> T + Send + Sync + 'static,
 {
-    shmem_run_impl(cluster, placement, None, f)
+    shmem_run_impl(cluster, placement, None, None, f)
+}
+
+/// [`shmem_run`] under a deterministic [`FaultPlan`] (mirrors
+/// `hpcbd_minimpi::mpirun_faulty` — the plan is installed before any PE
+/// starts). Pair with [`crate::ShmemCheckpointer::poll_plan_failure`]
+/// inside `f` for recovery.
+pub fn shmem_run_faulty<T, F>(placement: Placement, plan: FaultPlan, f: F) -> ShmemOutput<T>
+where
+    T: Send + 'static,
+    F: Fn(&mut PeCtx) -> T + Send + Sync + 'static,
+{
+    shmem_run_impl(
+        &ClusterSpec::comet(placement.nodes),
+        placement,
+        None,
+        Some(plan),
+        f,
+    )
 }
 
 fn shmem_run_impl<T, F>(
     cluster: &ClusterSpec,
     placement: Placement,
     exec: Option<Execution>,
+    faults: Option<FaultPlan>,
     f: F,
 ) -> ShmemOutput<T>
 where
@@ -116,6 +136,9 @@ where
     let mut sim = Sim::new(cluster.topology());
     if let Some(exec) = exec {
         sim.set_execution(exec);
+    }
+    if let Some(plan) = faults {
+        sim.set_fault_plan(plan);
     }
     let job = ShmemJob::spawn(&mut sim, placement, f);
     let mut report = sim.run();

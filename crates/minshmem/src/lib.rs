@@ -32,11 +32,15 @@
 
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod collectives;
 pub mod heap;
 pub mod launch;
 pub mod pe;
 
+pub use checkpoint::ShmemCheckpointer;
 pub use heap::{SymArray, SymHeaps};
-pub use launch::{shmem_run, shmem_run_on, shmem_run_with, ShmemJob, ShmemOutput};
+pub use launch::{
+    shmem_run, shmem_run_faulty, shmem_run_on, shmem_run_with, ShmemJob, ShmemOutput,
+};
 pub use pe::PeCtx;

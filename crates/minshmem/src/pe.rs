@@ -77,6 +77,12 @@ impl<'a> PeCtx<'a> {
         self.ctx
     }
 
+    /// The PE-to-node placement of this team.
+    #[inline]
+    pub fn placement(&self) -> Placement {
+        self.placement
+    }
+
     /// Current virtual time.
     #[inline]
     pub fn now(&self) -> hpcbd_simnet::SimTime {

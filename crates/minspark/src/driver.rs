@@ -12,7 +12,8 @@ use std::collections::VecDeque;
 use std::sync::Arc;
 
 use hpcbd_simnet::{
-    FaultEvent, MatchSpec, NodeId, Payload, Pid, ProcCtx, SimDuration, SimTime, Work,
+    FaultEvent, MatchSpec, NodeId, Payload, Pid, ProcCtx, SimDuration, SimTime, StructuredAbort,
+    Work,
 };
 
 use crate::executor::{
@@ -340,12 +341,16 @@ impl<'a> SparkDriver<'a> {
             action: "task_retry",
             detail: task.part as u64,
         });
-        assert!(
-            task.attempts <= self.app.config.max_task_retries,
-            "task for partition {} failed {} times; aborting job",
-            task.part,
-            task.attempts
-        );
+        if task.attempts > self.app.config.max_task_retries {
+            StructuredAbort::raise(
+                "spark",
+                format!(
+                    "job aborted: task for partition {} failed {} times \
+                     (spark.task.maxFailures = {})",
+                    task.part, task.attempts, self.app.config.max_task_retries
+                ),
+            );
+        }
     }
 
     /// Whether the scheduler may hand work to `e`.
@@ -417,10 +422,12 @@ impl<'a> SparkDriver<'a> {
                 pending.push_back(task);
             }
         }
-        assert!(
-            self.alive.iter().any(|a| *a),
-            "every executor died; application cannot continue"
-        );
+        if !self.alive.iter().any(|a| *a) {
+            StructuredAbort::raise(
+                "spark",
+                "job aborted: every executor died; application cannot continue",
+            );
+        }
     }
 
     /// Locality preferences of a task: walk narrow edges to sources
@@ -610,11 +617,15 @@ impl<'a> SparkDriver<'a> {
                     );
                 }
             }
-            assert!(
-                !in_flight.is_empty(),
-                "no executors alive with {} tasks outstanding",
-                pending.len()
-            );
+            if in_flight.is_empty() {
+                StructuredAbort::raise(
+                    "spark",
+                    format!(
+                        "job aborted: no executors alive with {} tasks outstanding",
+                        pending.len()
+                    ),
+                );
+            }
             match self
                 .ctx
                 .recv_timeout(MatchSpec::tag(DRIVER_TAG), self.app.config.task_timeout)
@@ -738,10 +749,12 @@ impl<'a> SparkDriver<'a> {
                             }
                         }
                     }
-                    assert!(
-                        self.alive.iter().any(|a| *a),
-                        "every executor died; application cannot continue"
-                    );
+                    if !self.alive.iter().any(|a| *a) {
+                        StructuredAbort::raise(
+                            "spark",
+                            "job aborted: every executor died; application cannot continue",
+                        );
+                    }
                 }
             }
         }

@@ -271,6 +271,36 @@ mod tests {
     }
 
     #[test]
+    fn permanently_crashed_majority_aborts_with_structured_error() {
+        use hpcbd_simnet::{FaultPlan, NodeId};
+        let config = SparkConfig {
+            executors_per_node: 2,
+            task_timeout: SimDuration::from_secs(8),
+            max_task_retries: 0,
+            ..Default::default()
+        };
+        // Both non-driver nodes die permanently while waves are in
+        // flight. With no retry budget the first requeued task must
+        // abort the job as a structured error — not hang, not retry
+        // forever against executors that will never come back.
+        let plan = FaultPlan::new(7)
+            .crash_node(NodeId(1), SimTime(1_000_000_000))
+            .crash_node(NodeId(2), SimTime(1_000_000_000));
+        let err = SparkCluster::new(3, config)
+            .faults(plan)
+            .try_run(|sc| {
+                let xs = sc.parallelize((0..4_000u64).collect(), 12);
+                // Long tasks keep waves in flight across the crash.
+                let heavy = xs.map_with_cost(Work::new(2_000_000.0, 64.0), 8, |x| x * 2);
+                sc.count(&heavy)
+            })
+            .map(|r| r.value)
+            .expect_err("zero retry budget under a crashed majority must abort");
+        assert_eq!(err.runtime, "spark");
+        assert!(err.reason.contains("job aborted"), "reason: {}", err.reason);
+    }
+
+    #[test]
     fn speculation_sidesteps_a_straggler() {
         use hpcbd_simnet::{FaultPlan, NodeId};
         fn run(speculation: bool) -> (u64, crate::metrics::MetricsSnapshot) {

@@ -6,7 +6,7 @@ use std::sync::Arc;
 
 use hpcbd_cluster::ClusterSpec;
 use hpcbd_minhdfs::{Hdfs, HdfsConfig};
-use hpcbd_simnet::{Execution, FaultPlan, NodeId, Sim, SimReport, SimTime};
+use hpcbd_simnet::{Execution, FaultPlan, NodeId, Sim, SimReport, SimTime, StructuredAbort};
 
 use crate::config::SparkConfig;
 use crate::driver::SparkDriver;
@@ -101,6 +101,28 @@ impl SparkCluster {
     ) -> SparkCluster {
         self.scratch_files.push((path.to_string(), size, data));
         self
+    }
+
+    /// [`SparkCluster::run`], but a deliberate job failure (retry budget
+    /// exhausted, every executor dead — raised by the scheduler as a
+    /// [`StructuredAbort`]) comes back as `Err` instead of unwinding.
+    /// Genuine bugs (non-structured panics) still propagate: the
+    /// fault-campaign harness relies on that distinction to separate
+    /// "the runtime gave up, loudly" from "the runtime broke".
+    pub fn try_run<T, F>(self, app: F) -> Result<SparkResult<T>, StructuredAbort>
+    where
+        T: Send + 'static,
+        F: FnOnce(&mut SparkDriver) -> T + Send + 'static,
+    {
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.run(app))) {
+            Ok(res) => Ok(res),
+            Err(payload) => {
+                match StructuredAbort::from_panic(payload.as_ref() as &(dyn Any + Send)) {
+                    Some(sa) => Err(sa),
+                    None => std::panic::resume_unwind(payload),
+                }
+            }
+        }
     }
 
     /// Spawn everything and run `app` on the driver. Returns its value

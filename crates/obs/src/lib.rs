@@ -15,6 +15,9 @@
 //!   [`RunReport`] with a stable JSON encoding and a human text table.
 //! * [`perfetto`] extends the Chrome-tracing export with phase spans
 //!   and send→recv flow arrows.
+//! * [`recovery`] folds structured fault/recovery trace records into
+//!   per-crash SLOs — time-to-detect, time-to-recover, work replayed —
+//!   surfaced in the report's `recovery` key and text timeline.
 //!
 //! Everything here is a pure function of the captured run — which is
 //! itself a pure function of virtual-time state — so reports are
@@ -29,6 +32,7 @@ pub mod critical;
 pub mod diff;
 pub mod json;
 pub mod perfetto;
+pub mod recovery;
 pub mod report;
 
 pub use causal::{match_events, CausalEdge, CausalGraph};
@@ -36,4 +40,5 @@ pub use critical::{critical_path, Category, CriticalPath, Segment};
 pub use diff::{first_divergence, LineDivergence};
 pub use json::JsonValue;
 pub use perfetto::to_perfetto_json;
+pub use recovery::{recovery_slos, FaultRecovery, RecoverySummary};
 pub use report::{PhaseRow, RunReport, RunSection};

@@ -19,6 +19,7 @@ use hpcbd_simnet::{EventKind, ProcStats, SimTime};
 use crate::causal::{match_events, CausalGraph};
 use crate::critical::{critical_path, Category, CriticalPath};
 use crate::json::JsonValue;
+use crate::recovery::{recovery_slos, RecoverySummary};
 
 /// How many top critical-path contributors each section keeps.
 pub const TOP_K: usize = 8;
@@ -125,6 +126,8 @@ pub struct RunSection {
     pub causal_edges: u64,
     /// Receives with no causally valid matched send.
     pub unmatched_recvs: u64,
+    /// Per-crash recovery SLOs; empty for fault-free runs.
+    pub recovery: RecoverySummary,
 }
 
 /// Replace purely numeric path segments with `*` so per-iteration and
@@ -229,6 +232,7 @@ fn build_section(index: usize, cap: &RunCapture) -> RunSection {
         phases,
         causal_edges: graph.edges.len() as u64,
         unmatched_recvs: graph.unmatched_recvs,
+        recovery: recovery_slos(cap),
         crit: cp,
         top,
         hist_msg_bytes,
@@ -313,7 +317,7 @@ impl RunReport {
                         .collect(),
                 );
                 let t = &s.totals;
-                JsonValue::Obj(vec![
+                let mut run_obj = vec![
                     ("run".into(), JsonValue::u64(s.index as u64)),
                     ("procs".into(), JsonValue::u64(s.procs as u64)),
                     (
@@ -372,7 +376,38 @@ impl RunReport {
                             ("unmatched_recvs".into(), JsonValue::u64(s.unmatched_recvs)),
                         ]),
                     ),
-                ])
+                ];
+                // Recovery SLOs only exist under an injected fault plan;
+                // omitting the key keeps fault-free reports byte-identical
+                // to their pre-fault-support goldens.
+                if !s.recovery.is_empty() {
+                    let faults = JsonValue::Arr(
+                        s.recovery
+                            .faults
+                            .iter()
+                            .map(|f| {
+                                let mut kvs = vec![
+                                    ("node".into(), JsonValue::u64(u64::from(f.node))),
+                                    ("crash_ns".into(), JsonValue::u64(f.crash.nanos())),
+                                ];
+                                if let Some(ttd) = f.time_to_detect_ns() {
+                                    kvs.push(("time_to_detect_ns".into(), JsonValue::u64(ttd)));
+                                }
+                                if let Some(ttr) = f.time_to_recover_ns() {
+                                    kvs.push(("time_to_recover_ns".into(), JsonValue::u64(ttr)));
+                                }
+                                kvs.push(("work_replayed".into(), JsonValue::u64(f.work_replayed)));
+                                kvs.push((
+                                    "recovery_actions".into(),
+                                    JsonValue::u64(f.recovery_actions),
+                                ));
+                                JsonValue::Obj(kvs)
+                            })
+                            .collect(),
+                    );
+                    run_obj.push(("recovery".into(), faults));
+                }
+                JsonValue::Obj(run_obj)
             })
             .collect();
         JsonValue::Obj(vec![
@@ -433,6 +468,26 @@ impl RunReport {
                     "  faults: {} event(s), +{} injected delay\n",
                     s.totals.fault_events, s.totals.fault_delay
                 ));
+            }
+            if !s.recovery.is_empty() {
+                out.push_str("  recovery timeline:\n");
+                for f in &s.recovery.faults {
+                    let ttd = f
+                        .time_to_detect_ns()
+                        .map_or("undetected".to_string(), |v| format!("detect +{}", ns(v)));
+                    let ttr = f
+                        .time_to_recover_ns()
+                        .map_or("no recovery".to_string(), |v| format!("recover +{}", ns(v)));
+                    out.push_str(&format!(
+                        "    n{} crashed @{}  {}  {}  work replayed {}  ({} action(s))\n",
+                        f.node,
+                        ns(f.crash.nanos()),
+                        ttd,
+                        ttr,
+                        f.work_replayed,
+                        f.recovery_actions
+                    ));
+                }
             }
             out.push_str("  per-phase breakdown (critical-path attribution; sums to makespan):\n");
             out.push_str(&format!(
@@ -591,6 +646,57 @@ mod tests {
         assert!(txt.contains("work/iter/*"), "text: {txt}");
         assert!(txt.contains("critical path:"), "text: {txt}");
         assert!(txt.contains("PHASE"), "text: {txt}");
+    }
+
+    #[test]
+    fn recovery_key_appears_only_under_faults() {
+        use hpcbd_simnet::FaultEvent;
+        let clean = RunReport::from_captures("unit", true, &[small_capture()]);
+        let v = JsonValue::parse(&clean.to_json()).unwrap();
+        assert!(
+            v.get("runs").unwrap().as_arr().unwrap()[0]
+                .get("recovery")
+                .is_none(),
+            "fault-free reports must stay byte-identical to old goldens"
+        );
+
+        let mut cap = small_capture();
+        let fault = |t: u64, ev: FaultEvent| TraceEvent {
+            pid: Pid(0),
+            start: SimTime(t),
+            end: SimTime(t),
+            kind: EventKind::Fault(ev),
+        };
+        cap.events
+            .push(fault(10, FaultEvent::NodeCrash { node: NodeId(1) }));
+        cap.events.push(fault(
+            20,
+            FaultEvent::Recovery {
+                runtime: "mpi",
+                action: "rank_failure_detected",
+                detail: 1,
+            },
+        ));
+        cap.events.push(fault(
+            30,
+            FaultEvent::Recovery {
+                runtime: "mpi",
+                action: "checkpoint_restart",
+                detail: 2,
+            },
+        ));
+        let faulty = RunReport::from_captures("unit", true, &[cap]);
+        let v = JsonValue::parse(&faulty.to_json()).unwrap();
+        let rec = v.get("runs").unwrap().as_arr().unwrap()[0]
+            .get("recovery")
+            .expect("faulted run must report recovery SLOs");
+        let f = &rec.as_arr().unwrap()[0];
+        assert_eq!(f.get("time_to_detect_ns"), Some(&JsonValue::u64(10)));
+        assert_eq!(f.get("time_to_recover_ns"), Some(&JsonValue::u64(20)));
+        assert_eq!(f.get("work_replayed"), Some(&JsonValue::u64(2)));
+        let txt = faulty.render_text();
+        assert!(txt.contains("recovery timeline:"), "text: {txt}");
+        assert!(txt.contains("n1 crashed"), "text: {txt}");
     }
 
     #[test]

@@ -1,0 +1,150 @@
+//! Structured aborts: the "fail loudly, fail parseably" contract.
+//!
+//! The fault-campaign explorer (`hpcbd-check`) asserts that every run
+//! under an adversarial [`crate::FaultPlan`] either matches the
+//! fault-free oracle or **terminates with a structured abort** — never
+//! hangs, never silently corrupts. A plain `panic!` cannot be told apart
+//! from a bug in the runtime, so runtimes that give up deliberately
+//! (MPI's `MPI_Abort`, Spark exhausting its task-retry budget, a
+//! MapReduce job with no surviving workers) raise a [`StructuredAbort`]
+//! instead.
+//!
+//! The engine catches every process panic and forwards it as a string
+//! (see `describe_panic` in the engine), so the abort renders itself
+//! with a fixed machine-recognizable marker and can be re-parsed from
+//! the message that [`crate::Sim::run`] re-panics with.
+
+use std::any::Any;
+use std::fmt;
+
+/// Marker prefix every structured abort message carries. Kept stable:
+/// the campaign runner and `SparkCluster::try_run`-style wrappers match
+/// on it after the engine has stringified the panic payload.
+pub const STRUCTURED_ABORT_MARKER: &str = "structured-abort";
+
+/// A deliberate, structured job termination raised by a runtime when it
+/// has exhausted its fault-tolerance options. Raise with
+/// [`StructuredAbort::raise`]; recognize with
+/// [`StructuredAbort::from_panic`] or [`StructuredAbort::from_message`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StructuredAbort {
+    /// Which runtime gave up ("mpi", "spark", "mapreduce", "shmem").
+    pub runtime: String,
+    /// Human-readable cause ("MPI_Abort: node n1 failed at ...",
+    /// "task for partition 3 failed 5 times", ...).
+    pub reason: String,
+}
+
+impl StructuredAbort {
+    /// Build an abort record.
+    pub fn new(runtime: impl Into<String>, reason: impl Into<String>) -> StructuredAbort {
+        StructuredAbort {
+            runtime: runtime.into(),
+            reason: reason.into(),
+        }
+    }
+
+    /// Terminate the calling simulated process with this abort. The
+    /// engine stringifies the payload (keeping the marker) and
+    /// [`crate::Sim::run`] re-panics with it, so a `catch_unwind` around
+    /// the launcher sees a message [`StructuredAbort::from_message`]
+    /// recognizes.
+    pub fn raise(runtime: impl Into<String>, reason: impl Into<String>) -> ! {
+        std::panic::panic_any(StructuredAbort::new(runtime, reason))
+    }
+
+    /// Recover the abort from any panic payload: the original typed
+    /// payload (caught before the engine stringified it) or a string
+    /// containing the rendered form.
+    pub fn from_panic(payload: &(dyn Any + Send)) -> Option<StructuredAbort> {
+        if let Some(sa) = payload.downcast_ref::<StructuredAbort>() {
+            return Some(sa.clone());
+        }
+        if let Some(s) = payload.downcast_ref::<String>() {
+            return StructuredAbort::from_message(s);
+        }
+        if let Some(s) = payload.downcast_ref::<&str>() {
+            return StructuredAbort::from_message(s);
+        }
+        None
+    }
+
+    /// Parse the rendered form back out of a (possibly wrapped) panic
+    /// message. Scans for the marker, so the engine's
+    /// `"simulated process p3 panicked: ..."` prefix does not hide it.
+    pub fn from_message(msg: &str) -> Option<StructuredAbort> {
+        let start = msg.find(STRUCTURED_ABORT_MARKER)?;
+        let rest = &msg[start + STRUCTURED_ABORT_MARKER.len()..];
+        let rest = rest.strip_prefix('[')?;
+        let close = rest.find("]: ")?;
+        Some(StructuredAbort {
+            runtime: rest[..close].to_string(),
+            reason: rest[close + 3..].to_string(),
+        })
+    }
+}
+
+impl fmt::Display for StructuredAbort {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{STRUCTURED_ABORT_MARKER}[{}]: {}",
+            self.runtime, self.reason
+        )
+    }
+}
+
+impl std::error::Error for StructuredAbort {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips_through_rendered_message() {
+        let sa = StructuredAbort::new("mpi", "MPI_Abort: node n1 failed at 5ms");
+        let rendered = sa.to_string();
+        assert!(rendered.contains(STRUCTURED_ABORT_MARKER));
+        assert_eq!(StructuredAbort::from_message(&rendered), Some(sa.clone()));
+        // Wrapped the way the engine re-panics it.
+        let wrapped = format!("simulated process p7 panicked: {rendered}");
+        assert_eq!(StructuredAbort::from_message(&wrapped), Some(sa));
+    }
+
+    #[test]
+    fn plain_messages_are_not_structured() {
+        assert_eq!(StructuredAbort::from_message("index out of bounds"), None);
+        assert_eq!(StructuredAbort::from_message(""), None);
+    }
+
+    #[test]
+    fn from_panic_handles_typed_and_string_payloads() {
+        let sa = StructuredAbort::new("spark", "retry budget exhausted");
+        let typed: Box<dyn Any + Send> = Box::new(sa.clone());
+        assert_eq!(
+            StructuredAbort::from_panic(typed.as_ref()),
+            Some(sa.clone())
+        );
+        let stringy: Box<dyn Any + Send> = Box::new(sa.to_string());
+        assert_eq!(StructuredAbort::from_panic(stringy.as_ref()), Some(sa));
+        let other: Box<dyn Any + Send> = Box::new(42u32);
+        assert_eq!(StructuredAbort::from_panic(other.as_ref()), None);
+    }
+
+    #[test]
+    fn engine_forwards_structured_aborts_through_run() {
+        use crate::{NodeId, Sim, Topology};
+        let caught = std::panic::catch_unwind(|| {
+            let mut sim = Sim::new(Topology::comet(1));
+            sim.spawn(NodeId(0), "aborter", |_ctx| {
+                StructuredAbort::raise("mpi", "deliberate test abort");
+            });
+            sim.run();
+        })
+        .expect_err("the abort must unwind out of Sim::run");
+        let sa = StructuredAbort::from_panic(caught.as_ref() as &(dyn Any + Send))
+            .expect("Sim::run must preserve the structured-abort marker");
+        assert_eq!(sa.runtime, "mpi");
+        assert_eq!(sa.reason, "deliberate test abort");
+    }
+}

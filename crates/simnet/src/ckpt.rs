@@ -1,0 +1,183 @@
+//! Asynchronous checkpoint drain bookkeeping.
+//!
+//! Asynchronous checkpointing (per the mixed MPI/GPI-2
+//! algorithm-based checkpoint-restart study, see `PAPERS.md`)
+//! decouples *snapshot* from *persistence*: at the interval boundary a
+//! rank copies its state into a double buffer (cheap, memory-bandwidth
+//! cost) and immediately resumes compute, while the buffer drains to
+//! scratch in background I/O. A restart may therefore only fall back
+//! to the last checkpoint whose drain had **completed by the crash
+//! time** — a snapshot whose drain was still in flight when the node
+//! died is a torn file, not a checkpoint.
+//!
+//! [`DrainSchedule`] is the per-rank ledger of that distinction. The
+//! runtime registers every snapshot with the virtual time its
+//! background write will complete (from
+//! [`crate::ProcCtx::disk_write_background`]) and asks
+//! [`DrainSchedule::drained_through`] at recovery time which iteration
+//! is actually on disk. Both `minimpi` and `minshmem` checkpointers
+//! share this ledger, and the fault-campaign generator reads
+//! [`DrainSchedule::windows`] from an oracle run to aim crashes
+//! *inside* drain intervals — the adversarial case that distinguishes
+//! a correct restart (fall back to the last drained checkpoint) from
+//! the classic watermark-confusion bug (trust the snapshot counter).
+
+use crate::time::{SimDuration, SimTime};
+
+/// Which checkpoint protocol a checkpointing driver runs. Shared by the
+/// runtime-specific drivers (`hpcbd-minimpi`'s `Checkpointer`,
+/// `hpcbd-minshmem`'s `ShmemCheckpointer`) so the fault-campaign
+/// explorer can sweep both runtimes over the same protocol axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckpointMode {
+    /// Stop-the-world: barrier + synchronous write + barrier. The write
+    /// sits on the critical path every interval.
+    Coordinated,
+    /// Snapshot at the barrier (memory-bandwidth copy into a double
+    /// buffer), drain in background I/O overlapped with compute;
+    /// restart falls back to the last fully drained checkpoint.
+    Async,
+}
+
+/// What an SPMD job does when a node it occupies fails (the paper's
+/// Sec. VI-D fault-tolerance contrast).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultPolicy {
+    /// Default HPC semantics: the whole job aborts (`MPI_Abort` /
+    /// `shmem_global_exit`) — the runtime itself does not recover from
+    /// faults. Raised as a [`crate::StructuredAbort`] so harnesses can
+    /// tell the deliberate abort from a runtime bug.
+    Abort,
+    /// Checkpoint/restart: the job relaunches from the last restartable
+    /// checkpoint after a scheduler stall.
+    Restart {
+        /// Scheduler/relaunch stall charged before ranks reload state.
+        relaunch_stall: SimDuration,
+    },
+}
+
+/// One registered snapshot drain: issued at `issue`, durable at `done`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Drain {
+    /// Iteration the snapshot covers (0-based; state *after* it ran).
+    pub iter: u32,
+    /// Virtual time the background write was issued (snapshot taken).
+    pub issue: SimTime,
+    /// Virtual time the write completes on the device; the checkpoint
+    /// is restartable only at or after this instant.
+    pub done: SimTime,
+}
+
+/// Per-rank ledger of asynchronous checkpoint drains, in issue order.
+#[derive(Debug, Clone, Default)]
+pub struct DrainSchedule {
+    drains: Vec<Drain>,
+}
+
+impl DrainSchedule {
+    /// Empty ledger.
+    pub fn new() -> DrainSchedule {
+        DrainSchedule::default()
+    }
+
+    /// Record a snapshot of iteration `iter` issued at `issue` whose
+    /// background write completes at `done`. Iterations must be
+    /// registered in increasing order (re-registering an iteration
+    /// after a restart replaces the stale entry and everything after
+    /// it).
+    pub fn register(&mut self, iter: u32, issue: SimTime, done: SimTime) {
+        assert!(done >= issue, "drain completes before it was issued");
+        // A restart rewinds the iteration counter; drop ledger entries
+        // the rewind invalidated so the ledger stays sorted by iter.
+        self.drains.retain(|d| d.iter < iter);
+        self.drains.push(Drain { iter, issue, done });
+    }
+
+    /// Latest iteration whose drain had completed by `at`, if any —
+    /// the only legal restart point after a crash at `at`.
+    pub fn drained_through(&self, at: SimTime) -> Option<u32> {
+        self.drains
+            .iter()
+            .filter(|d| d.done <= at)
+            .map(|d| d.iter)
+            .max()
+    }
+
+    /// Latest snapshot taken (drained or not) — what a *buggy* restart
+    /// trusts when it confuses the snapshot counter with the drain
+    /// watermark.
+    pub fn latest_snapshot(&self) -> Option<u32> {
+        self.drains.last().map(|d| d.iter)
+    }
+
+    /// The drain registered for `iter`, if any.
+    pub fn drain_of(&self, iter: u32) -> Option<Drain> {
+        self.drains.iter().find(|d| d.iter == iter).copied()
+    }
+
+    /// Number of drains still in flight at `at`.
+    pub fn in_flight_at(&self, at: SimTime) -> usize {
+        self.drains
+            .iter()
+            .filter(|d| d.issue <= at && at < d.done)
+            .count()
+    }
+
+    /// All `(issue, done)` drain windows, in issue order. The campaign
+    /// generator samples crash times inside these from an oracle run.
+    pub fn windows(&self) -> Vec<(SimTime, SimTime)> {
+        self.drains.iter().map(|d| (d.issue, d.done)).collect()
+    }
+
+    /// Number of registered drains.
+    pub fn len(&self) -> usize {
+        self.drains.len()
+    }
+
+    /// Whether no drain was registered.
+    pub fn is_empty(&self) -> bool {
+        self.drains.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drained_watermark_respects_completion_times() {
+        let mut d = DrainSchedule::new();
+        d.register(1, SimTime(100), SimTime(500));
+        d.register(3, SimTime(600), SimTime(1_200));
+        assert_eq!(d.drained_through(SimTime(99)), None);
+        assert_eq!(d.drained_through(SimTime(499)), None);
+        assert_eq!(d.drained_through(SimTime(500)), Some(1));
+        assert_eq!(d.drained_through(SimTime(1_199)), Some(1));
+        assert_eq!(d.drained_through(SimTime(1_200)), Some(3));
+        assert_eq!(d.latest_snapshot(), Some(3));
+        assert_eq!(d.in_flight_at(SimTime(700)), 1);
+        assert_eq!(d.in_flight_at(SimTime(1_300)), 0);
+        assert_eq!(d.windows().len(), 2);
+    }
+
+    #[test]
+    fn restart_rewind_replaces_stale_entries() {
+        let mut d = DrainSchedule::new();
+        d.register(1, SimTime(100), SimTime(200));
+        d.register(3, SimTime(300), SimTime(400));
+        // Restart rewound to iteration 2; the retaken checkpoint at
+        // iteration 3 must replace the pre-crash entry.
+        d.register(3, SimTime(900), SimTime(1_000));
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.drained_through(SimTime(450)), Some(1));
+        assert_eq!(d.drained_through(SimTime(1_000)), Some(3));
+    }
+
+    #[test]
+    fn empty_schedule_has_no_watermark() {
+        let d = DrainSchedule::new();
+        assert_eq!(d.drained_through(SimTime(u64::MAX)), None);
+        assert_eq!(d.latest_snapshot(), None);
+        assert!(d.is_empty());
+    }
+}

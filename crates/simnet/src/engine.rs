@@ -633,6 +633,17 @@ impl ProcCtx {
         self.trace_push(t, t, crate::trace::EventKind::Fault(ev));
     }
 
+    /// Like [`ProcCtx::record_fault`], but stamped at an explicit
+    /// virtual time — possibly in this process's past. Runtimes that
+    /// *learn* of a fault after it happened (a checkpointer detecting a
+    /// planned node crash at its next poll) use this so the trace shows
+    /// the crash at the instant the node died, which is what recovery
+    /// SLOs (time-to-detect, time-to-recover) are measured against.
+    pub fn record_fault_at(&mut self, at: SimTime, ev: crate::faults::FaultEvent) {
+        self.stats.fault_events += 1;
+        self.trace_push(at, at, crate::trace::EventKind::Fault(ev));
+    }
+
     /// Advance this process's clock by modeled computation: `work` executed
     /// at `runtime_factor` times native single-core cost (see
     /// [`crate::RuntimeClass`]). Purely local — no synchronization; in
@@ -1178,6 +1189,48 @@ impl ProcCtx {
     pub fn nfs_write(&mut self, bytes: u64) {
         self.device_io(bytes, true, true);
     }
+
+    /// Issue a *background* write of `bytes` to this node's scratch
+    /// disk: the device is reserved (serialized with every other
+    /// request to it, foreground or background) and the write appears
+    /// in the trace, but the calling process does **not** block — its
+    /// clock is unchanged and compute proceeds overlapped with the I/O.
+    /// Returns the virtual time the write completes on the device;
+    /// asynchronous checkpointing registers that instant as the drain
+    /// watermark ([`crate::ckpt::DrainSchedule`]).
+    ///
+    /// Reservation happens inside a commit window (like every shared
+    /// resource), so the returned completion time is bit-identical
+    /// across execution modes. The queueing delay is *not* charged to
+    /// this process's `disk_time` — it never waited — but the bytes
+    /// count toward its write volume.
+    pub fn disk_write_background(&mut self, bytes: u64) -> SimTime {
+        self.become_min();
+        let spec: crate::topology::DiskSpec = self.world.topology.node(self.node).spec.disk;
+        let mut dur =
+            spec.request_overhead + SimDuration::from_secs_f64(bytes as f64 / spec.write_bw);
+        // Straggling nodes drain slowly too (same rule as `device_io`).
+        if let Some(plan) = &self.faults {
+            let f = plan.compute_factor(self.node, self.clock);
+            if f != 1.0 {
+                dur = SimDuration::from_nanos((dur.nanos() as f64 * f).round() as u64);
+            }
+        }
+        let finish = {
+            let mut nr = self.engine.nodes[self.node.index()].lock();
+            let start = self.clock.max(nr.disk_free);
+            nr.disk_free = start + dur;
+            start + dur
+        };
+        self.stats.disk_write_bytes += bytes;
+        self.trace_push(
+            self.clock,
+            finish,
+            crate::trace::EventKind::DiskWrite { bytes },
+        );
+        self.release_turn();
+        finish
+    }
 }
 
 type ProcFn = Box<dyn FnOnce(&mut ProcCtx) -> Box<dyn Any + Send> + Send>;
@@ -1561,6 +1614,11 @@ impl Sim {
 fn describe_panic(payload: &(dyn Any + Send)) -> (String, bool) {
     if let Some(note) = payload.downcast_ref::<DeadlockNote>() {
         (note.0.clone(), true)
+    } else if let Some(sa) = payload.downcast_ref::<crate::abort::StructuredAbort>() {
+        // Keep the machine-recognizable marker: `Sim::run` re-panics
+        // with this string and `StructuredAbort::from_message` parses
+        // it back out (see `crate::abort`).
+        (sa.to_string(), false)
     } else if let Some(s) = payload.downcast_ref::<&str>() {
         ((*s).to_string(), false)
     } else if let Some(s) = payload.downcast_ref::<String>() {

@@ -181,7 +181,17 @@ impl FaultPlan {
     }
 
     /// Schedule `node` to fail permanently at virtual time `at`.
+    ///
+    /// Crashes are permanent, so a second crash for the same node is a
+    /// contradiction in the plan (which one do failure detectors
+    /// replay?) and is rejected.
     pub fn crash_node(mut self, node: NodeId, at: SimTime) -> FaultPlan {
+        assert!(
+            self.crash_time(node).is_none(),
+            "duplicate crash scheduled for node n{}: crashes are permanent, \
+             one crash time per node",
+            node.0
+        );
         self.crashes.push((node, at));
         self
     }
@@ -196,6 +206,11 @@ impl FaultPlan {
         factor: f64,
     ) -> FaultPlan {
         assert!(factor > 0.0, "straggler factor must be positive");
+        assert!(
+            from < until,
+            "zero-duration straggler interval on node n{}: [{from}, {until}) is empty",
+            node.0
+        );
         self.stragglers.push(StragglerSpec {
             node,
             from,
@@ -216,6 +231,12 @@ impl FaultPlan {
         factor: f64,
     ) -> FaultPlan {
         assert!(factor >= 1.0, "degrade factor must be >= 1.0");
+        assert!(
+            from < until,
+            "zero-duration link-degrade interval n{}-n{}: [{from}, {until}) is empty",
+            a.0,
+            b.0
+        );
         self.links.push(LinkSpec {
             a,
             b,
@@ -236,6 +257,12 @@ impl FaultPlan {
         from: SimTime,
         until: SimTime,
     ) -> FaultPlan {
+        assert!(
+            from < until,
+            "zero-duration partition interval n{}-n{}: [{from}, {until}) is empty",
+            a.0,
+            b.0
+        );
         self.links.push(LinkSpec {
             a,
             b,
@@ -250,7 +277,10 @@ impl FaultPlan {
     /// counter-based hash; see module docs). Dropped messages are
     /// delivered late by the retransmit delay.
     pub fn drop_messages(mut self, ppm: u32) -> FaultPlan {
-        assert!(ppm <= 1_000_000, "drop rate is parts-per-million");
+        assert!(
+            ppm <= 1_000_000,
+            "drop_messages rate is parts-per-million: {ppm} > 1_000_000"
+        );
         self.drop_ppm = ppm;
         self
     }
@@ -337,6 +367,181 @@ impl FaultPlan {
     pub fn should_drop(&self, counter: u64) -> bool {
         self.drop_ppm > 0 && det_hash(&(self.seed, counter)) % 1_000_000 < self.drop_ppm as u64
     }
+
+    /// The drop seed (atoms + seed + retransmit rebuild an equal plan).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Decompose the plan into its indivisible injected faults, in
+    /// declaration order. `atoms` / [`FaultPlan::with_atom`] are the
+    /// campaign shrinker's interface: a violation is minimized by
+    /// rebuilding plans from subsets of these atoms (seed and
+    /// retransmit delay carry over unchanged) until no atom can be
+    /// removed without the violation disappearing.
+    pub fn atoms(&self) -> Vec<FaultAtom> {
+        let mut v = Vec::new();
+        for &(node, at) in &self.crashes {
+            v.push(FaultAtom::Crash { node, at });
+        }
+        for s in &self.stragglers {
+            v.push(FaultAtom::Straggler {
+                node: s.node,
+                from: s.from,
+                until: s.until,
+                factor: s.factor,
+            });
+        }
+        for l in &self.links {
+            v.push(match l.fault {
+                LinkFault::Degrade(factor) => FaultAtom::Degrade {
+                    a: l.a,
+                    b: l.b,
+                    from: l.from,
+                    until: l.until,
+                    factor,
+                },
+                LinkFault::Partition => FaultAtom::Partition {
+                    a: l.a,
+                    b: l.b,
+                    from: l.from,
+                    until: l.until,
+                },
+            });
+        }
+        if self.drop_ppm > 0 {
+            v.push(FaultAtom::Drops { ppm: self.drop_ppm });
+        }
+        v
+    }
+
+    /// Add one atom back through the validating builder methods.
+    pub fn with_atom(self, atom: FaultAtom) -> FaultPlan {
+        match atom {
+            FaultAtom::Crash { node, at } => self.crash_node(node, at),
+            FaultAtom::Straggler {
+                node,
+                from,
+                until,
+                factor,
+            } => self.slow_node(node, from, until, factor),
+            FaultAtom::Degrade {
+                a,
+                b,
+                from,
+                until,
+                factor,
+            } => self.degrade_link(a, b, from, until, factor),
+            FaultAtom::Partition { a, b, from, until } => self.partition_link(a, b, from, until),
+            FaultAtom::Drops { ppm } => self.drop_messages(ppm),
+        }
+    }
+
+    /// Rebuild a plan from a subset of atoms, keeping this plan's seed
+    /// and retransmit delay (so drop decisions for surviving `Drops`
+    /// atoms are unchanged).
+    pub fn from_atoms(&self, atoms: &[FaultAtom]) -> FaultPlan {
+        let mut p = FaultPlan::new(self.seed).retransmit_delay(self.retransmit);
+        for a in atoms {
+            p = p.with_atom(a.clone());
+        }
+        p
+    }
+
+    /// Human-readable one-line-per-atom rendering — the repro format
+    /// the campaign runner writes for a shrunk minimal fault plan.
+    pub fn describe(&self) -> String {
+        let atoms = self.atoms();
+        if atoms.is_empty() {
+            return format!("fault plan (seed {}): empty\n", self.seed);
+        }
+        let mut s = format!(
+            "fault plan (seed {}, retransmit {}):\n",
+            self.seed, self.retransmit
+        );
+        for a in atoms {
+            s.push_str(&format!("  {a}\n"));
+        }
+        s
+    }
+}
+
+/// One indivisible injected fault — the unit the campaign shrinker adds
+/// and removes. See [`FaultPlan::atoms`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultAtom {
+    /// [`FaultPlan::crash_node`].
+    Crash {
+        /// Crashed node.
+        node: NodeId,
+        /// Crash time.
+        at: SimTime,
+    },
+    /// [`FaultPlan::slow_node`].
+    Straggler {
+        /// Straggling node.
+        node: NodeId,
+        /// Interval start.
+        from: SimTime,
+        /// Interval end (exclusive).
+        until: SimTime,
+        /// Slowdown factor.
+        factor: f64,
+    },
+    /// [`FaultPlan::degrade_link`].
+    Degrade {
+        /// One endpoint.
+        a: NodeId,
+        /// Other endpoint.
+        b: NodeId,
+        /// Interval start.
+        from: SimTime,
+        /// Interval end (exclusive).
+        until: SimTime,
+        /// Cost inflation factor.
+        factor: f64,
+    },
+    /// [`FaultPlan::partition_link`].
+    Partition {
+        /// One endpoint.
+        a: NodeId,
+        /// Other endpoint.
+        b: NodeId,
+        /// Interval start.
+        from: SimTime,
+        /// Interval end (exclusive).
+        until: SimTime,
+    },
+    /// [`FaultPlan::drop_messages`].
+    Drops {
+        /// Drop rate in parts-per-million.
+        ppm: u32,
+    },
+}
+
+impl std::fmt::Display for FaultAtom {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultAtom::Crash { node, at } => write!(f, "crash n{} @ {at}", node.0),
+            FaultAtom::Straggler {
+                node,
+                from,
+                until,
+                factor,
+            } => write!(f, "straggler n{} x{factor} [{from}, {until})", node.0),
+            FaultAtom::Degrade {
+                a,
+                b,
+                from,
+                until,
+                factor,
+            } => write!(f, "degrade n{}-n{} x{factor} [{from}, {until})", a.0, b.0),
+            FaultAtom::Partition { a, b, from, until } => {
+                write!(f, "partition n{}-n{} [{from}, {until})", a.0, b.0)
+            }
+            FaultAtom::Drops { ppm } => write!(f, "drop {ppm} ppm"),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -368,7 +573,6 @@ mod tests {
     #[test]
     fn crash_and_straggler_queries() {
         let plan = FaultPlan::new(0)
-            .crash_node(NodeId(2), SimTime(5_000))
             .crash_node(NodeId(2), SimTime(3_000))
             .crash_node(NodeId(1), SimTime(9_000))
             .slow_node(NodeId(0), SimTime(100), SimTime(200), 4.0);
@@ -385,6 +589,84 @@ mod tests {
         assert_eq!(plan.compute_factor(NodeId(0), SimTime(150)), 4.0);
         assert_eq!(plan.compute_factor(NodeId(0), SimTime(200)), 1.0);
         assert_eq!(plan.compute_factor(NodeId(1), SimTime(150)), 1.0);
+    }
+
+    #[test]
+    fn crash_exactly_at_the_query_time_is_visible() {
+        // `crashes_through(_, at)` is inclusive: a detector polling at
+        // exactly the crash instant must see the crash, and
+        // `crash_time` must report it unchanged.
+        let plan = FaultPlan::new(0).crash_node(NodeId(1), SimTime(5_000));
+        assert_eq!(plan.crash_time(NodeId(1)), Some(SimTime(5_000)));
+        assert_eq!(
+            plan.crashes_through(2, SimTime(5_000)),
+            vec![(NodeId(1), SimTime(5_000))]
+        );
+        assert_eq!(plan.crashes_through(2, SimTime(4_999)), vec![]);
+        // A crash at time zero is legal and immediately visible.
+        let early = FaultPlan::new(0).crash_node(NodeId(0), SimTime::ZERO);
+        assert_eq!(
+            early.crashes_through(1, SimTime::ZERO),
+            vec![(NodeId(0), SimTime::ZERO)]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate crash scheduled for node n2")]
+    fn duplicate_crash_for_a_node_is_rejected() {
+        let _ = FaultPlan::new(0)
+            .crash_node(NodeId(2), SimTime(5_000))
+            .crash_node(NodeId(2), SimTime(3_000));
+    }
+
+    #[test]
+    #[should_panic(expected = "parts-per-million")]
+    fn drop_rate_above_one_million_ppm_is_rejected() {
+        let _ = FaultPlan::new(0).drop_messages(1_000_001);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-duration straggler interval")]
+    fn zero_duration_straggler_interval_is_rejected() {
+        let _ = FaultPlan::new(0).slow_node(NodeId(0), SimTime(100), SimTime(100), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-duration partition interval")]
+    fn zero_duration_partition_interval_is_rejected() {
+        let _ = FaultPlan::new(0).partition_link(NodeId(0), NodeId(1), SimTime(50), SimTime(50));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-duration link-degrade interval")]
+    fn zero_duration_degrade_interval_is_rejected() {
+        let _ = FaultPlan::new(0).degrade_link(NodeId(0), NodeId(1), SimTime(9), SimTime(9), 2.0);
+    }
+
+    #[test]
+    fn atoms_roundtrip_through_the_builders() {
+        let plan = FaultPlan::new(7)
+            .retransmit_delay(SimDuration::from_millis(50))
+            .crash_node(NodeId(2), SimTime(3_000))
+            .slow_node(NodeId(0), SimTime(100), SimTime(200), 4.0)
+            .degrade_link(NodeId(0), NodeId(1), SimTime(10), SimTime(20), 3.0)
+            .partition_link(NodeId(1), NodeId(2), SimTime(0), SimTime(100))
+            .drop_messages(50_000);
+        let atoms = plan.atoms();
+        assert_eq!(atoms.len(), 5);
+        let rebuilt = plan.from_atoms(&atoms);
+        assert_eq!(rebuilt.seed(), 7);
+        assert_eq!(rebuilt.retransmit(), SimDuration::from_millis(50));
+        assert_eq!(rebuilt.atoms(), atoms);
+        assert_eq!(rebuilt.describe(), plan.describe());
+        // Drop decisions survive the rebuild (same seed, same rate).
+        assert!((0..512).all(|k| rebuilt.should_drop(k) == plan.should_drop(k)));
+        // A subset rebuild keeps only the chosen atoms.
+        let only_crash = plan.from_atoms(&atoms[..1]);
+        assert_eq!(only_crash.atoms(), atoms[..1].to_vec());
+        assert!(!only_crash.has_drops());
+        // Empty subset is the empty plan.
+        assert!(plan.from_atoms(&[]).is_empty());
     }
 
     #[test]

@@ -51,6 +51,8 @@
 
 #![warn(missing_docs)]
 
+pub mod abort;
+pub mod ckpt;
 mod coro;
 pub mod cost;
 pub mod dataset;
@@ -70,6 +72,8 @@ pub mod topology;
 pub mod trace;
 pub mod transport;
 
+pub use abort::{StructuredAbort, STRUCTURED_ABORT_MARKER};
+pub use ckpt::{CheckpointMode, Drain, DrainSchedule, FaultPolicy};
 pub use cost::{
     allreduce_algo, collective_memo_stats, AllreduceAlgo, RuntimeClass, Work,
     ALLREDUCE_RING_THRESHOLD,
@@ -77,7 +81,7 @@ pub use cost::{
 pub use dataset::InputFormat;
 pub use engine::{Pid, ProcCtx, ProcReport, Sim, SimReport, World};
 pub use error::{DeadlockNote, RecvTimeout};
-pub use faults::{FaultEvent, FaultPlan, LinkFault};
+pub use faults::{FaultAtom, FaultEvent, FaultPlan, LinkFault};
 pub use fs::{FileEntry, Mount, SimFs};
 pub use hash::{det_hash, partition_of, DetHasher};
 pub use message::{MatchSpec, Message, Payload, Tag};
@@ -97,6 +101,32 @@ mod engine_tests {
 
     fn two_node_sim() -> Sim {
         Sim::new(Topology::comet(2))
+    }
+
+    #[test]
+    fn background_disk_write_overlaps_compute_and_serializes_on_device() {
+        let mut sim = two_node_sim();
+        let p = sim.spawn(NodeId(0), "drainer", |ctx| {
+            let t0 = ctx.now();
+            let done = ctx.disk_write_background(256 << 20);
+            let t1 = ctx.now();
+            // Issuing the drain costs the caller nothing: it overlaps.
+            assert_eq!(t0, t1, "background write must not block the caller");
+            assert!(done > t0, "the device still takes real time");
+            // A foreground write issued while the drain is in flight
+            // queues behind it on the same device.
+            ctx.disk_write(1);
+            assert!(
+                ctx.now() > done,
+                "foreground I/O must serialize after the in-flight drain: \
+                 {} vs drain done {done}",
+                ctx.now()
+            );
+            done
+        });
+        let mut report = sim.run();
+        let done = report.result::<SimTime>(p);
+        assert!(done > SimTime::ZERO);
     }
 
     #[test]
