@@ -2,8 +2,11 @@
 //!
 //! Times the fig3 / fig4 / fig6 pipelines (the three artifacts that
 //! stress the engine hardest: many-process collectives, disk-bound
-//! scans, iterative allreduce) at `--quick` and paper scale, under both
-//! execution modes, and writes the measurements to `BENCH_simnet.json`.
+//! scans, iterative allreduce) at `--quick` and paper scale, under all
+//! three execution modes (sequential, parallel, speculative), and
+//! writes the measurements to `BENCH_simnet.json`. Speculative rows
+//! carry the engine's optimistic commit/rollback counters so the
+//! artifact attributes *why* the mode was (or wasn't) faster.
 //! CI runs this and uploads the artifact so every PR leaves a data point
 //! on the simulator's host-performance trajectory (ROADMAP: "as fast as
 //! the hardware allows").
@@ -79,6 +82,11 @@ struct Measurement {
     wall_min_s: f64,
     wall_mean_s: f64,
     table_digest: u64,
+    /// Speculative commits/rollbacks summed across the row's runs.
+    /// Zero in non-speculative modes; wall-clock-schedule-dependent in
+    /// speculative ones (attribution only — never part of a digest).
+    spec_commits: u64,
+    spec_rollbacks: u64,
 }
 
 fn measure(
@@ -90,6 +98,7 @@ fn measure(
     f: &dyn Fn() -> String,
 ) -> Measurement {
     set_default_execution(exec);
+    let _ = hpcbd_simnet::spec_counters_take();
     let mut times = Vec::with_capacity(runs);
     let mut dig = 0u64;
     for _ in 0..runs {
@@ -98,9 +107,18 @@ fn measure(
         times.push(t0.elapsed().as_secs_f64());
         dig = digest(&table);
     }
+    let (spec_commits, spec_rollbacks) = hpcbd_simnet::spec_counters_take();
     let min = times.iter().cloned().fold(f64::INFINITY, f64::min);
     let mean = times.iter().sum::<f64>() / times.len() as f64;
-    eprintln!("  {artifact}/{scale}/{mode_name}: min {min:.3}s mean {mean:.3}s (x{runs})");
+    eprintln!(
+        "  {artifact}/{scale}/{mode_name}: min {min:.3}s mean {mean:.3}s (x{runs})\
+         {}",
+        if spec_commits + spec_rollbacks > 0 {
+            format!(" spec: {spec_commits} commit(s), {spec_rollbacks} rollback(s)")
+        } else {
+            String::new()
+        }
+    );
     Measurement {
         artifact,
         scale,
@@ -109,6 +127,8 @@ fn measure(
         wall_min_s: min,
         wall_mean_s: mean,
         table_digest: dig,
+        spec_commits,
+        spec_rollbacks,
     }
 }
 
@@ -195,10 +215,16 @@ fn main() {
             let seq = digest(&f());
             set_default_execution(Execution::Parallel { threads });
             let par = digest(&f());
+            set_default_execution(Execution::Speculative { threads });
+            let spec = digest(&f());
             set_default_execution(Execution::Sequential);
             assert_eq!(
                 seq, par,
                 "{artifact}/{scale}: sequential and parallel tables differ — determinism break"
+            );
+            assert_eq!(
+                seq, spec,
+                "{artifact}/{scale}: sequential and speculative tables differ — determinism break"
             );
             println!("{artifact}/{scale} table_digest={seq:016x}");
         }
@@ -238,12 +264,25 @@ fn main() {
                 *runs,
                 f,
             );
+            let spec = measure(
+                artifact,
+                scale,
+                &format!("speculative:{threads}"),
+                Execution::Speculative { threads },
+                *runs,
+                f,
+            );
             assert_eq!(
                 seq.table_digest, par.table_digest,
                 "{artifact}/{scale}: sequential and parallel tables differ — determinism break"
             );
+            assert_eq!(
+                seq.table_digest, spec.table_digest,
+                "{artifact}/{scale}: sequential and speculative tables differ — determinism break"
+            );
             measurements.push(seq);
             measurements.push(par);
+            measurements.push(spec);
         }
     });
     set_default_execution(Execution::Sequential);
@@ -268,8 +307,9 @@ fn main() {
     for (i, m) in measurements.iter().enumerate() {
         let _ = write!(
             json,
-            "    {{\"artifact\": \"{}\", \"scale\": \"{}\", \"mode\": \"{}\", \"runs\": {}, \"wall_min_s\": {:.6}, \"wall_mean_s\": {:.6}, \"table_digest\": \"{:016x}\"}}",
-            m.artifact, m.scale, m.mode, m.runs, m.wall_min_s, m.wall_mean_s, m.table_digest
+            "    {{\"artifact\": \"{}\", \"scale\": \"{}\", \"mode\": \"{}\", \"runs\": {}, \"wall_min_s\": {:.6}, \"wall_mean_s\": {:.6}, \"table_digest\": \"{:016x}\", \"spec_commits\": {}, \"spec_rollbacks\": {}}}",
+            m.artifact, m.scale, m.mode, m.runs, m.wall_min_s, m.wall_mean_s, m.table_digest,
+            m.spec_commits, m.spec_rollbacks
         );
         json.push_str(if i + 1 < measurements.len() {
             ",\n"

@@ -12,19 +12,22 @@
 //!   registry after an intentional behaviour change; the PR diff then
 //!   shows exactly which table rows moved.
 //! * `conformance explore [--seed N] [--schedules N] [--threads N]
-//!   [--pipeline fig3|fig6|fault|all] [--repro-out PATH]` — run the
-//!   schedule-perturbation explorer (`hpcbd-check`) over representative
-//!   pipelines; on divergence, write a replayable repro file and fail.
+//!   [--speculative] [--pipeline fig3|fig6|fault|all]
+//!   [--repro-out PATH]` — run the schedule-perturbation explorer
+//!   (`hpcbd-check`) over representative pipelines; `--speculative`
+//!   drives the perturbed runs under the Time Warp engine; on
+//!   divergence, write a replayable repro file and fail.
 //! * `conformance lint [--pipeline ...]` — run the determinism lint
-//!   matrix (thread sweep, shuffled polling, allocator poisoning) over
-//!   the same pipelines.
+//!   matrix (thread sweep, speculative sweep, shuffled polling,
+//!   allocator poisoning) over the same pipelines.
 //! * `conformance campaign [--seed N] [--campaigns N] [--plan-out PATH]`
 //!   — run the seeded fault-campaign explorer (`hpcbd-check`): first a
 //!   self-test that plants [`hpcbd_minimpi::RecoveryBug`] and demands
 //!   the harness catch the silent corruption (with a shrunk minimal
 //!   plan), then N adversarial campaigns per runtime (MPI, SHMEM,
-//!   Spark) under both execution modes, each of which must end
-//!   digest-equal to the fault-free oracle or in a structured abort.
+//!   Spark) under every execution mode (sequential, parallel,
+//!   speculative), each of which must end digest-equal to the
+//!   fault-free oracle or in a structured abort.
 //!
 //! Exit status is the gate verdict: 0 clean, 1 divergence/mismatch,
 //! 2 usage or environment error.
@@ -60,18 +63,21 @@ const BINS: &[(&str, &[&str])] = &[
     ("bench", &["--quick", "--digests"]),
 ];
 
-/// Bins additionally re-run under `HPCBD_EXECUTION=parallel:4` against
-/// the same goldens: a cheap cross-mode determinism check on the two
-/// pipelines that stress the scheduler hardest (iterative allreduce,
-/// fault recovery).
+/// Bins additionally re-run under `HPCBD_EXECUTION=parallel:4` and
+/// `HPCBD_EXECUTION=speculative:4` against the same goldens: a cheap
+/// cross-mode determinism check on the two pipelines that stress the
+/// scheduler hardest (iterative allreduce, fault recovery). The
+/// speculative runs are the gate's Time Warp coverage: optimistic
+/// commits and rollbacks must leave every golden byte untouched.
 const CROSS_MODE: &[&str] = &["fig6", "ablation_fault_sweep"];
+const CROSS_MODE_EXECUTIONS: &[&str] = &["parallel:4", "speculative:4"];
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: conformance <gate|explore|lint|campaign> [options]\n\
          \n\
          gate     [--bless] [--golden DIR]\n\
-         explore  [--seed N] [--schedules N] [--threads N]\n\
+         explore  [--seed N] [--schedules N] [--threads N] [--speculative]\n\
          \x20        [--pipeline fig3|fig6|fault|all] [--repro-out PATH]\n\
          lint     [--pipeline fig3|fig6|fault|all]\n\
          campaign [--seed N] [--campaigns N] [--plan-out PATH]"
@@ -203,29 +209,33 @@ fn gate(args: &[String]) -> ExitCode {
                 .find(|(n, _)| n == name)
                 .map(|(_, e)| *e)
                 .unwrap();
-            match run_bin(name, extra, Some("parallel:4")) {
-                Ok(output) => check(
-                    &registry,
-                    &mut failures,
-                    name,
-                    &output,
-                    &format!("{name} [parallel:4]"),
-                ),
-                Err(e) => {
-                    failures += 1;
-                    println!("  FAIL {name} [parallel:4]: {e}");
+            for exec in CROSS_MODE_EXECUTIONS {
+                match run_bin(name, extra, Some(exec)) {
+                    Ok(output) => check(
+                        &registry,
+                        &mut failures,
+                        name,
+                        &output,
+                        &format!("{name} [{exec}]"),
+                    ),
+                    Err(e) => {
+                        failures += 1;
+                        println!("  FAIL {name} [{exec}]: {e}");
+                    }
                 }
             }
         }
 
         // Phase-attributed reports must be byte-identical across modes.
-        match report_cross_mode() {
-            Ok(()) => println!("  PASS fig6 report [sequential == parallel:4]"),
-            Err(e) => {
-                failures += 1;
-                println!("  FAIL fig6 report cross-mode:");
-                for line in e.lines() {
-                    println!("       {line}");
+        for exec in CROSS_MODE_EXECUTIONS {
+            match report_cross_mode(exec) {
+                Ok(()) => println!("  PASS fig6 report [sequential == {exec}]"),
+                Err(e) => {
+                    failures += 1;
+                    println!("  FAIL fig6 report cross-mode [{exec}]:");
+                    for line in e.lines() {
+                        println!("       {line}");
+                    }
                 }
             }
         }
@@ -240,12 +250,13 @@ fn gate(args: &[String]) -> ExitCode {
     }
 }
 
-/// Run `fig6 --quick --report` under both execution modes and
+/// Run `fig6 --quick --report` sequentially and under `exec`, and
 /// byte-compare the two `hpcbd.report.v1` JSON documents.
-fn report_cross_mode() -> Result<(), String> {
+fn report_cross_mode(exec: &str) -> Result<(), String> {
     let tmp = std::env::temp_dir();
+    let tag = exec.replace(':', "-");
     let seq_path = tmp.join(format!("hpcbd-conf-{}-seq.json", std::process::id()));
-    let par_path = tmp.join(format!("hpcbd-conf-{}-par.json", std::process::id()));
+    let par_path = tmp.join(format!("hpcbd-conf-{}-{tag}.json", std::process::id()));
     let result = (|| {
         run_bin(
             "fig6",
@@ -255,7 +266,7 @@ fn report_cross_mode() -> Result<(), String> {
         run_bin(
             "fig6",
             &["--quick", "--report", &par_path.display().to_string()],
-            Some("parallel:4"),
+            Some(exec),
         )?;
         let seq = std::fs::read_to_string(&seq_path).map_err(|e| format!("read report: {e}"))?;
         let par = std::fs::read_to_string(&par_path).map_err(|e| format!("read report: {e}"))?;
@@ -366,6 +377,7 @@ fn explore(args: &[String]) -> ExitCode {
     let threads: usize = flag_value(args, "--threads")
         .and_then(|v| v.parse().ok())
         .unwrap_or(4);
+    let speculative = args.iter().any(|a| a == "--speculative");
     let filter = flag_value(args, "--pipeline").unwrap_or_else(|| "all".to_string());
     let repro_out = flag_value(args, "--repro-out");
     let pipes = match pipelines(&filter) {
@@ -375,12 +387,14 @@ fn explore(args: &[String]) -> ExitCode {
 
     println!(
         "conformance explore: seed={seed:#x} schedules={schedules} threads={threads} \
-         pipelines={filter}"
+         pipelines={filter}{}",
+        if speculative { " (speculative)" } else { "" }
     );
     for (name, workload) in pipes {
         let report = Explorer::new(seed)
             .schedules(schedules)
             .threads(threads)
+            .speculative(speculative)
             .explore(workload);
         match &report.divergence {
             None => println!(
@@ -398,8 +412,9 @@ fn explore(args: &[String]) -> ExitCode {
                         "hpcbd conformance divergence repro\n\
                          pipeline:  {name}\n\
                          command:   conformance explore --pipeline {name} --seed {seed:#x} \
-                         --schedules {schedules} --threads {threads}\n\
+                         --schedules {schedules} --threads {threads}{}\n\
                          oracle sha256: {}\n\n{}",
+                        if speculative { " --speculative" } else { "" },
                         report.oracle_digest,
                         d.render()
                     );
@@ -683,11 +698,16 @@ fn campaign(args: &[String]) -> ExitCode {
 
     let mut failures = 0u32;
     let mut artifact = String::new();
-    for exec in [Execution::Sequential, Execution::Parallel { threads: 4 }] {
+    for exec in [
+        Execution::Sequential,
+        Execution::Parallel { threads: 4 },
+        Execution::Speculative { threads: 4 },
+    ] {
         set_default_execution(exec);
         let mode = match exec {
             Execution::Sequential => "sequential",
             Execution::Parallel { .. } => "parallel:4",
+            Execution::Speculative { .. } => "speculative:4",
         };
         for subject in campaign_workloads::subjects() {
             let campaigns = generate_campaigns(&subject.space, seed, count);

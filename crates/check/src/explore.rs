@@ -104,6 +104,7 @@ pub struct Explorer {
     seed: u64,
     schedules: usize,
     threads: usize,
+    speculative: bool,
 }
 
 impl Explorer {
@@ -114,6 +115,7 @@ impl Explorer {
             seed,
             schedules: 8,
             threads: 4,
+            speculative: false,
         }
     }
 
@@ -126,6 +128,16 @@ impl Explorer {
     /// Concurrency cap for the perturbed parallel runs.
     pub fn threads(mut self, n: usize) -> Explorer {
         self.threads = n.max(1);
+        self
+    }
+
+    /// Drive the perturbed runs under [`Execution::Speculative`] instead
+    /// of [`Execution::Parallel`]. The perturbation's speculation knobs
+    /// (defeats, forced replays) only bite in this mode, so a
+    /// speculative exploration stresses the optimistic commit/rollback
+    /// machinery against the same sequential oracle.
+    pub fn speculative(mut self, yes: bool) -> Explorer {
+        self.speculative = yes;
         self
     }
 
@@ -167,8 +179,14 @@ impl Explorer {
         for i in 0..self.schedules {
             let seed = self.schedule_seed(i);
             set_perturbation(Some(Perturbation::from_seed(seed)));
-            set_default_execution(Execution::Parallel {
-                threads: self.threads,
+            set_default_execution(if self.speculative {
+                Execution::Speculative {
+                    threads: self.threads,
+                }
+            } else {
+                Execution::Parallel {
+                    threads: self.threads,
+                }
             });
             let run = run_captured(&workload);
             if let Some(mut d) = compare_runs(&oracle, &run) {
@@ -182,8 +200,9 @@ impl Explorer {
                     Classification::HostNondeterminism
                 });
                 d.condition = format!(
-                    "perturbed schedule #{i} seed={seed:#018x} threads={}",
-                    self.threads
+                    "perturbed schedule #{i} seed={seed:#018x} threads={}{}",
+                    self.threads,
+                    if self.speculative { " speculative" } else { "" }
                 );
                 return ExploreReport {
                     schedules_run: i + 1,
@@ -227,6 +246,38 @@ mod tests {
             .schedules(6)
             .threads(4)
             .explore(ping_pong_workload);
+        assert_eq!(report.schedules_run, 6);
+        report.assert_deterministic();
+    }
+
+    /// Device-contention workload: every process hammers its node's
+    /// scratch disk and the shared NFS server, so validated-class
+    /// speculations frequently find their snapshot stale and replay.
+    fn disk_contention_workload() {
+        let tr = Transport::ipoib_socket();
+        let n = 6u32;
+        let mut sim = Sim::new(Topology::comet(2));
+        for p in 0..n {
+            sim.spawn(NodeId(p % 2), format!("d{p}"), move |ctx| {
+                for round in 0..3u64 {
+                    ctx.compute(Work::flops(1.0e5 * (p as f64 + 1.0)), 1.0);
+                    ctx.disk_write(1 << (14 + (p + round as u32) % 3));
+                    ctx.send(Pid((p + 1) % n), 2, 128, Payload::Empty, &tr);
+                    ctx.recv(MatchSpec::tag(2));
+                    ctx.nfs_read(1 << 12);
+                }
+            });
+        }
+        sim.run();
+    }
+
+    #[test]
+    fn speculative_exploration_of_contended_devices_is_clean() {
+        let report = Explorer::new(0x5bec)
+            .schedules(6)
+            .threads(4)
+            .speculative(true)
+            .explore(disk_contention_workload);
         assert_eq!(report.schedules_run, 6);
         report.assert_deterministic();
     }

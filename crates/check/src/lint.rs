@@ -10,10 +10,14 @@
 //!   seeds, iteration over address-keyed maps, wall-clock reads).
 //! * **thread-count sweep** — parallel mode at 1, 2 and 8 threads;
 //!   catches results that depend on how many compute segments overlap.
+//! * **speculative sweep** — speculative (Time Warp) mode at 2 and 4
+//!   threads; catches results that leak which operations committed
+//!   optimistically versus conservatively, or rolled back and replayed.
 //! * **shuffled shard polling** — perturbation seeds that jitter and
 //!   reorder every queue interaction (holds, token keeps, fast-path
-//!   defeats), so processes poll shared state in shuffled wall-clock
-//!   orders; catches "first poller wins" races.
+//!   defeats, speculation defeats, forced replays), so processes poll
+//!   shared state in shuffled wall-clock orders; catches "first poller
+//!   wins" races. Runs under both parallel and speculative mode.
 //! * **allocator-address poisoning** — a seeded set of junk heap
 //!   allocations is held alive across the run, shifting every address
 //!   the workload's own allocations land on; catches any ordering
@@ -29,6 +33,8 @@ use crate::explore::{harness_lock, run_captured, RestoreGlobals};
 
 /// Thread counts the sweep condition runs at.
 const THREAD_SWEEP: [usize; 3] = [1, 2, 8];
+/// Thread counts the speculative sweep runs at.
+const SPEC_SWEEP: [usize; 2] = [2, 4];
 /// Base seeds for the shuffled-polling condition.
 const POLL_SEEDS: [u64; 2] = [0xD00D, 0xFEED];
 /// Rounds of allocator poisoning.
@@ -113,15 +119,35 @@ pub fn lint_workload<F: Fn()>(workload: F) -> LintReport {
         }
     }
 
-    for seed in POLL_SEEDS {
-        set_perturbation(Some(Perturbation::from_seed(seed)));
-        set_default_execution(Execution::Parallel { threads: 4 });
-        let cond = format!("shuffled polling seed={seed:#x}");
-        if let Some(d) = check(cond, &mut conditions) {
+    for t in SPEC_SWEEP {
+        set_default_execution(Execution::Speculative { threads: t });
+        if let Some(d) = check(format!("speculative sweep t={t}"), &mut conditions) {
             return LintReport {
                 conditions,
                 divergence: Some(d),
             };
+        }
+    }
+
+    for seed in POLL_SEEDS {
+        set_perturbation(Some(Perturbation::from_seed(seed)));
+        for exec in [
+            Execution::Parallel { threads: 4 },
+            Execution::Speculative { threads: 4 },
+        ] {
+            set_default_execution(exec);
+            let mode = if matches!(exec, Execution::Speculative { .. }) {
+                "speculative"
+            } else {
+                "parallel"
+            };
+            let cond = format!("shuffled polling seed={seed:#x} mode={mode}");
+            if let Some(d) = check(cond, &mut conditions) {
+                return LintReport {
+                    conditions,
+                    divergence: Some(d),
+                };
+            }
         }
     }
     set_perturbation(None);
@@ -167,8 +193,9 @@ mod tests {
     fn clean_workload_passes_the_full_matrix() {
         let report = lint_workload(ring_workload);
         report.assert_clean();
-        // replay + 3 thread counts + 2 poll seeds + 2 poison rounds.
-        assert_eq!(report.conditions.len(), 8);
+        // replay + 3 thread counts + 2 speculative counts
+        // + 2 poll seeds x 2 modes + 2 poison rounds.
+        assert_eq!(report.conditions.len(), 12);
     }
 
     #[test]

@@ -66,6 +66,7 @@ pub mod observe;
 pub mod parallel;
 pub mod perturb;
 pub mod queue;
+pub mod speculate;
 pub mod stats;
 pub mod time;
 pub mod topology;
@@ -89,6 +90,7 @@ pub use observe::{begin_capture, capture_active, end_capture, RunCapture};
 pub use parallel::{default_execution, set_default_execution, Execution};
 pub use perturb::{current_perturbation, set_perturbation, Perturbation};
 pub use queue::{CalendarQueue, OrderKey};
+pub use speculate::{current_spec_bug, set_spec_bug, spec_counters_take, SpecBug};
 pub use stats::ProcStats;
 pub use time::{SimDuration, SimTime};
 pub use topology::{DiskSpec, Node, NodeId, NodeSpec, Topology};
@@ -225,6 +227,78 @@ mod engine_tests {
                 "parallel({threads}) diverged from sequential"
             );
         }
+        for threads in [1, 2, 8] {
+            assert_eq!(
+                run_once(Execution::Speculative { threads }),
+                seq,
+                "speculative({threads}) diverged from sequential"
+            );
+        }
+    }
+
+    /// A single process on an idle machine speculates its device
+    /// reservations deterministically: the snapshot can never go stale,
+    /// so every one commits clean and the counters prove the optimistic
+    /// path actually ran (this is the workload the criterion overhead
+    /// benches reuse).
+    #[test]
+    fn speculative_single_process_device_ops_commit_clean() {
+        let mut sim = two_node_sim();
+        sim.set_execution(Execution::Speculative { threads: 1 });
+        sim.spawn(NodeId(0), "solo", |ctx| {
+            for _ in 0..8 {
+                ctx.disk_write(1 << 20);
+                ctx.disk_read(1 << 20);
+                ctx.nfs_write(1 << 16);
+            }
+        });
+        let report = sim.run();
+        assert!(
+            report.spec_commits >= 24,
+            "expected every device op to commit speculatively, got {}",
+            report.spec_commits
+        );
+        assert_eq!(
+            report.spec_rollbacks, 0,
+            "uncontended cells cannot go stale"
+        );
+    }
+
+    /// `SpecBug::ForceReplay` drives every validated-class speculation
+    /// down the rollback-and-replay path; results must still be
+    /// bit-identical because a replay recomputes from live state under
+    /// the token. This is the soundness half of the planted-bug pair
+    /// (the unsound half, `TrustStalePrediction`, is proven *caught* by
+    /// the schedule-explorer self-test).
+    #[test]
+    fn speculative_forced_replay_is_bit_identical() {
+        fn run_once(exec: Execution) -> (u64, Vec<u64>) {
+            let mut sim = Sim::new(Topology::comet(2));
+            sim.set_execution(exec);
+            let tr = Transport::ipoib_socket();
+            for i in 0..4u32 {
+                sim.spawn(NodeId(i % 2), format!("w{i}"), move |ctx| {
+                    let next = Pid((i + 1) % 4);
+                    for _ in 0..3u64 {
+                        ctx.compute(Work::flops(5.0e4 * (i as f64 + 1.0)), 1.0);
+                        ctx.send(next, 3, 1 << 12, Payload::Empty, &tr);
+                        let m = ctx.recv(MatchSpec::tag(3));
+                        ctx.disk_write(m.bytes);
+                        ctx.disk_write_background(1 << 18);
+                    }
+                });
+            }
+            let report = sim.run();
+            (
+                report.makespan().nanos(),
+                report.procs.iter().map(|p| p.finish.nanos()).collect(),
+            )
+        }
+        let seq = run_once(Execution::Sequential);
+        set_spec_bug(Some(SpecBug::ForceReplay));
+        let spec = run_once(Execution::Speculative { threads: 4 });
+        set_spec_bug(None);
+        assert_eq!(spec, seq, "forced replays changed a virtual-time result");
     }
 
     #[test]

@@ -17,16 +17,24 @@
 //!   sequence — and therefore every virtual time, result and statistic —
 //!   is bit-identical to the sequential schedule.
 //!
+//! * [`Execution::Speculative`] — everything parallel mode does, plus
+//!   optimistic execution past the conservative frontier: sends are
+//!   buffered and committed by the scheduler at their order key, and
+//!   device reservations are speculated against a snapshot, validated
+//!   at the commit point, and rolled back + replayed when stale (see
+//!   [`crate::speculate`] and DESIGN.md §14). Still bit-identical.
+//!
 //! The mode can be set per run ([`crate::Sim::set_execution`]),
 //! process-wide ([`set_default_execution`]), or from the environment via
-//! `HPCBD_EXECUTION=sequential|parallel|parallel:N`.
+//! `HPCBD_EXECUTION=sequential|parallel[:N]|speculative[:N]`.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// How the engine schedules the real Rust compute between visible
-/// operations. Both modes produce bit-identical virtual-time results;
+/// operations. All modes produce bit-identical virtual-time results;
 /// parallel mode trades scheduler overhead for wall-clock overlap of
-/// compute segments on multi-core hosts.
+/// compute segments, and speculative mode additionally overlaps the
+/// visible operations themselves on multi-core hosts.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Execution {
     /// Classic baton passing: one process at a time (default).
@@ -39,23 +47,43 @@ pub enum Execution {
         /// Concurrency cap for released compute segments.
         threads: usize,
     },
+    /// Parallel mode plus optimistic (Time Warp-style) speculation past
+    /// the conservative frontier: buffered sends, snapshot-validated
+    /// device reservations, rollback + replay of stale speculations.
+    Speculative {
+        /// Concurrency cap for released compute segments.
+        threads: usize,
+    },
 }
 
 /// Encoded process-wide default execution mode; `u64::MAX` means "not
 /// yet initialized, consult the environment".
 static DEFAULT_EXEC: AtomicU64 = AtomicU64::new(u64::MAX);
 
+/// High bit of the encoding marks speculative mode; thread counts live
+/// in the low 62 bits so no encoding can collide with the `u64::MAX`
+/// "uninitialized" sentinel (which has every bit set).
+const SPEC_BIT: u64 = 1 << 63;
+const THREADS_MASK: u64 = (1 << 62) - 1;
+
 impl Execution {
     fn encode(self) -> u64 {
         match self {
             Execution::Sequential => 0,
-            Execution::Parallel { threads } => threads.max(1) as u64,
+            Execution::Parallel { threads } => (threads.max(1) as u64) & THREADS_MASK,
+            Execution::Speculative { threads } => {
+                SPEC_BIT | ((threads.max(1) as u64) & THREADS_MASK)
+            }
         }
     }
 
     fn decode(v: u64) -> Execution {
         if v == 0 {
             Execution::Sequential
+        } else if v & SPEC_BIT != 0 {
+            Execution::Speculative {
+                threads: (v & THREADS_MASK) as usize,
+            }
         } else {
             Execution::Parallel {
                 threads: v as usize,
@@ -63,17 +91,29 @@ impl Execution {
         }
     }
 
+    fn auto_threads() -> usize {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
+
     /// Parallel mode sized to the host's available cores.
     pub fn parallel_auto() -> Execution {
         Execution::Parallel {
-            threads: std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1),
+            threads: Execution::auto_threads(),
         }
     }
 
-    /// Parse the `HPCBD_EXECUTION` environment variable:
-    /// `sequential` (default), `parallel` (auto-sized), or `parallel:N`.
+    /// Speculative mode sized to the host's available cores.
+    pub fn speculative_auto() -> Execution {
+        Execution::Speculative {
+            threads: Execution::auto_threads(),
+        }
+    }
+
+    /// Parse the `HPCBD_EXECUTION` environment variable: `sequential`
+    /// (default), `parallel` / `speculative` (auto-sized), or
+    /// `parallel:N` / `speculative:N`.
     ///
     /// A malformed value falls back to [`Execution::Sequential`], but not
     /// silently: a one-time stderr warning names the rejected value, so a
@@ -85,7 +125,7 @@ impl Execution {
             WARN_ONCE.call_once(|| {
                 eprintln!(
                     "warning: unrecognized HPCBD_EXECUTION value {bad:?} \
-                     (expected `sequential`, `parallel`, or `parallel:N`); \
+                     (expected `sequential`, `parallel[:N]`, or `speculative[:N]`); \
                      falling back to sequential execution"
                 );
             });
@@ -107,25 +147,38 @@ impl Execution {
         }
     }
 
-    /// Parse `sequential` / `seq`, `parallel` / `par`, or `parallel:N`
-    /// with `N >= 1` (a zero-thread pool is meaningless and rejected;
-    /// whitespace around the mode or the thread count is tolerated).
+    /// Parse `sequential` / `seq`, `parallel` / `par`,
+    /// `speculative` / `spec`, or the `:N`-suffixed forms with `N >= 1`
+    /// (a zero-thread pool is meaningless and rejected, as is any
+    /// non-numeric suffix; whitespace around the mode or the thread
+    /// count is tolerated).
     pub fn parse(s: &str) -> Option<Execution> {
         let s = s.trim();
         match s {
             "sequential" | "seq" => Some(Execution::Sequential),
             "parallel" | "par" => Some(Execution::parallel_auto()),
+            "speculative" | "spec" => Some(Execution::speculative_auto()),
             _ => {
-                let threads = s
-                    .strip_prefix("parallel:")
-                    .or_else(|| s.strip_prefix("par:"))?
-                    .trim()
-                    .parse::<usize>()
-                    .ok()?;
+                let (rest, speculative) = if let Some(r) = s.strip_prefix("parallel:") {
+                    (r, false)
+                } else if let Some(r) = s.strip_prefix("par:") {
+                    (r, false)
+                } else if let Some(r) = s.strip_prefix("speculative:") {
+                    (r, true)
+                } else if let Some(r) = s.strip_prefix("spec:") {
+                    (r, true)
+                } else {
+                    return None;
+                };
+                let threads = rest.trim().parse::<usize>().ok()?;
                 if threads == 0 {
                     return None;
                 }
-                Some(Execution::Parallel { threads })
+                Some(if speculative {
+                    Execution::Speculative { threads }
+                } else {
+                    Execution::Parallel { threads }
+                })
             }
         }
     }
@@ -168,6 +221,22 @@ mod tests {
             Execution::parse("parallel"),
             Some(Execution::Parallel { .. })
         ));
+        assert_eq!(
+            Execution::parse("speculative:4"),
+            Some(Execution::Speculative { threads: 4 })
+        );
+        assert_eq!(
+            Execution::parse("spec:2"),
+            Some(Execution::Speculative { threads: 2 })
+        );
+        assert!(matches!(
+            Execution::parse("speculative"),
+            Some(Execution::Speculative { .. })
+        ));
+        assert!(matches!(
+            Execution::parse("spec"),
+            Some(Execution::Speculative { .. })
+        ));
         assert_eq!(Execution::parse("bogus"), None);
     }
 
@@ -176,6 +245,9 @@ mod tests {
         assert_eq!(Execution::parse("parallel:0"), None);
         assert_eq!(Execution::parse("par:0"), None);
         assert_eq!(Execution::parse(" parallel:0 "), None);
+        assert_eq!(Execution::parse("speculative:0"), None);
+        assert_eq!(Execution::parse("spec:0"), None);
+        assert_eq!(Execution::parse(" speculative:0 "), None);
     }
 
     #[test]
@@ -205,6 +277,27 @@ mod tests {
         assert_eq!(Execution::parse("parallel:-1"), None);
         assert_eq!(Execution::parse("parallel:"), None);
         assert_eq!(Execution::parse("parallel:4x"), None);
+        assert_eq!(Execution::parse("speculative:18446744073709551616"), None);
+        assert_eq!(Execution::parse("speculative:-1"), None);
+        assert_eq!(Execution::parse("speculative:"), None);
+        assert_eq!(Execution::parse("speculative:4x"), None);
+        assert_eq!(Execution::parse("spec:2 4"), None);
+    }
+
+    #[test]
+    fn speculative_whitespace_tolerated_like_parallel() {
+        assert_eq!(
+            Execution::parse("  speculative:8\n"),
+            Some(Execution::Speculative { threads: 8 })
+        );
+        assert_eq!(
+            Execution::parse("speculative: 8"),
+            Some(Execution::Speculative { threads: 8 })
+        );
+        assert_eq!(
+            Execution::parse("\tspec "),
+            Some(Execution::speculative_auto())
+        );
     }
 
     #[test]
@@ -227,6 +320,22 @@ mod tests {
         let (e, warn) = Execution::from_env_value(Some("parallel:0".into()));
         assert_eq!(e, Execution::Sequential);
         assert_eq!(warn.as_deref(), Some("parallel:0"));
+        // Speculative values resolve too.
+        let (e, warn) = Execution::from_env_value(Some("speculative:4".into()));
+        assert_eq!(e, Execution::Speculative { threads: 4 });
+        assert_eq!(warn, None);
+        // Malformed speculative values take the same warn-and-fall-back
+        // path as malformed parallel ones: zero threads...
+        let (e, warn) = Execution::from_env_value(Some("speculative:0".into()));
+        assert_eq!(e, Execution::Sequential);
+        assert_eq!(warn.as_deref(), Some("speculative:0"));
+        // ...and garbage suffixes.
+        let (e, warn) = Execution::from_env_value(Some("speculative:4x".into()));
+        assert_eq!(e, Execution::Sequential);
+        assert_eq!(warn.as_deref(), Some("speculative:4x"));
+        let (e, warn) = Execution::from_env_value(Some("spec ulative:4".into()));
+        assert_eq!(e, Execution::Sequential);
+        assert_eq!(warn.as_deref(), Some("spec ulative:4"));
     }
 
     #[test]
@@ -235,8 +344,20 @@ mod tests {
             Execution::Sequential,
             Execution::Parallel { threads: 1 },
             Execution::Parallel { threads: 7 },
+            Execution::Speculative { threads: 1 },
+            Execution::Speculative { threads: 4 },
+            Execution::Speculative { threads: 509 },
         ] {
             assert_eq!(Execution::decode(e.encode()), e);
         }
+        // The speculative encoding never collides with the
+        // "uninitialized" sentinel.
+        assert_ne!(
+            Execution::Speculative {
+                threads: usize::MAX
+            }
+            .encode(),
+            u64::MAX
+        );
     }
 }
