@@ -173,6 +173,44 @@ fn tracing_overhead(c: &mut Criterion) {
     g.finish();
 }
 
+/// Telemetry overhead: the costs the live-telemetry subsystem must
+/// keep invisible. `pingpong_metrics_off` is the plain uncaptured hot
+/// path (one resolved `bool` per would-be metric call; must match
+/// `engine_handoff/pingpong_sequential`). The captured pair prices the
+/// sampler's collection cost against an identical capture without it,
+/// and the selfprof pair prices the host profiler's relaxed counters.
+fn telemetry_overhead(c: &mut Criterion) {
+    fn captured_pingpong(interval: Option<u64>) -> u64 {
+        hpcbd_simnet::set_telemetry_interval(interval);
+        hpcbd_simnet::begin_capture();
+        let r = pingpong(Execution::Sequential, true);
+        let caps = hpcbd_simnet::end_capture();
+        hpcbd_simnet::set_telemetry_interval(None);
+        black_box(caps.len());
+        r
+    }
+    let mut g = c.benchmark_group("telemetry_overhead");
+    g.sample_size(20);
+    g.bench_function("pingpong_metrics_off", |b| {
+        hpcbd_simnet::set_telemetry_interval(None);
+        b.iter(|| black_box(pingpong(Execution::Sequential, false)))
+    });
+    g.bench_function("pingpong_captured_no_telemetry", |b| {
+        b.iter(|| black_box(captured_pingpong(None)))
+    });
+    g.bench_function("pingpong_captured_telemetry", |b| {
+        b.iter(|| black_box(captured_pingpong(Some(1_000))))
+    });
+    g.bench_function("pingpong_selfprof_on", |b| {
+        hpcbd_simnet::selfprof_reset();
+        hpcbd_simnet::set_selfprof(true);
+        b.iter(|| black_box(pingpong(Execution::Sequential, false)));
+        hpcbd_simnet::set_selfprof(false);
+    });
+    set_default_execution(Execution::Sequential);
+    g.finish();
+}
+
 /// Compute-only segments: the self-grant fast path should make a pure
 /// compute/sleep loop nearly queue-free.
 fn compute_loop(c: &mut Criterion) {
@@ -218,6 +256,7 @@ criterion_group!(
     engine_handoff,
     speculation_overhead,
     tracing_overhead,
+    telemetry_overhead,
     compute_loop,
     collective_memo
 );

@@ -28,9 +28,10 @@
 //! `--quick` is accepted and ignored — there is nothing to scale down —
 //! so one invocation convention covers the whole harness (CI runs every
 //! bin with `--quick` in its smoke matrix). Every binary also accepts
-//! `--report PATH` (phase-attributed JSON run report, DESIGN.md §10)
-//! and `--perfetto PATH` (Chrome-tracing export with causal flow
-//! arrows) via the shared [`BenchArgs`] parser. Criterion benches
+//! `--report PATH` (phase-attributed JSON run report, DESIGN.md §10),
+//! `--perfetto PATH` (Chrome-tracing export with causal flow arrows)
+//! and `--telemetry` / `--telemetry-out PATH` (live virtual-time
+//! telemetry, DESIGN.md §15) via the shared [`BenchArgs`] parser. Criterion benches
 //! (`cargo bench`) time the *simulator's wall-clock cost* on small
 //! configurations of the same experiments; `bench_hotpath` times the
 //! engine's scheduling/tracing machinery itself.
@@ -52,6 +53,12 @@ pub fn quick_mode() -> bool {
 ///   (also printed as a text table after the artifact's own output).
 /// * `--perfetto PATH` — additionally write the first captured run as
 ///   Chrome-tracing JSON with causal flow arrows, loadable in Perfetto.
+/// * `--telemetry` — sample live telemetry (time-series, windowed
+///   quantiles, SLO attainment) into the report's `telemetry` section;
+///   the interval comes from `HPCBD_TELEMETRY` (nanoseconds), default
+///   [`hpcbd_simnet::DEFAULT_TELEMETRY_INTERVAL_NS`].
+/// * `--telemetry-out PATH` — implies `--telemetry` and writes the
+///   telemetry-bearing report JSON to PATH (independent of `--report`).
 ///
 /// Unknown arguments are ignored so binaries can layer their own flags
 /// (e.g. `bench --out PATH`) on top.
@@ -63,6 +70,11 @@ pub struct BenchArgs {
     pub report: Option<PathBuf>,
     /// Destination of the Perfetto trace, if `--perfetto` was passed.
     pub perfetto: Option<PathBuf>,
+    /// `--telemetry` (or `--telemetry-out`) was passed.
+    pub telemetry: bool,
+    /// Destination of the telemetry report, if `--telemetry-out` was
+    /// passed.
+    pub telemetry_out: Option<PathBuf>,
 }
 
 impl BenchArgs {
@@ -80,6 +92,11 @@ impl BenchArgs {
                 "--quick" => parsed.quick = true,
                 "--report" => parsed.report = it.next().map(PathBuf::from),
                 "--perfetto" => parsed.perfetto = it.next().map(PathBuf::from),
+                "--telemetry" => parsed.telemetry = true,
+                "--telemetry-out" => {
+                    parsed.telemetry_out = it.next().map(PathBuf::from);
+                    parsed.telemetry = parsed.telemetry || parsed.telemetry_out.is_some();
+                }
                 _ => {}
             }
         }
@@ -97,12 +114,26 @@ impl BenchArgs {
 /// engine), the report is built, written, and its text rendering is
 /// printed after the artifact's own output.
 pub fn run_with_report<R>(artifact: &str, args: &BenchArgs, f: impl FnOnce() -> R) -> R {
-    if args.report.is_none() && args.perfetto.is_none() {
+    if args.report.is_none() && args.perfetto.is_none() && !args.telemetry {
         return f();
     }
+    // `--telemetry` turns the sampler on for the capture window:
+    // HPCBD_TELEMETRY picks the interval, else the default tick. The
+    // prior interval is restored afterwards so library callers (tests)
+    // don't leak sampling into later runs.
+    let prev_interval = hpcbd_simnet::telemetry_interval();
+    if args.telemetry {
+        let interval = prev_interval.unwrap_or(hpcbd_simnet::DEFAULT_TELEMETRY_INTERVAL_NS);
+        hpcbd_simnet::set_telemetry_interval(Some(interval));
+    }
+    // The self-profiler (HPCBD_SELFPROF) only matters when a report is
+    // being captured — its counters surface as the report's
+    // `host_profile` rows — so resolve the env here, not on every run.
+    hpcbd_simnet::selfprof_from_env();
     hpcbd_simnet::begin_capture();
     let result = f();
     let captures = hpcbd_simnet::end_capture();
+    hpcbd_simnet::set_telemetry_interval(prev_interval);
     let report = hpcbd_obs::RunReport::from_captures(artifact, args.quick, &captures);
     println!();
     print!("{}", report.render_text());
@@ -112,11 +143,18 @@ pub fn run_with_report<R>(artifact: &str, args: &BenchArgs, f: impl FnOnce() -> 
             Err(e) => eprintln!("failed to write report {}: {e}", path.display()),
         }
     }
+    if let Some(path) = &args.telemetry_out {
+        match std::fs::write(path, report.to_json()) {
+            Ok(()) => println!("telemetry report written to {}", path.display()),
+            Err(e) => eprintln!("failed to write telemetry {}: {e}", path.display()),
+        }
+    }
     if let Some(path) = &args.perfetto {
         match captures.first() {
             Some(cap) => {
                 let graph = hpcbd_obs::match_events(&cap.events);
-                let json = hpcbd_obs::to_perfetto_json(cap, &graph);
+                let telemetry = report.sections.first().and_then(|s| s.telemetry.as_ref());
+                let json = hpcbd_obs::to_perfetto_json_with_telemetry(cap, &graph, telemetry);
                 match std::fs::write(path, json) {
                     Ok(()) => println!("perfetto trace written to {}", path.display()),
                     Err(e) => eprintln!("failed to write trace {}: {e}", path.display()),
@@ -165,5 +203,27 @@ mod tests {
     fn missing_value_yields_none() {
         let a = parse(&["--report"]);
         assert!(a.report.is_none());
+    }
+
+    #[test]
+    fn telemetry_flag_parses_alone() {
+        let a = parse(&["--telemetry"]);
+        assert!(a.telemetry);
+        assert!(a.telemetry_out.is_none());
+    }
+
+    #[test]
+    fn telemetry_out_implies_telemetry() {
+        let a = parse(&["--telemetry-out", "t.json"]);
+        assert!(a.telemetry);
+        assert_eq!(
+            a.telemetry_out.as_deref(),
+            Some(std::path::Path::new("t.json"))
+        );
+        // A dangling --telemetry-out neither crashes nor enables
+        // sampling by accident.
+        let b = parse(&["--telemetry-out"]);
+        assert!(!b.telemetry);
+        assert!(b.telemetry_out.is_none());
     }
 }

@@ -270,7 +270,32 @@ mod tests {
                     kind: EventKind::Compute,
                 },
             ],
+            telemetry_interval: None,
+            metric_points: Vec::new(),
+            spec_commits: 0,
+            spec_rollbacks: 0,
         }
+    }
+
+    #[test]
+    fn telemetry_fields_are_digest_excluded() {
+        // A telemetry-on capture must digest (and compare) identically to
+        // a telemetry-off capture: the digest hashes capture fields
+        // explicitly, and telemetry is deliberately not one of them.
+        let mut on = cap();
+        on.telemetry_interval = Some(1_000);
+        on.metric_points.push(hpcbd_simnet::MetricPoint {
+            time: SimTime(3),
+            pid: Pid(0),
+            seq: 0,
+            name: "x".into(),
+            labels: "".into(),
+            op: hpcbd_simnet::MetricOp::CounterAdd(1),
+        });
+        on.spec_commits = 7;
+        on.spec_rollbacks = 2;
+        assert_eq!(capture_digest(&[cap()]), capture_digest(&[on.clone()]));
+        assert!(compare_runs(&[cap()], &[on]).is_none());
     }
 
     #[test]

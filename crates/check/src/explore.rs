@@ -32,7 +32,8 @@ use parking_lot::{Mutex, MutexGuard};
 
 use hpcbd_simnet::{
     begin_capture, default_execution, det_hash, end_capture, set_default_execution,
-    set_perturbation, Execution, Perturbation, RunCapture,
+    set_perturbation, set_telemetry_interval, telemetry_interval, Execution, Perturbation,
+    RunCapture,
 };
 
 use crate::compare::{capture_digest, compare_runs, Classification, Divergence};
@@ -48,12 +49,14 @@ pub fn harness_lock() -> MutexGuard<'static, ()> {
 /// Restores the pre-harness engine globals on drop (panic included).
 pub(crate) struct RestoreGlobals {
     prev: Execution,
+    prev_telemetry: Option<u64>,
 }
 
 impl RestoreGlobals {
     pub(crate) fn capture() -> RestoreGlobals {
         RestoreGlobals {
             prev: default_execution(),
+            prev_telemetry: telemetry_interval(),
         }
     }
 }
@@ -62,6 +65,7 @@ impl Drop for RestoreGlobals {
     fn drop(&mut self) {
         set_perturbation(None);
         set_default_execution(self.prev);
+        set_telemetry_interval(self.prev_telemetry);
     }
 }
 

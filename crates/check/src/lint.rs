@@ -22,13 +22,24 @@
 //!   allocations is held alive across the run, shifting every address
 //!   the workload's own allocations land on; catches any ordering
 //!   derived from pointer values.
+//! * **telemetry digest identity** — the same sequential run with
+//!   telemetry sampling on must produce the *same conformance digest*
+//!   as the telemetry-off oracle: telemetry is excluded from digests
+//!   (like `spec_commits`) and must never perturb the simulation.
+//! * **telemetry cross-mode identity** — the serialized telemetry
+//!   section itself must be byte-identical across sequential,
+//!   parallel and speculative execution; catches any wall-clock or
+//!   schedule state leaking into a metric series.
 //!
 //! All conditions compare against the same sequential oracle, so a lint
 //! pass certifies one workload across the whole condition matrix.
 
-use hpcbd_simnet::{det_hash, set_default_execution, set_perturbation, Execution, Perturbation};
+use hpcbd_simnet::{
+    det_hash, set_default_execution, set_perturbation, set_telemetry_interval, Execution,
+    Perturbation, RunCapture,
+};
 
-use crate::compare::{compare_runs, Classification, Divergence};
+use crate::compare::{capture_digest, compare_runs, Classification, Divergence};
 use crate::explore::{harness_lock, run_captured, RestoreGlobals};
 
 /// Thread counts the sweep condition runs at.
@@ -39,6 +50,9 @@ const SPEC_SWEEP: [usize; 2] = [2, 4];
 const POLL_SEEDS: [u64; 2] = [0xD00D, 0xFEED];
 /// Rounds of allocator poisoning.
 const POISON_ROUNDS: u64 = 2;
+/// Sampling interval the telemetry conditions run with (1 µs of
+/// virtual time — fine enough that lint workloads span many windows).
+const TELEMETRY_LINT_INTERVAL_NS: u64 = 1_000;
 
 /// Result of linting one workload.
 #[derive(Debug)]
@@ -164,10 +178,123 @@ pub fn lint_workload<F: Fn()>(workload: F) -> LintReport {
         }
     }
 
+    // Telemetry digest identity: sampling on must not perturb the
+    // simulation, and the telemetry itself must be digest-excluded, so
+    // the conformance digest matches the telemetry-off oracle exactly.
+    set_default_execution(Execution::Sequential);
+    set_telemetry_interval(Some(TELEMETRY_LINT_INTERVAL_NS));
+    conditions.push("telemetry digest identity".into());
+    let telemetry_seq = run_captured(&workload);
+    let mut divergence = compare_runs(&oracle, &telemetry_seq).map(|mut d| {
+        d.condition = "telemetry digest identity".into();
+        d
+    });
+    if divergence.is_none() {
+        let (a, b) = (capture_digest(&oracle), capture_digest(&telemetry_seq));
+        if a != b {
+            divergence = Some(telemetry_divergence(
+                "telemetry digest identity",
+                "capture_digest",
+                &a,
+                &b,
+            ));
+        }
+    }
+    if let Some(d) = divergence {
+        set_telemetry_interval(None);
+        return LintReport {
+            conditions,
+            divergence: Some(d),
+        };
+    }
+
+    // Telemetry cross-mode identity: the serialized telemetry section
+    // must be byte-identical whichever execution mode produced it.
+    let oracle_telemetry = serialize_telemetry(&telemetry_seq);
+    for exec in [
+        Execution::Parallel { threads: 2 },
+        Execution::Speculative { threads: 2 },
+    ] {
+        set_default_execution(exec);
+        let mode = if matches!(exec, Execution::Speculative { .. }) {
+            "speculative"
+        } else {
+            "parallel"
+        };
+        let cond = format!("telemetry cross-mode identity mode={mode}");
+        conditions.push(cond.clone());
+        let run = run_captured(&workload);
+        let got = serialize_telemetry(&run);
+        if oracle_telemetry != got {
+            let d = first_telemetry_divergence(&cond, &oracle_telemetry, &got);
+            set_telemetry_interval(None);
+            return LintReport {
+                conditions,
+                divergence: Some(d),
+            };
+        }
+    }
+    set_telemetry_interval(None);
+
     LintReport {
         conditions,
         divergence: None,
     }
+}
+
+/// Serialize each capture's sampled telemetry to its canonical JSON
+/// text (empty string for a capture that somehow sampled nothing).
+fn serialize_telemetry(caps: &[RunCapture]) -> Vec<String> {
+    caps.iter()
+        .map(|c| {
+            hpcbd_obs::collect_telemetry(c)
+                .map(|t| t.to_json_value().serialize())
+                .unwrap_or_default()
+        })
+        .collect()
+}
+
+fn telemetry_divergence(condition: &str, field: &str, expected: &str, got: &str) -> Divergence {
+    Divergence {
+        condition: condition.to_string(),
+        capture_index: 0,
+        event_index: None,
+        order_key: None,
+        pids: Vec::new(),
+        field: field.to_string(),
+        expected: expected.to_string(),
+        got: got.to_string(),
+        classification: None,
+    }
+}
+
+/// Locate the first capture whose serialized telemetry differs and
+/// report a window around the first differing byte.
+fn first_telemetry_divergence(condition: &str, expected: &[String], got: &[String]) -> Divergence {
+    for (i, (a, b)) in expected.iter().zip(got.iter()).enumerate() {
+        if a != b {
+            let at = a
+                .bytes()
+                .zip(b.bytes())
+                .position(|(x, y)| x != y)
+                .unwrap_or_else(|| a.len().min(b.len()));
+            let ctx = |s: &str| {
+                let bytes = s.as_bytes();
+                let lo = at.saturating_sub(40);
+                let hi = (at + 40).min(bytes.len());
+                format!("...{}...", String::from_utf8_lossy(&bytes[lo..hi]))
+            };
+            let mut d = telemetry_divergence(condition, "telemetry", &ctx(a), &ctx(b));
+            d.capture_index = i;
+            return d;
+        }
+    }
+    telemetry_divergence(
+        condition,
+        "telemetry capture count",
+        &expected.len().to_string(),
+        &got.len().to_string(),
+    )
 }
 
 #[cfg(test)]
@@ -194,8 +321,9 @@ mod tests {
         let report = lint_workload(ring_workload);
         report.assert_clean();
         // replay + 3 thread counts + 2 speculative counts
-        // + 2 poll seeds x 2 modes + 2 poison rounds.
-        assert_eq!(report.conditions.len(), 12);
+        // + 2 poll seeds x 2 modes + 2 poison rounds
+        // + telemetry digest identity + 2 telemetry cross-mode runs.
+        assert_eq!(report.conditions.len(), 15);
     }
 
     #[test]

@@ -270,6 +270,7 @@ impl Hdfs {
             return; // someone already repaired this node's blocks
         }
         let rpc = Transport::java_socket_control();
+        ctx.metric_counter("hdfs.re_replications", "", 1);
         ctx.span_open("hdfs/re_replicate");
         for (block_id, len, source, target) in self.plan_re_replication(node) {
             ctx.record_fault(FaultEvent::Recovery {

@@ -221,6 +221,11 @@ impl Checkpointer {
                 let issue = rank.now();
                 rank.ctx().disk_write(self.state_bytes_per_rank);
                 let done = rank.now();
+                rank.ctx().metric_observe(
+                    "ckpt.drain_lag_ns",
+                    "mode=coordinated",
+                    (done - issue).nanos(),
+                );
                 rank.barrier();
                 self.drains.register(iter, issue, done);
             }
@@ -231,6 +236,11 @@ impl Checkpointer {
                     .compute(Work::new(0.0, 2.0 * self.state_bytes_per_rank as f64), 1.0);
                 let issue = rank.now();
                 let done = rank.ctx().disk_write_background(self.state_bytes_per_rank);
+                rank.ctx().metric_observe(
+                    "ckpt.drain_lag_ns",
+                    "mode=async",
+                    (done - issue).nanos(),
+                );
                 self.drains.register(iter, issue, done);
             }
         }

@@ -719,6 +719,7 @@ where
                         return;
                     }
                 }
+                ctx.metric_counter("mr.tasks", "kind=map", 1);
                 ctx.span_open("mr/task/map");
                 ctx.advance(job.conf.task_jvm_startup);
                 job.hdfs.read_block(ctx, block);
@@ -784,6 +785,7 @@ where
                 partition,
                 map_tasks,
             } => {
+                ctx.metric_counter("mr.tasks", "kind=reduce", 1);
                 ctx.span_open("mr/task/reduce");
                 ctx.advance(job.conf.task_jvm_startup);
                 let scale = job.format.logical_scale();

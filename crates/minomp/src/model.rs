@@ -75,6 +75,7 @@ impl OmpModel {
     ) {
         let spec = ctx.world().topology.node(ctx.node()).spec.clone();
         let d = self.region_time(&spec, threads, schedule, n, total_work);
+        ctx.metric_counter("omp.parallel_regions", "", 1);
         ctx.span_open("omp/parallel");
         ctx.advance(d);
         ctx.span_close();

@@ -201,6 +201,11 @@ impl ShmemCheckpointer {
                 let issue = pe.now();
                 pe.ctx().disk_write(self.state_bytes_per_pe);
                 let done = pe.now();
+                pe.ctx().metric_observe(
+                    "ckpt.drain_lag_ns",
+                    "mode=coordinated",
+                    (done - issue).nanos(),
+                );
                 pe.barrier_all();
                 self.drains.register(iter, issue, done);
             }
@@ -211,6 +216,8 @@ impl ShmemCheckpointer {
                     .compute(Work::new(0.0, 2.0 * self.state_bytes_per_pe as f64), 1.0);
                 let issue = pe.now();
                 let done = pe.ctx().disk_write_background(self.state_bytes_per_pe);
+                pe.ctx()
+                    .metric_observe("ckpt.drain_lag_ns", "mode=async", (done - issue).nanos());
                 self.drains.register(iter, issue, done);
             }
         }

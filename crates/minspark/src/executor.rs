@@ -128,6 +128,14 @@ pub(crate) fn executor_loop(ctx: &mut ProcCtx, app: Arc<AppShared>, me: ExecId) 
             ExecCmd::Shutdown => return,
             ExecCmd::Task(task) => {
                 crate::metrics::SparkMetrics::add(&app.metrics.tasks_launched, 1);
+                ctx.metric_counter(
+                    "spark.tasks",
+                    match &task.kind {
+                        TaskKind::ShuffleMap { .. } => "kind=shuffle_map",
+                        TaskKind::Action(_) => "kind=action",
+                    },
+                    1,
+                );
                 ctx.advance(app.config.task_launch_overhead);
                 ctx.span_open(match &task.kind {
                     TaskKind::ShuffleMap { .. } => "spark/task/shuffle_map",

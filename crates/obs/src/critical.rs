@@ -284,6 +284,10 @@ mod tests {
             cluster_nodes: 1,
             dropped_msgs: 0,
             events,
+            telemetry_interval: None,
+            metric_points: Vec::new(),
+            spec_commits: 0,
+            spec_rollbacks: 0,
         }
     }
 

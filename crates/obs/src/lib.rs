@@ -18,6 +18,13 @@
 //! * [`recovery`] folds structured fault/recovery trace records into
 //!   per-crash SLOs — time-to-detect, time-to-recover, work replayed —
 //!   surfaced in the report's `recovery` key and text timeline.
+//! * [`metrics`] builds live telemetry: a lock-sharded metrics
+//!   registry sampled at virtual-time ticks into windowed time-series
+//!   (queue depth, device utilization, latency quantiles) with SLO
+//!   monitors — the report's optional `telemetry` key.
+//! * [`selfprof`] folds the engine's host-side self-profiler counters
+//!   into the `host_profile` rows (wall-clock-dependent, opt-in via
+//!   `HPCBD_SELFPROF`).
 //!
 //! Everything here is a pure function of the captured run — which is
 //! itself a pure function of virtual-time state — so reports are
@@ -31,14 +38,21 @@ pub mod causal;
 pub mod critical;
 pub mod diff;
 pub mod json;
+pub mod metrics;
 pub mod perfetto;
 pub mod recovery;
 pub mod report;
+pub mod selfprof;
 
 pub use causal::{match_events, CausalEdge, CausalGraph};
 pub use critical::{critical_path, Category, CriticalPath, Segment};
 pub use diff::{first_divergence, LineDivergence};
 pub use json::JsonValue;
-pub use perfetto::to_perfetto_json;
+pub use metrics::{
+    collect_telemetry, effective_interval, Hist64, MetricKind, Points, QuantileSummary, Registry,
+    SloBreach, SloMonitor, SloOutcome, Telemetry, TimeSeries,
+};
+pub use perfetto::{to_perfetto_json, to_perfetto_json_with_telemetry};
 pub use recovery::{recovery_slos, FaultRecovery, RecoverySummary};
 pub use report::{PhaseRow, RunReport, RunSection};
+pub use selfprof::host_profile;

@@ -1,15 +1,20 @@
 //! Extended Perfetto / Chrome-tracing export: the full event timeline
 //! (phase spans included) plus flow arrows for every matched send→recv
-//! edge, so the causal structure is visible in the UI.
+//! edge, so the causal structure is visible in the UI — and, when the
+//! run carried telemetry, one counter track (`ph: "C"`) per sampled
+//! series plus an instant event (`ph: "i"`) per SLO breach.
 //!
 //! Builds on the same complete-event (`ph: "X"`) encoding as
 //! [`hpcbd_simnet::Trace::to_chrome_json`]; flow arrows use `ph: "s"` /
-//! `ph: "f"` pairs whose `id` is the edge index.
+//! `ph: "f"` pairs whose `id` is the edge index. Counter-track names
+//! pass through [`json_escape`] exactly like event names — a metric
+//! label containing a quote must not corrupt the document.
 
 use hpcbd_simnet::observe::RunCapture;
 use hpcbd_simnet::{json_escape, EventKind};
 
 use crate::causal::CausalGraph;
+use crate::metrics::{Points, Telemetry};
 
 fn us(nanos: u64) -> String {
     format!("{:.3}", nanos as f64 / 1e3)
@@ -18,6 +23,16 @@ fn us(nanos: u64) -> String {
 /// Render a captured run (events + causal edges) as a Chrome tracing
 /// JSON array loadable in Perfetto.
 pub fn to_perfetto_json(cap: &RunCapture, graph: &CausalGraph) -> String {
+    to_perfetto_json_with_telemetry(cap, graph, None)
+}
+
+/// [`to_perfetto_json`], plus counter tracks and SLO-breach instants
+/// for a sampled [`Telemetry`] section.
+pub fn to_perfetto_json_with_telemetry(
+    cap: &RunCapture,
+    graph: &CausalGraph,
+    telemetry: Option<&Telemetry>,
+) -> String {
     let mut out = String::from("[\n");
     let mut first = true;
     let mut push = |line: String, out: &mut String| {
@@ -69,6 +84,49 @@ pub fn to_perfetto_json(cap: &RunCapture, graph: &CausalGraph) -> String {
             &mut out,
         );
     }
+    if let Some(t) = telemetry {
+        for s in &t.series {
+            // Track title: `name{labels}` — escaped the same way event
+            // names are, so a quote in a label cannot break the JSON.
+            let title = if s.labels.is_empty() {
+                s.name.to_string()
+            } else {
+                format!("{}{{{}}}", s.name, s.labels)
+            };
+            let title = json_escape(&title);
+            // One representative value per point: the per-window delta
+            // for counters (reads as a rate), the value for gauges, the
+            // windowed p99 for histograms.
+            let rows: Vec<(u64, u64)> = match &s.points {
+                Points::Counter(v) => v.iter().map(|p| (p[0], p[1])).collect(),
+                Points::Gauge(v) => v.iter().map(|p| (p[0], p[1])).collect(),
+                Points::Histogram(v) => v.iter().map(|p| (p[0], p[3])).collect(),
+            };
+            for (t_ns, value) in rows {
+                push(
+                    format!(
+                        "  {{\"name\": \"{title}\", \"cat\": \"telemetry\", \"ph\": \"C\", \"ts\": {}, \"pid\": 0, \"args\": {{\"value\": {value}}}}}",
+                        us(t_ns),
+                    ),
+                    &mut out,
+                );
+            }
+        }
+        for o in &t.slo {
+            for b in &o.breaches {
+                let name = json_escape(&format!("slo_breach {}", o.monitor.metric));
+                push(
+                    format!(
+                        "  {{\"name\": \"{name}\", \"cat\": \"slo\", \"ph\": \"i\", \"s\": \"g\", \"ts\": {}, \"pid\": 0, \"tid\": 0, \"args\": {{\"observed_p99\": {}, \"threshold\": {}}}}}",
+                        us(b.t_ns),
+                        b.observed_p99,
+                        b.threshold,
+                    ),
+                    &mut out,
+                );
+            }
+        }
+    }
     out.push_str("\n]\n");
     out
 }
@@ -116,6 +174,10 @@ mod tests {
                     },
                 ),
             ],
+            telemetry_interval: None,
+            metric_points: Vec::new(),
+            spec_commits: 0,
+            spec_rollbacks: 0,
         };
         let graph = match_events(&cap.events);
         let json = to_perfetto_json(&cap, &graph);
@@ -124,5 +186,51 @@ mod tests {
         assert!(json.contains(r#"send\"er"#), "escaped name: {json}");
         // The whole document must be valid JSON.
         JsonValue::parse(&json).expect("perfetto export must parse");
+    }
+
+    #[test]
+    fn counter_tracks_escape_names_and_breaches_become_instants() {
+        use crate::metrics::Registry;
+        // A label with a quote: the counter-track name must be escaped
+        // the same way event names are.
+        let reg = Registry::new();
+        reg.counter_add("util", "disk=\"sda\"", 0, 7);
+        reg.counter_add("util", "disk=\"sda\"", 15, 3);
+        // A histogram whose last window breaches its 4×p50 SLO.
+        for t in 0..10u64 {
+            reg.observe("lat", "", t, 100);
+        }
+        reg.observe("lat", "", 15, 1 << 30);
+        let telemetry = reg.sample(10, 20);
+        assert!(
+            telemetry.slo.iter().any(|o| o.windows_breached > 0),
+            "fixture must actually breach"
+        );
+
+        let cap = RunCapture {
+            proc_names: vec!["p".into()],
+            proc_nodes: vec![NodeId(0)],
+            finishes: vec![SimTime(20)],
+            stats: vec![ProcStats::default()],
+            makespan: SimTime(20),
+            cluster_nodes: 1,
+            dropped_msgs: 0,
+            events: Vec::new(),
+            telemetry_interval: Some(10),
+            metric_points: Vec::new(),
+            spec_commits: 0,
+            spec_rollbacks: 0,
+        };
+        let graph = match_events(&cap.events);
+        let json = to_perfetto_json_with_telemetry(&cap, &graph, Some(&telemetry));
+        assert!(json.contains("\"ph\": \"C\""), "counter track: {json}");
+        assert!(
+            json.contains(r#"util{disk=\"sda\"}"#),
+            "escaped track name: {json}"
+        );
+        assert!(json.contains("\"ph\": \"i\""), "breach instant: {json}");
+        assert!(json.contains("slo_breach lat"), "breach name: {json}");
+        // Escaping must keep the whole document valid JSON.
+        JsonValue::parse(&json).expect("perfetto export with telemetry must parse");
     }
 }

@@ -175,6 +175,10 @@ mod tests {
             makespan: SimTime(10_000),
             cluster_nodes: 2,
             dropped_msgs: 0,
+            telemetry_interval: None,
+            metric_points: Vec::new(),
+            spec_commits: 0,
+            spec_rollbacks: 0,
             events: vec![
                 // Crash back-dated to t=1000; duplicate record later.
                 at(

@@ -19,6 +19,7 @@ use hpcbd_simnet::{EventKind, ProcStats, SimTime};
 use crate::causal::{match_events, CausalGraph};
 use crate::critical::{critical_path, Category, CriticalPath};
 use crate::json::JsonValue;
+use crate::metrics::{collect_telemetry, Telemetry};
 use crate::recovery::{recovery_slos, RecoverySummary};
 
 /// How many top critical-path contributors each section keeps.
@@ -128,6 +129,10 @@ pub struct RunSection {
     pub unmatched_recvs: u64,
     /// Per-crash recovery SLOs; empty for fault-free runs.
     pub recovery: RecoverySummary,
+    /// Sampled live telemetry; `None` unless the run was captured with
+    /// a telemetry interval set (see [`crate::metrics`]). Omitting the
+    /// key keeps telemetry-off reports byte-identical to old goldens.
+    pub telemetry: Option<Telemetry>,
 }
 
 /// Replace purely numeric path segments with `*` so per-iteration and
@@ -222,6 +227,13 @@ fn build_section(index: usize, cap: &RunCapture) -> RunSection {
     top.sort_by(|a, b| b.2.cmp(&a.2).then_with(|| (&a.0, a.1).cmp(&(&b.0, b.1))));
     top.truncate(TOP_K);
 
+    // Attach the (wall-clock, opt-in) host profile to the telemetry
+    // section; without telemetry there is nowhere to surface it.
+    let telemetry = collect_telemetry(cap).map(|mut t| {
+        t.host_profile = crate::selfprof::host_profile(cap);
+        t
+    });
+
     RunSection {
         index,
         procs: cap.proc_names.len(),
@@ -233,6 +245,7 @@ fn build_section(index: usize, cap: &RunCapture) -> RunSection {
         causal_edges: graph.edges.len() as u64,
         unmatched_recvs: graph.unmatched_recvs,
         recovery: recovery_slos(cap),
+        telemetry,
         crit: cp,
         top,
         hist_msg_bytes,
@@ -380,6 +393,12 @@ impl RunReport {
                 // Recovery SLOs only exist under an injected fault plan;
                 // omitting the key keeps fault-free reports byte-identical
                 // to their pre-fault-support goldens.
+                // Telemetry only exists when sampling was on; omitting
+                // the key keeps telemetry-off reports byte-identical
+                // to their goldens, like `recovery` below.
+                if let Some(t) = &s.telemetry {
+                    run_obj.push(("telemetry".into(), t.to_json_value()));
+                }
                 if !s.recovery.is_empty() {
                     let faults = JsonValue::Arr(
                         s.recovery
@@ -489,6 +508,30 @@ impl RunReport {
                     ));
                 }
             }
+            if let Some(t) = &s.telemetry {
+                out.push_str(&format!(
+                    "  telemetry: {} series sampled @ {} ({} windows)\n",
+                    t.series.len(),
+                    ns(t.interval_ns),
+                    t.windows
+                ));
+                for o in &t.slo {
+                    out.push_str(&format!(
+                        "    slo {}{}{}: attainment {}.{:04}% ({} of {} windows breached)\n",
+                        o.monitor.metric,
+                        if o.monitor.labels.is_empty() { "" } else { "{" },
+                        if o.monitor.labels.is_empty() {
+                            String::new()
+                        } else {
+                            format!("{}}}", o.monitor.labels)
+                        },
+                        o.attainment_ppm / 10_000,
+                        o.attainment_ppm % 10_000,
+                        o.windows_breached,
+                        o.windows_evaluated
+                    ));
+                }
+            }
             out.push_str("  per-phase breakdown (critical-path attribution; sums to makespan):\n");
             out.push_str(&format!(
                 "    {:<40} {:>6} {:>12} {:>7} {:>7} {:>7} {:>7} {:>7}\n",
@@ -545,6 +588,10 @@ mod tests {
             makespan: SimTime(100),
             cluster_nodes: 2,
             dropped_msgs: 0,
+            telemetry_interval: None,
+            metric_points: Vec::new(),
+            spec_commits: 0,
+            spec_rollbacks: 0,
             events: vec![
                 ev(
                     0,
@@ -697,6 +744,31 @@ mod tests {
         let txt = faulty.render_text();
         assert!(txt.contains("recovery timeline:"), "text: {txt}");
         assert!(txt.contains("n1 crashed"), "text: {txt}");
+    }
+
+    #[test]
+    fn telemetry_key_appears_only_when_sampling_was_on() {
+        let off = RunReport::from_captures("unit", true, &[small_capture()]);
+        let v = JsonValue::parse(&off.to_json()).unwrap();
+        assert!(
+            v.get("runs").unwrap().as_arr().unwrap()[0]
+                .get("telemetry")
+                .is_none(),
+            "telemetry-off reports must stay byte-identical to old goldens"
+        );
+
+        let mut cap = small_capture();
+        cap.telemetry_interval = Some(10);
+        let on = RunReport::from_captures("unit", true, &[cap]);
+        let v = JsonValue::parse(&on.to_json()).unwrap();
+        let t = v.get("runs").unwrap().as_arr().unwrap()[0]
+            .get("telemetry")
+            .expect("telemetry-on run must carry the section");
+        assert_eq!(t.get("interval_ns"), Some(&JsonValue::u64(10)));
+        assert!(!t.get("series").unwrap().as_arr().unwrap().is_empty());
+        let txt = on.render_text();
+        assert!(txt.contains("telemetry:"), "text: {txt}");
+        assert!(txt.contains("slo "), "text: {txt}");
     }
 
     #[test]

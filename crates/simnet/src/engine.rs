@@ -254,6 +254,7 @@ impl Sched {
     /// Push `pid` as runnable at `time`, invalidating any earlier entry
     /// for it. Caller holds the sched lock.
     fn push(&mut self, pid: Pid, time: SimTime) {
+        crate::selfprof::host_count(crate::selfprof::HostOp::QueuePush);
         let p = &mut self.procs[pid.index()];
         p.gen += 1;
         let gen = p.gen;
@@ -325,6 +326,15 @@ struct Engine {
     /// Planted speculation bug (harness self-tests), resolved at run
     /// start; `None` on normal runs.
     spec_bug: Option<SpecBug>,
+    /// Telemetry sampling interval resolved at run start (`None` off).
+    /// Per-process contexts copy it into a `bool`; the report carries it
+    /// so the observability layer knows the tick (see
+    /// [`crate::telemetry`]).
+    telemetry_interval: Option<u64>,
+    /// Metric points absorbed from per-process buffers at finish.
+    /// Export order is recovered by [`crate::telemetry::sort_points`],
+    /// so the wall-clock absorb order is irrelevant.
+    metric_sink: Mutex<Vec<crate::telemetry::MetricPoint>>,
     /// Coroutines ready to be resumed by a worker. Lock order: `sched`
     /// and a slot lock may be held when taking this lock, never the
     /// reverse.
@@ -348,6 +358,7 @@ impl Engine {
     /// parking), the value alone suffices: its park loop consumes it
     /// without suspending, or its worker re-enqueues it at switch-out.
     fn wake(&self, pid: Pid, clock: SimTime, reason: WakeReason) {
+        crate::selfprof::host_count(crate::selfprof::HostOp::Wake);
         let mut s = self.shards[pid.index()].slot.m.lock();
         debug_assert!(s.value.is_none(), "second wake before {pid} parked");
         s.value = Some((clock, reason));
@@ -385,6 +396,7 @@ impl Engine {
                 .front()
                 .is_some_and(|s| s.key.gen == cand.gen);
             if !is_spec_send && g.procs[cand.pid.index()].gen != cand.gen {
+                crate::selfprof::host_count(crate::selfprof::HostOp::QueuePop);
                 g.runnable.pop_min(); // stale entry
                 continue;
             }
@@ -413,6 +425,7 @@ impl Engine {
             {
                 return;
             }
+            crate::selfprof::host_count(crate::selfprof::HostOp::QueuePop);
             g.runnable.pop_min();
             if is_spec_send {
                 // Commit the buffered send at its key point and keep
@@ -463,6 +476,8 @@ impl Engine {
                     p.status = Status::Running;
                     p.wake_reason = WakeReason::SpecReplay;
                     let clock = p.clock;
+                    crate::selfprof::host_count(crate::selfprof::HostOp::TokenGrant);
+                    crate::selfprof::host_count(crate::selfprof::HostOp::SpecReplay);
                     g.turn = Some(cand.pid);
                     self.spec_rollbacks.fetch_add(1, Ordering::Relaxed);
                     self.wake(cand.pid, clock, WakeReason::SpecReplay);
@@ -470,6 +485,7 @@ impl Engine {
                 }
                 _ => continue, // defensive: not grantable
             }
+            crate::selfprof::host_count(crate::selfprof::HostOp::TokenGrant);
             g.turn = Some(cand.pid);
             let clock = p.clock;
             let reason = p.wake_reason;
@@ -546,6 +562,7 @@ impl Engine {
     /// made it. Stats deltas go to the sender's mail shard (merged with
     /// its context stats at finish); trace events to `commit_trace`.
     fn commit_send(&self, g: &mut Sched, s: SpecSend) {
+        crate::selfprof::host_count(crate::selfprof::HostOp::SendCommit);
         let src = s.key.pid;
         let src_node = self.shards[src.index()].node;
         let mut arrival = if s.same_node {
@@ -610,6 +627,7 @@ impl Engine {
     /// times are monotone: value equality with the snapshot implies the
     /// conservative engine would compute the identical reservation here.
     fn validate_and_apply(&self, io: &SpecIo, pid: Pid, gen: u64) -> bool {
+        crate::selfprof::host_count(crate::selfprof::HostOp::SpecValidate);
         match self.spec_bug {
             // Planted unsound commit check (harness self-test): trust
             // the prediction — neither validate nor publish.
@@ -801,6 +819,12 @@ pub struct ProcCtx {
     /// Open phase spans: `(label, open time)`, innermost last. Always
     /// empty when tracing is off (the span API is a no-op then).
     span_stack: Vec<(Arc<str>, SimTime)>,
+    /// Whether telemetry is enabled for this run (resolved at spawn).
+    telemetry: bool,
+    /// Per-process append-only metric-point buffer; merged into the
+    /// engine's sink at process finish. Always empty when telemetry is
+    /// off (the metric API is a no-op then).
+    metric_buf: Vec<crate::telemetry::MetricPoint>,
     /// In-flight cap above which `release_turn` keeps the token; `0`
     /// encodes sequential mode, making release a no-op without a lock.
     release_cap: usize,
@@ -901,6 +925,73 @@ impl ProcCtx {
     #[inline]
     pub fn tracing_enabled(&self) -> bool {
         self.tracing
+    }
+
+    /// Whether telemetry (and with it the metric API) is active for this
+    /// run. Lets callers skip building dynamic label strings when the
+    /// point would be discarded.
+    #[inline]
+    pub fn telemetry_enabled(&self) -> bool {
+        self.telemetry
+    }
+
+    /// Append one metric point to this process's buffer (no locking; the
+    /// buffer is merged into the engine's sink at process finish).
+    #[inline]
+    fn metric_push(
+        &mut self,
+        name: impl Into<Arc<str>>,
+        labels: impl Into<Arc<str>>,
+        op: crate::telemetry::MetricOp,
+    ) {
+        let seq = self.metric_buf.len() as u32;
+        self.metric_buf.push(crate::telemetry::MetricPoint {
+            time: self.clock,
+            pid: self.pid,
+            seq,
+            name: name.into(),
+            labels: labels.into(),
+            op,
+        });
+    }
+
+    /// Add `v` to the `(name, labels)` counter at the current virtual
+    /// time. Counters saturate; they never wrap. No-op — including the
+    /// argument conversions — when telemetry is off.
+    #[inline]
+    pub fn metric_counter(
+        &mut self,
+        name: impl Into<Arc<str>>,
+        labels: impl Into<Arc<str>>,
+        v: u64,
+    ) {
+        if self.telemetry {
+            self.metric_push(name, labels, crate::telemetry::MetricOp::CounterAdd(v));
+        }
+    }
+
+    /// Set the `(name, labels)` gauge to `v` at the current virtual
+    /// time. No-op when telemetry is off.
+    #[inline]
+    pub fn metric_gauge(&mut self, name: impl Into<Arc<str>>, labels: impl Into<Arc<str>>, v: u64) {
+        if self.telemetry {
+            self.metric_push(name, labels, crate::telemetry::MetricOp::GaugeSet(v));
+        }
+    }
+
+    /// Record one observation `v` into the `(name, labels)` fixed-bucket
+    /// histogram at the current virtual time. No-op when telemetry is
+    /// off.
+    #[inline]
+    pub fn metric_observe(
+        &mut self,
+        name: impl Into<Arc<str>>,
+        labels: impl Into<Arc<str>>,
+        v: u64,
+    ) {
+        if self.telemetry {
+            self.metric_push(name, labels, crate::telemetry::MetricOp::Observe(v));
+        }
     }
 
     /// Open a nestable phase span at the current virtual time. The span
@@ -1216,6 +1307,7 @@ impl ProcCtx {
         if g.inflight.len() >= self.release_cap {
             return; // keep the token; the next align passes it on
         }
+        crate::selfprof::host_count(crate::selfprof::HostOp::TokenRelease);
         g.turn = None;
         g.inflight.push((self.pid, self.clock));
         self.engine.try_dispatch(&mut g);
@@ -2014,6 +2106,13 @@ pub struct SimReport {
     pub spec_rollbacks: u64,
     /// The execution trace, when tracing was enabled.
     pub trace: Option<Arc<crate::trace::Trace>>,
+    /// Telemetry sampling interval this run used (`None` off; see
+    /// [`crate::telemetry`]).
+    pub telemetry_interval: Option<u64>,
+    /// Metric points recorded by processes, in the canonical
+    /// `(time, name, labels, pid, seq)` export order. Empty when
+    /// telemetry is off.
+    pub metric_points: Vec<crate::telemetry::MetricPoint>,
 }
 
 impl SimReport {
@@ -2133,6 +2232,15 @@ impl Sim {
                 .trace
                 .get_or_init(|| Arc::new(crate::trace::Trace::new()));
         }
+        // Telemetry feeds the capture (the obs layer builds time-series
+        // from it), so it only collects while a capture window is open —
+        // points recorded into the void would be dropped anyway.
+        let telemetry_interval = if capturing {
+            crate::telemetry::telemetry_interval()
+        } else {
+            None
+        };
+        let selfprof_t0 = crate::selfprof::selfprof_enabled().then(std::time::Instant::now);
         let proc_nodes: Arc<Vec<NodeId>> = Arc::new(self.spawns.iter().map(|s| s.node).collect());
         let nodes = self.world.topology.len();
         let release_cap = match self.exec {
@@ -2195,6 +2303,8 @@ impl Sim {
             } else {
                 None
             },
+            telemetry_interval,
+            metric_sink: Mutex::new(Vec::new()),
             resume: Mutex::new(ResumeQ {
                 q: std::collections::VecDeque::new(),
                 shutdown: false,
@@ -2237,6 +2347,8 @@ impl Sim {
                         tracing,
                         trace_buf: Vec::new(),
                         span_stack: Vec::new(),
+                        telemetry: engine.telemetry_interval.is_some(),
+                        metric_buf: Vec::new(),
                         release_cap,
                         perturb,
                         perturb_ops: 0,
@@ -2369,6 +2481,11 @@ impl Sim {
         let spec_commits = engine.spec_commits.load(Ordering::Relaxed);
         let spec_rollbacks = engine.spec_rollbacks.load(Ordering::Relaxed);
         crate::speculate::spec_counters_add(spec_commits, spec_rollbacks);
+        let mut metric_points = std::mem::take(&mut *engine.metric_sink.lock());
+        crate::telemetry::sort_points(&mut metric_points);
+        if let Some(t0) = selfprof_t0 {
+            crate::selfprof::add_run_wall_ns(t0.elapsed().as_nanos() as u64);
+        }
         let report = SimReport {
             procs,
             results,
@@ -2376,6 +2493,8 @@ impl Sim {
             spec_commits,
             spec_rollbacks,
             trace: self.world.trace.get().cloned(),
+            telemetry_interval: engine.telemetry_interval,
+            metric_points,
         };
         if capturing {
             crate::observe::record_run(&report, self.world.topology.len());
@@ -2421,6 +2540,12 @@ fn finish_proc(engine: &Arc<Engine>, ctx: &mut ProcCtx, panic_info: Option<(Stri
         if let Some(tr) = ctx.world.trace.get() {
             tr.absorb(std::mem::take(&mut ctx.trace_buf));
         }
+    }
+    if !ctx.metric_buf.is_empty() {
+        engine
+            .metric_sink
+            .lock()
+            .append(&mut std::mem::take(&mut ctx.metric_buf));
     }
     {
         let mut m = engine.shards[pid.index()].mail.lock();
@@ -2480,6 +2605,7 @@ fn worker_loop(engine: &Engine, coros: &crate::coro::Coroutines) {
                 engine.resume_cv.wait(&mut q);
             }
         };
+        crate::selfprof::host_count(crate::selfprof::HostOp::CoroResume);
         match coros.resume(pid.index()) {
             crate::coro::SwitchOut::Done => {}
             crate::coro::SwitchOut::Parked => {
@@ -2492,6 +2618,7 @@ fn worker_loop(engine: &Engine, coros: &crate::coro::Coroutines) {
                     drop(s);
                     engine.enqueue_resume(pid);
                 } else {
+                    crate::selfprof::host_count(crate::selfprof::HostOp::Park);
                     s.parked = true;
                 }
             }

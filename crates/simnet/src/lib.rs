@@ -66,8 +66,10 @@ pub mod observe;
 pub mod parallel;
 pub mod perturb;
 pub mod queue;
+pub mod selfprof;
 pub mod speculate;
 pub mod stats;
+pub mod telemetry;
 pub mod time;
 pub mod topology;
 pub mod trace;
@@ -90,8 +92,16 @@ pub use observe::{begin_capture, capture_active, end_capture, RunCapture};
 pub use parallel::{default_execution, set_default_execution, Execution};
 pub use perturb::{current_perturbation, set_perturbation, Perturbation};
 pub use queue::{CalendarQueue, OrderKey};
+pub use selfprof::{
+    selfprof_enabled, selfprof_from_env, selfprof_reset, selfprof_snapshot, set_selfprof, HostOp,
+    HOST_OP_NAMES,
+};
 pub use speculate::{current_spec_bug, set_spec_bug, spec_counters_take, SpecBug};
 pub use stats::ProcStats;
+pub use telemetry::{
+    parse_telemetry_interval, set_telemetry_interval, telemetry_from_env_value, telemetry_interval,
+    MetricOp, MetricPoint, DEFAULT_TELEMETRY_INTERVAL_NS,
+};
 pub use time::{SimDuration, SimTime};
 pub use topology::{DiskSpec, Node, NodeId, NodeSpec, Topology};
 pub use trace::{json_escape, EventKind, Trace, TraceEvent};
