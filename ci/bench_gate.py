@@ -16,6 +16,14 @@ runs recorded *no* speculative commits at all — that means the Time
 Warp engine silently degenerated to the conservative path and the row's
 wall clock no longer measures what its mode claims.
 
+Multi-tenant rows (`"multi_tenant": true`, emitted by the `datacenter`
+artifact) carry the contended section's per-queue scheduler counters.
+The gate echoes every queue's latency quantiles, queueing delay,
+preemption activity and SLO attainment for the trajectory log, and
+fails any multi-tenant row whose contended queues are missing the
+`p99_latency_ns` or `slo_attainment_ppm` fields — a row without them
+no longer measures what the busy-datacenter-day artifact claims.
+
 Usage: bench_gate.py <previous.json> <current.json>
 Exit:  0 clean, 1 regression, 2 usage/parse error.
 """
@@ -36,8 +44,40 @@ def rows(path):
             "wall_min_s": float(r["wall_min_s"]),
             "spec_commits": int(r.get("spec_commits", 0)),
             "spec_rollbacks": int(r.get("spec_rollbacks", 0)),
+            "multi_tenant": bool(r.get("multi_tenant", False)),
+            "contended": r.get("contended"),
         }
     return out
+
+
+REQUIRED_QUEUE_FIELDS = ("p99_latency_ns", "slo_attainment_ppm")
+
+
+def check_multi_tenant(label, row):
+    """Echo a multi-tenant row's per-queue counters; return the list of
+    missing required fields (empty when the row is well-formed)."""
+    contended = row.get("contended")
+    if not isinstance(contended, dict) or not contended.get("queues"):
+        return [f"{label}: multi-tenant row has no contended queue counters"]
+    print(
+        f"  mt     {label}: contended offered={contended.get('offered')}"
+        f" makespan={contended.get('makespan_ns')}ns"
+    )
+    missing = []
+    for q in contended["queues"]:
+        name = q.get("queue", "?")
+        for field in REQUIRED_QUEUE_FIELDS:
+            if field not in q:
+                missing.append(f"{label}: queue {name} missing {field}")
+        print(
+            f"         queue {name}: jobs={q.get('completed')}"
+            f" p50={q.get('p50_latency_ns')}ns p99={q.get('p99_latency_ns')}ns"
+            f" wait_p99={q.get('wait_p99_ns')}ns"
+            f" slo_ppm={q.get('slo_attainment_ppm')}"
+            f" preempt={q.get('preemptions')} kills={q.get('kills_sent')}"
+            f" local/rack/any={q.get('local')}/{q.get('rack')}/{q.get('any')}"
+        )
+    return missing
 
 
 def main(argv):
@@ -52,6 +92,7 @@ def main(argv):
 
     regressions = []
     degenerate = []
+    malformed = []
     for key in sorted(curr):
         artifact, scale, mode = key
         row = curr[key]
@@ -67,6 +108,13 @@ def main(argv):
                 degenerate.append(label)
                 print(f"  FAIL   {label}: zero speculative commits{spec}")
                 continue
+        # Multi-tenant rows are checked and echoed even when NEW — the
+        # first run of a fresh artifact must already be well-formed.
+        if row["multi_tenant"]:
+            problems = check_multi_tenant(label, row)
+            for p in problems:
+                print(f"  FAIL   {p}")
+            malformed.extend(problems)
         old_row = prev.get(key)
         if old_row is None:
             print(f"  NEW    {label}: {new:.6f}s (no previous row){spec}")
@@ -95,6 +143,13 @@ def main(argv):
         print(
             f"bench_gate: {len(degenerate)} speculative macro row(s) "
             "recorded zero speculative commits",
+            file=sys.stderr,
+        )
+        failed = True
+    if malformed:
+        print(
+            f"bench_gate: {len(malformed)} multi-tenant row problem(s) — "
+            "contended rows must carry p99_latency_ns and slo_attainment_ppm",
             file=sys.stderr,
         )
         failed = True

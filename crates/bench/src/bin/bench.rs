@@ -87,6 +87,10 @@ struct Measurement {
     /// speculative ones (attribution only — never part of a digest).
     spec_commits: u64,
     spec_rollbacks: u64,
+    /// Extra JSON fields appended to the row (multi-tenant scheduler
+    /// counters for the `datacenter` artifact; empty otherwise). Must
+    /// start with ", " when non-empty.
+    extra_json: String,
 }
 
 fn measure(
@@ -129,11 +133,53 @@ fn measure(
         table_digest: dig,
         spec_commits,
         spec_rollbacks,
+        extra_json: String::new(),
     }
 }
 
+/// The multi-tenant counters attached to each `datacenter` row: the
+/// contended section's per-queue latency quantiles, queueing delay,
+/// preemption activity and SLO attainment. Deterministic (virtual-time)
+/// values — identical across modes and hosts, unlike the wall clocks.
+fn datacenter_extra(quick: bool) -> String {
+    use hpcbd_sched::quantile_ns;
+    set_default_execution(Execution::Sequential);
+    let sections = hpcbd_bench::datacenter::run_all(quick);
+    let (_, contended) = &sections[1];
+    let mut s = String::from(", \"multi_tenant\": true, \"contended\": {\"queues\": [");
+    for (i, q) in contended.stats.queues.iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        let attain_ppm = (q.slo_met * 1_000_000)
+            .checked_div(q.completed)
+            .unwrap_or(1_000_000);
+        let _ = write!(
+            s,
+            "{{\"queue\": \"{}\", \"completed\": {}, \"p50_latency_ns\": {}, \"p99_latency_ns\": {}, \"wait_p99_ns\": {}, \"slo_attainment_ppm\": {}, \"preemptions\": {}, \"kills_sent\": {}, \"local\": {}, \"rack\": {}, \"any\": {}}}",
+            q.name,
+            q.completed,
+            quantile_ns(&q.latency_ns, 0.5),
+            quantile_ns(&q.latency_ns, 0.99),
+            quantile_ns(&q.wait_ns, 0.99),
+            attain_ppm,
+            q.preemptions,
+            q.kills_sent,
+            q.local,
+            q.rack,
+            q.remote,
+        );
+    }
+    let _ = write!(
+        s,
+        "], \"offered\": {}, \"makespan_ns\": {}}}",
+        contended.offered, contended.makespan_ns
+    );
+    s
+}
+
 fn main() {
-    let shared = hpcbd_bench::BenchArgs::parse();
+    let shared = hpcbd_bench::BenchArgs::parse_allowing(&[("--out", true), ("--digests", false)]);
     let quick_only = shared.quick;
     let args: Vec<String> = std::env::args().collect();
     let out_path = args
@@ -242,6 +288,24 @@ fn main() {
         None => eprintln!("  proc_mem: unavailable (no /proc/self/status)"),
     }
 
+    // The multi-tenant pipeline rides along as its own rows (kept out of
+    // `cases` so the `--digests` golden output is unchanged; its
+    // cross-mode determinism is gated by `conformance` directly).
+    let dc_cases: Vec<(&'static str, bool, usize, ArtifactFn)> = {
+        let render_all = |quick: bool| -> String {
+            hpcbd_bench::datacenter::run_all(quick)
+                .iter()
+                .map(|(name, out)| hpcbd_bench::datacenter::render(out, name))
+                .collect()
+        };
+        let mut v: Vec<(&'static str, bool, usize, ArtifactFn)> =
+            vec![("quick", true, 3, Box::new(move || render_all(true)))];
+        if !quick_only {
+            v.push(("paper", false, 2, Box::new(move || render_all(false))));
+        }
+        v
+    };
+
     let mut measurements = Vec::new();
     // Note: `--report` forces tracing on inside the engine, perturbing
     // the wall-clock numbers — use it to inspect phases, not to compare
@@ -284,6 +348,45 @@ fn main() {
             measurements.push(par);
             measurements.push(spec);
         }
+        for (scale, quick, runs, f) in &dc_cases {
+            let extra = datacenter_extra(*quick);
+            let seq = measure(
+                "datacenter",
+                scale,
+                "sequential",
+                Execution::Sequential,
+                *runs,
+                f,
+            );
+            let par = measure(
+                "datacenter",
+                scale,
+                &format!("parallel:{threads}"),
+                Execution::Parallel { threads },
+                *runs,
+                f,
+            );
+            let spec = measure(
+                "datacenter",
+                scale,
+                &format!("speculative:{threads}"),
+                Execution::Speculative { threads },
+                *runs,
+                f,
+            );
+            assert_eq!(
+                seq.table_digest, par.table_digest,
+                "datacenter/{scale}: sequential and parallel tables differ — determinism break"
+            );
+            assert_eq!(
+                seq.table_digest, spec.table_digest,
+                "datacenter/{scale}: sequential and speculative tables differ — determinism break"
+            );
+            for mut m in [seq, par, spec] {
+                m.extra_json = extra.clone();
+                measurements.push(m);
+            }
+        }
     });
     set_default_execution(Execution::Sequential);
 
@@ -307,9 +410,9 @@ fn main() {
     for (i, m) in measurements.iter().enumerate() {
         let _ = write!(
             json,
-            "    {{\"artifact\": \"{}\", \"scale\": \"{}\", \"mode\": \"{}\", \"runs\": {}, \"wall_min_s\": {:.6}, \"wall_mean_s\": {:.6}, \"table_digest\": \"{:016x}\", \"spec_commits\": {}, \"spec_rollbacks\": {}}}",
+            "    {{\"artifact\": \"{}\", \"scale\": \"{}\", \"mode\": \"{}\", \"runs\": {}, \"wall_min_s\": {:.6}, \"wall_mean_s\": {:.6}, \"table_digest\": \"{:016x}\", \"spec_commits\": {}, \"spec_rollbacks\": {}{}}}",
             m.artifact, m.scale, m.mode, m.runs, m.wall_min_s, m.wall_mean_s, m.table_digest,
-            m.spec_commits, m.spec_rollbacks
+            m.spec_commits, m.spec_rollbacks, m.extra_json
         );
         json.push_str(if i + 1 < measurements.len() {
             ",\n"

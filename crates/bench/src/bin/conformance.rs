@@ -61,6 +61,7 @@ const BINS: &[(&str, &[&str])] = &[
     ("ablation_queries", &["--quick"]),
     ("ablation_seismic", &["--quick"]),
     ("bench", &["--quick", "--digests"]),
+    ("bench_datacenter", &["--quick"]),
 ];
 
 /// Bins additionally re-run under `HPCBD_EXECUTION=parallel:4` and
@@ -69,7 +70,7 @@ const BINS: &[(&str, &[&str])] = &[
 /// scheduler hardest (iterative allreduce, fault recovery). The
 /// speculative runs are the gate's Time Warp coverage: optimistic
 /// commits and rollbacks must leave every golden byte untouched.
-const CROSS_MODE: &[&str] = &["fig6", "ablation_fault_sweep"];
+const CROSS_MODE: &[&str] = &["fig6", "ablation_fault_sweep", "bench_datacenter"];
 const CROSS_MODE_EXECUTIONS: &[&str] = &["parallel:4", "speculative:4"];
 
 fn usage() -> ExitCode {

@@ -10,7 +10,7 @@ use hpcbd_cluster::Placement;
 use hpcbd_core::bench_pagerank::{figure6, figure6_comet, PagerankInput};
 
 fn main() {
-    let args = hpcbd_bench::BenchArgs::parse();
+    let args = hpcbd_bench::BenchArgs::parse_allowing(&[("--comet", false)]);
     if std::env::args().any(|a| a == "--comet") {
         hpcbd_bench::banner("Fig. 6 at full-Comet scale (47,616+ simulated processes)");
         let input = PagerankInput::comet(args.quick);

@@ -38,6 +38,8 @@
 
 #![warn(missing_docs)]
 
+pub mod datacenter;
+
 use std::path::PathBuf;
 
 /// True when `--quick` is among the CLI arguments.
@@ -60,8 +62,12 @@ pub fn quick_mode() -> bool {
 /// * `--telemetry-out PATH` — implies `--telemetry` and writes the
 ///   telemetry-bearing report JSON to PATH (independent of `--report`).
 ///
-/// Unknown arguments are ignored so binaries can layer their own flags
-/// (e.g. `bench --out PATH`) on top.
+/// Unknown arguments are an error: the parser prints a usage line
+/// naming the offending flag and exits with status 2, so a typo like
+/// `--telemtry-out` fails loudly instead of silently running without
+/// telemetry. Binaries with their own flags (e.g. `bench --out PATH`)
+/// declare them via [`BenchArgs::parse_allowing`] and read the values
+/// from `std::env::args` themselves.
 #[derive(Debug, Clone, Default)]
 pub struct BenchArgs {
     /// `--quick` was passed.
@@ -77,14 +83,37 @@ pub struct BenchArgs {
     pub telemetry_out: Option<PathBuf>,
 }
 
+/// A binary-specific extra flag: its name and whether it consumes the
+/// following argument as a value.
+pub type ExtraFlag = (&'static str, bool);
+
 impl BenchArgs {
-    /// Parse the shared flags from the process arguments.
+    /// Parse the shared flags from the process arguments. Any flag the
+    /// parser does not know is a fatal error (usage to stderr, exit 2).
     pub fn parse() -> BenchArgs {
-        Self::parse_from(std::env::args().skip(1))
+        Self::parse_allowing(&[])
     }
 
-    /// Parse the shared flags from an explicit argument list.
-    pub fn parse_from(args: impl IntoIterator<Item = String>) -> BenchArgs {
+    /// Parse the shared flags, additionally accepting (and skipping
+    /// over) the binary's own `extra` flags — the binary reads their
+    /// values from `std::env::args` itself.
+    pub fn parse_allowing(extra: &[ExtraFlag]) -> BenchArgs {
+        match Self::parse_from(std::env::args().skip(1), extra) {
+            Ok(parsed) => parsed,
+            Err(msg) => {
+                eprintln!("{msg}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Parse from an explicit argument list. `extra` declares flags the
+    /// caller handles itself; anything else unknown is an `Err` naming
+    /// the offending argument.
+    pub fn parse_from(
+        args: impl IntoIterator<Item = String>,
+        extra: &[ExtraFlag],
+    ) -> Result<BenchArgs, String> {
         let mut parsed = BenchArgs::default();
         let mut it = args.into_iter();
         while let Some(a) = it.next() {
@@ -97,10 +126,29 @@ impl BenchArgs {
                     parsed.telemetry_out = it.next().map(PathBuf::from);
                     parsed.telemetry = parsed.telemetry || parsed.telemetry_out.is_some();
                 }
-                _ => {}
+                other => match extra.iter().find(|(name, _)| *name == other) {
+                    Some((_, true)) => {
+                        it.next();
+                    }
+                    Some((_, false)) => {}
+                    None => return Err(Self::usage(other, extra)),
+                },
             }
         }
-        parsed
+        Ok(parsed)
+    }
+
+    fn usage(bad: &str, extra: &[ExtraFlag]) -> String {
+        let mut flags = String::from(
+            "[--quick] [--report PATH] [--perfetto PATH] [--telemetry] [--telemetry-out PATH]",
+        );
+        for (name, takes_value) in extra {
+            flags.push_str(&format!(
+                " [{name}{}]",
+                if *takes_value { " VALUE" } else { "" }
+            ));
+        }
+        format!("error: unknown argument '{bad}'\nusage: {flags}")
     }
 }
 
@@ -180,7 +228,7 @@ mod tests {
     use super::*;
 
     fn parse(args: &[&str]) -> BenchArgs {
-        BenchArgs::parse_from(args.iter().map(|s| s.to_string()))
+        BenchArgs::parse_from(args.iter().map(|s| s.to_string()), &[]).expect("valid args")
     }
 
     #[test]
@@ -192,11 +240,39 @@ mod tests {
     }
 
     #[test]
-    fn ignores_unknown_flags() {
-        let a = parse(&["--out", "BENCH_simnet.json", "--perfetto", "t.json"]);
+    fn unknown_flag_is_an_error_naming_the_flag() {
+        let err = BenchArgs::parse_from(["--telemtry-out".to_string(), "t.json".to_string()], &[])
+            .expect_err("typo must not be ignored");
+        assert!(err.contains("--telemtry-out"), "message: {err}");
+        assert!(err.contains("usage:"), "message: {err}");
+    }
+
+    #[test]
+    fn declared_extra_flags_are_skipped_with_their_values() {
+        let a = BenchArgs::parse_from(
+            [
+                "--out",
+                "BENCH_simnet.json",
+                "--digests",
+                "--perfetto",
+                "t.json",
+            ]
+            .iter()
+            .map(|s| s.to_string()),
+            &[("--out", true), ("--digests", false)],
+        )
+        .expect("declared extras are accepted");
         assert!(!a.quick);
         assert!(a.report.is_none());
         assert_eq!(a.perfetto.as_deref(), Some(std::path::Path::new("t.json")));
+        // An undeclared extra still errors, and the usage line lists the
+        // declared ones.
+        let err = BenchArgs::parse_from(["--nope".to_string()], &[("--out", true)])
+            .expect_err("undeclared flag");
+        assert!(
+            err.contains("--nope") && err.contains("[--out VALUE]"),
+            "{err}"
+        );
     }
 
     #[test]

@@ -12,5 +12,5 @@
 pub mod placement;
 pub mod platform;
 
-pub use placement::{Placement, RankMap};
+pub use placement::{Assignment, Placement, RankMap};
 pub use platform::{comet_summary, ClusterSpec};

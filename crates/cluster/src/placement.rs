@@ -46,6 +46,70 @@ impl Placement {
     }
 }
 
+/// A scheduler-assigned placement: rank `i` runs on `nodes[i]`, with no
+/// block structure assumed. This is what a cluster scheduler hands a
+/// runtime when a job gets whatever slots were free — possibly scattered,
+/// possibly several ranks on one node — instead of owning the cluster.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Assignment {
+    nodes: Vec<NodeId>,
+}
+
+impl Assignment {
+    /// Assignment from an explicit rank-to-node list.
+    pub fn new(nodes: Vec<NodeId>) -> Assignment {
+        assert!(!nodes.is_empty(), "assignment must be non-empty");
+        Assignment { nodes }
+    }
+
+    /// The dense equivalent of a block [`Placement`].
+    pub fn from_placement(p: Placement) -> Assignment {
+        Assignment {
+            nodes: p.iter().map(|(_, n)| n).collect(),
+        }
+    }
+
+    /// Total ranks.
+    #[inline]
+    pub fn total(&self) -> u32 {
+        self.nodes.len() as u32
+    }
+
+    /// The node hosting `rank`.
+    #[inline]
+    pub fn node_of_rank(&self, rank: u32) -> NodeId {
+        self.nodes[rank as usize]
+    }
+
+    /// Ranks hosted on `node`, in rank order.
+    pub fn ranks_on(&self, node: NodeId) -> Vec<u32> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| **n == node)
+            .map(|(r, _)| r as u32)
+            .collect()
+    }
+
+    /// Iterate `(rank, node)` pairs in rank order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, NodeId)> + '_ {
+        self.nodes.iter().enumerate().map(|(r, n)| (r as u32, *n))
+    }
+
+    /// The distinct nodes used, ascending.
+    pub fn distinct_nodes(&self) -> Vec<NodeId> {
+        let mut v = self.nodes.clone();
+        v.sort();
+        v.dedup();
+        v
+    }
+
+    /// The raw rank-to-node table.
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+}
+
 /// Bidirectional map between application-level ranks and engine pids,
 /// built as a framework spawns its processes. Lets collectives address
 /// "rank r" while the engine addresses `Pid`s (which may be offset by
@@ -129,6 +193,26 @@ mod tests {
         assert_eq!(pairs.len(), 15);
         assert_eq!(pairs[0], (0, NodeId(0)));
         assert_eq!(pairs[14], (14, NodeId(2)));
+    }
+
+    #[test]
+    fn assignment_maps_scattered_ranks() {
+        let a = Assignment::new(vec![NodeId(3), NodeId(0), NodeId(3), NodeId(7)]);
+        assert_eq!(a.total(), 4);
+        assert_eq!(a.node_of_rank(0), NodeId(3));
+        assert_eq!(a.node_of_rank(3), NodeId(7));
+        assert_eq!(a.ranks_on(NodeId(3)), vec![0, 2]);
+        assert_eq!(a.distinct_nodes(), vec![NodeId(0), NodeId(3), NodeId(7)]);
+    }
+
+    #[test]
+    fn assignment_from_block_placement_agrees() {
+        let p = Placement::new(3, 2);
+        let a = Assignment::from_placement(p);
+        for (r, n) in p.iter() {
+            assert_eq!(a.node_of_rank(r), n);
+        }
+        assert_eq!(a.total(), p.total());
     }
 
     #[test]

@@ -34,6 +34,7 @@ pub mod launch;
 pub mod nonblocking;
 pub mod rank;
 pub mod rma;
+pub mod scheduled;
 pub mod subcomm;
 
 pub use checkpoint::{CheckpointMode, Checkpointer, FaultPolicy, RecoveryBug};
@@ -43,4 +44,5 @@ pub use launch::{mpirun, mpirun_faulty, mpirun_on, mpirun_with, MpiJob, MpiOutpu
 pub use nonblocking::MpiRequest;
 pub use rank::MpiRank;
 pub use rma::{MpiWin, WinStore};
+pub use scheduled::{scheduled_answers, scheduled_pagerank};
 pub use subcomm::SubComm;

@@ -1,0 +1,144 @@
+//! Scheduler adapter: compile the MPI benchmarks into gang-scheduled
+//! multi-tenant [`hpcbd_sched::JobSpec`]s.
+//!
+//! MPI jobs are *gangs*: every rank must be running before the first
+//! collective, so the scheduler allocates all slots atomically and marks
+//! them non-preemptable (killing one rank would strand its peers inside
+//! a collective). Ranks message each other through the wave's private
+//! [`hpcbd_simnet::JobChannel`] tag namespace over the same RDMA-verbs
+//! transport the standalone `MpiJob` launcher uses, so network costs —
+//! and contention with co-scheduled tenants — are charged identically.
+
+use std::sync::Arc;
+
+use hpcbd_sched::{JobSpec, Segment, TaskSpec, Wave};
+use hpcbd_simnet::{MatchSpec, Payload, Transport, Work};
+use hpcbd_workloads::stackexchange::RECORD_BYTES;
+
+/// Native per-record scan cost (mirrors the Fig. 4 driver's C loop).
+fn scan_work() -> Work {
+    Work::new(60.0, 1600.0)
+}
+
+/// Native per-logical-edge PageRank cost (mirrors the Fig. 6 driver).
+fn edge_work() -> Work {
+    Work::new(12.0, 48.0)
+}
+
+/// One ring step: pass `bytes` to the right neighbour, receive from the
+/// left, on the wave's private channel lane `lane`.
+fn ring_step(
+    ctx: &mut hpcbd_simnet::ProcCtx,
+    env: &hpcbd_simnet::LaunchEnv,
+    lane: u32,
+    bytes: u64,
+) {
+    let p = env.gang_size();
+    let me = env.index as usize;
+    let right = env.peer((me + 1) % p);
+    let left = env.peer((me + p - 1) % p);
+    let tr = Transport::rdma_verbs();
+    ctx.send(right, env.tag(lane), bytes, Payload::Empty, &tr);
+    let _ = ctx.recv(MatchSpec::src_tag(left, env.tag(lane)));
+}
+
+/// The MPI AnswersCount job: `ranks` ranks scan `bytes` of the dump with
+/// parallel I/O over per-node replicas, then allreduce the two counters.
+pub fn scheduled_answers(
+    queue: &'static str,
+    tenant: &'static str,
+    bytes: u64,
+    ranks: u32,
+) -> JobSpec {
+    let body: Segment = Arc::new(move |ctx, env| {
+        let p = env.gang_size() as u64;
+        let share = bytes / p;
+        // MPI-IO chunked read of this rank's share from scratch.
+        ctx.disk_read(share);
+        let records = (share / RECORD_BYTES) as f64;
+        ctx.compute(scan_work().scaled(records), 1.0);
+        // Ring allreduce of the (q, a) counters: 2(p-1) tiny steps.
+        for step in 0..2 * (p as u32 - 1) {
+            ring_step(ctx, env, step, 16);
+        }
+    });
+    JobSpec {
+        template: "mpi/answers",
+        queue,
+        tenant,
+        waves: vec![Wave {
+            tasks: vec![
+                TaskSpec {
+                    segments: vec![body],
+                    preferred: None,
+                    preemptable: false,
+                };
+                ranks as usize
+            ],
+            gang: true,
+        }],
+    }
+}
+
+/// The MPI PageRank job: `ranks` ranks iterate over a graph with
+/// `edges` logical edges and `vertices` logical vertices; each iteration
+/// is local edge work followed by a ring exchange of the partitioned
+/// contribution vector (the cost shape of the driver's `alltoall`).
+pub fn scheduled_pagerank(
+    queue: &'static str,
+    tenant: &'static str,
+    vertices: u64,
+    edges: u64,
+    iters: u32,
+    ranks: u32,
+) -> JobSpec {
+    let body: Segment = Arc::new(move |ctx, env| {
+        let p = env.gang_size() as u64;
+        let local_edges = edges / p;
+        // Contribution pairs are [dest, share] f64s: 16 bytes each, one
+        // per local edge, spread over p-1 ring steps.
+        let exchange = (local_edges * 16) / p.max(1);
+        for iter in 0..iters {
+            ctx.compute(edge_work().scaled(local_edges as f64), 1.0);
+            for step in 0..(p as u32 - 1) {
+                ring_step(ctx, env, iter * p as u32 + step, exchange);
+            }
+            // Apply received contributions to the owned partition.
+            ctx.compute(Work::new(4.0, 24.0).scaled((vertices / p) as f64), 1.0);
+        }
+    });
+    JobSpec {
+        template: "mpi/pagerank",
+        queue,
+        tenant,
+        waves: vec![Wave {
+            tasks: vec![
+                TaskSpec {
+                    segments: vec![body],
+                    preferred: None,
+                    preemptable: false,
+                };
+                ranks as usize
+            ],
+            gang: true,
+        }],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jobs_are_gangs_of_pinned_ranks() {
+        for job in [
+            scheduled_answers("batch", "hpc", 1 << 30, 8),
+            scheduled_pagerank("batch", "hpc", 1 << 20, 8 << 20, 3, 8),
+        ] {
+            assert_eq!(job.waves.len(), 1);
+            assert!(job.waves[0].gang);
+            assert_eq!(job.waves[0].tasks.len(), 8);
+            assert!(job.waves[0].tasks.iter().all(|t| !t.preemptable));
+        }
+    }
+}

@@ -48,9 +48,11 @@
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod scheduled;
 pub mod types;
 
 pub use engine::{MrJobBuilder, MrResult, PAIR_BYTES};
+pub use scheduled::scheduled_answers;
 pub use types::{InputFormat, JobConf, LocalityStats};
 
 #[cfg(test)]

@@ -1,0 +1,127 @@
+//! Scheduler adapter: compile the Hadoop MapReduce AnswersCount job into
+//! an elastic multi-tenant [`hpcbd_sched::JobSpec`].
+//!
+//! Hadoop's signature under contention is *per-task weight*: every map
+//! and reduce pays a JVM launch before touching data, map output is
+//! spilled to local disk, and reduce output is written back to HDFS.
+//! Tasks are elastic (the Hadoop scheduler trickles them onto free
+//! slots) and preemptable — YARN kills containers of over-share queues,
+//! which is exactly the behaviour the sched crate's preemption models.
+
+use std::sync::Arc;
+
+use hpcbd_sched::{JobSpec, Segment, TaskSpec, Wave};
+use hpcbd_simnet::{NodeId, RuntimeClass, Transport, Work};
+use hpcbd_workloads::stackexchange::RECORD_BYTES;
+
+use crate::{JobConf, PAIR_BYTES};
+
+/// Per-record parse/count cost of the mapper (native scan cost; the JVM
+/// multiplier is applied at charge time).
+fn scan_work() -> Work {
+    Work::new(60.0, 1600.0)
+}
+
+/// The Hadoop AnswersCount job: `maps` map tasks over `bytes` of HDFS
+/// posts (split `i` preferred on node `i % nodes`), then `reduces`
+/// reduce tasks that fetch the spilled map output and write to HDFS.
+pub fn scheduled_answers(
+    queue: &'static str,
+    tenant: &'static str,
+    bytes: u64,
+    maps: u32,
+    reduces: u32,
+    nodes: u32,
+) -> JobSpec {
+    let conf = JobConf::default();
+    let jvm = RuntimeClass::Jvm.factor();
+    let split = bytes / maps.max(1) as u64;
+    // Combiner output: one (key, count) pair per key per map.
+    let map_out = 2 * PAIR_BYTES;
+    // The map is split into record-batch slices with a preemption
+    // checkpoint between them — a YARN container kill lands at a slice
+    // boundary instead of waiting out the whole split.
+    const SLICES: u64 = 4;
+    let launch: Segment = Arc::new(move |ctx, _env| {
+        ctx.sleep(conf.task_jvm_startup);
+    });
+    let map_slice: Segment = Arc::new(move |ctx, _env| {
+        ctx.disk_read(split / SLICES);
+        let records = (split / SLICES / RECORD_BYTES) as f64;
+        ctx.compute(scan_work().scaled(records), jvm);
+    });
+    let spill: Segment = Arc::new(move |ctx, _env| {
+        // Sort + spill the combined output to local disk.
+        ctx.sleep(hpcbd_simnet::SimDuration::from_nanos(
+            (conf.spill_cpu_per_byte * map_out as f64 * 1e9) as u64,
+        ));
+        ctx.disk_write(map_out);
+    });
+    let map_segments: Vec<Segment> = std::iter::once(launch)
+        .chain(std::iter::repeat_with(|| map_slice.clone()).take(SLICES as usize))
+        .chain(std::iter::once(spill))
+        .collect();
+    let fetch_total = map_out * maps as u64 / reduces.max(1) as u64;
+    let reduce: Segment = Arc::new(move |ctx, env| {
+        ctx.sleep(conf.task_jvm_startup);
+        // Shuffle fetch from every map's node over IPoIB sockets.
+        let me = env.index as u64;
+        let span = maps.min(nodes) as u64;
+        for k in 0..span {
+            let src = NodeId(((me + k) % nodes.max(1) as u64) as u32);
+            ctx.one_sided_transfer(
+                src,
+                fetch_total / span.max(1),
+                &Transport::ipoib_socket(),
+                1,
+            );
+        }
+        ctx.compute(Work::new(8.0, 48.0).scaled(maps as f64), jvm);
+        // Final output written to HDFS (local replica; the pipeline to
+        // remote replicas is charged by the NameNode in the full model).
+        ctx.disk_write(fetch_total);
+    });
+    JobSpec {
+        template: "hadoop/answers",
+        queue,
+        tenant,
+        waves: vec![
+            Wave {
+                tasks: (0..maps)
+                    .map(|i| TaskSpec {
+                        segments: map_segments.clone(),
+                        preferred: Some(NodeId(i % nodes.max(1))),
+                        preemptable: true,
+                    })
+                    .collect(),
+                gang: false,
+            },
+            Wave {
+                tasks: vec![
+                    TaskSpec {
+                        segments: vec![reduce],
+                        preferred: None,
+                        preemptable: true,
+                    };
+                    reduces as usize
+                ],
+                gang: false,
+            },
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn answers_has_map_and_reduce_waves() {
+        let job = scheduled_answers("batch", "etl", 1 << 30, 16, 2, 4);
+        assert_eq!(job.waves.len(), 2);
+        assert_eq!(job.waves[0].tasks.len(), 16);
+        assert_eq!(job.waves[1].tasks.len(), 2);
+        assert!(job.waves.iter().all(|w| !w.gang));
+        assert_eq!(job.waves[0].tasks[5].preferred, Some(NodeId(1)));
+    }
+}

@@ -35,11 +35,13 @@
 pub mod model;
 pub mod pool;
 pub mod schedule;
+pub mod scheduled;
 pub mod target;
 pub mod tasks;
 
 pub use model::OmpModel;
 pub use pool::OmpPool;
 pub use schedule::Schedule;
+pub use scheduled::scheduled_answers;
 pub use target::{target_offload_once, Device, TargetData};
 pub use tasks::{DepVar, TaskScope};

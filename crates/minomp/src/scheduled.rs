@@ -1,0 +1,82 @@
+//! Scheduler adapter: compile the OpenMP AnswersCount benchmark into a
+//! multi-tenant [`hpcbd_sched::JobSpec`].
+//!
+//! OpenMP is the shared-memory paradigm: one job is one node-wide task
+//! (the paper's single-node 8/16-thread runs). Under the scheduler it
+//! becomes a single-task elastic wave whose body charges the same costs
+//! as `hpcbd-core`'s standalone driver — a sequential scratch read
+//! followed by a fork-join parse region priced by [`crate::OmpModel`] —
+//! but split into segments so a contending tenant can preempt it at
+//! region boundaries.
+
+use std::sync::Arc;
+
+use hpcbd_sched::{JobSpec, Segment, TaskSpec, Wave};
+use hpcbd_simnet::Work;
+use hpcbd_workloads::stackexchange::RECORD_BYTES;
+
+use crate::{OmpModel, Schedule};
+
+/// Native per-record cost of the C parse/count loop (mirrors the
+/// standalone Fig. 4 driver).
+fn scan_work() -> Work {
+    Work::new(60.0, 1600.0)
+}
+
+/// The OpenMP AnswersCount job: scan `bytes` of the StackExchange dump
+/// with a `threads`-wide team on one node.
+///
+/// The scan is cut into `segments` read+parse slices; the scheduler may
+/// reclaim the slot between slices (restart-from-scratch semantics, like
+/// killing and re-queueing the whole process).
+pub fn scheduled_answers(
+    queue: &'static str,
+    tenant: &'static str,
+    bytes: u64,
+    threads: u32,
+    segments: u32,
+) -> JobSpec {
+    let segments = segments.max(1);
+    let slice = bytes / segments as u64;
+    let body: Segment = Arc::new(move |ctx, _env| {
+        // Sequential read of this slice from local scratch, then the
+        // fork-join parse/count region over its records.
+        ctx.disk_read(slice);
+        let records = (slice / RECORD_BYTES) as usize;
+        OmpModel::default().charge_region(
+            ctx,
+            threads,
+            Schedule::Dynamic { chunk: 4096 },
+            records,
+            scan_work().scaled(records as f64),
+        );
+    });
+    JobSpec {
+        template: "omp/answers",
+        queue,
+        tenant,
+        waves: vec![Wave {
+            tasks: vec![TaskSpec {
+                segments: vec![body; segments as usize],
+                preferred: None,
+                preemptable: true,
+            }],
+            gang: false,
+        }],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn answers_job_shape() {
+        let job = scheduled_answers("batch", "hpc", 1 << 30, 16, 4);
+        assert_eq!(job.waves.len(), 1);
+        assert_eq!(job.waves[0].tasks.len(), 1);
+        assert_eq!(job.waves[0].tasks[0].segments.len(), 4);
+        assert!(!job.waves[0].gang);
+        assert!(job.waves[0].tasks[0].preemptable);
+    }
+}

@@ -37,6 +37,7 @@ pub mod collectives;
 pub mod heap;
 pub mod launch;
 pub mod pe;
+pub mod scheduled;
 
 pub use checkpoint::ShmemCheckpointer;
 pub use heap::{SymArray, SymHeaps};
@@ -44,3 +45,4 @@ pub use launch::{
     shmem_run, shmem_run_faulty, shmem_run_on, shmem_run_with, ShmemJob, ShmemOutput,
 };
 pub use pe::PeCtx;
+pub use scheduled::scheduled_pagerank;

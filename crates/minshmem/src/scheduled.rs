@@ -1,0 +1,97 @@
+//! Scheduler adapter: compile the OpenSHMEM PageRank benchmark into a
+//! gang-scheduled multi-tenant [`hpcbd_sched::JobSpec`].
+//!
+//! Like MPI, SHMEM PEs are gang-scheduled and non-preemptable. Unlike
+//! MPI's two-sided rings, the PGAS cost shape is one-sided: each PE
+//! `put`s its contribution slices straight into its peers' symmetric
+//! heaps (RDMA verbs, no receiver CPU), then synchronizes on a barrier
+//! built from tiny control messages on the wave's private channel.
+
+use std::sync::Arc;
+
+use hpcbd_sched::{JobSpec, Segment, TaskSpec, Wave};
+use hpcbd_simnet::{MatchSpec, Payload, Transport, Work};
+
+/// Native per-logical-edge PageRank cost (mirrors the Fig. 6/7 driver).
+fn edge_work() -> Work {
+    Work::new(12.0, 48.0)
+}
+
+/// Notify-and-release barrier over the wave channel: everyone notifies
+/// PE 0 on lane `2*round`, PE 0 releases everyone on lane `2*round + 1`.
+fn barrier(ctx: &mut hpcbd_simnet::ProcCtx, env: &hpcbd_simnet::LaunchEnv, round: u32) {
+    let p = env.gang_size();
+    let tr = Transport::rdma_verbs();
+    let notify = env.tag(2 * round);
+    let release = env.tag(2 * round + 1);
+    if env.index == 0 {
+        for _ in 1..p {
+            let _ = ctx.recv(MatchSpec::tag(notify));
+        }
+        for i in 1..p {
+            ctx.send(env.peer(i), release, 8, Payload::Empty, &tr);
+        }
+    } else {
+        ctx.send(env.peer(0), notify, 8, Payload::Empty, &tr);
+        let _ = ctx.recv(MatchSpec::src_tag(env.peer(0), release));
+    }
+}
+
+/// The SHMEM PageRank job: `pes` PEs, `iters` power iterations over
+/// `edges` logical edges; per iteration each PE puts its contribution
+/// slices into every peer's symmetric heap and barriers.
+pub fn scheduled_pagerank(
+    queue: &'static str,
+    tenant: &'static str,
+    vertices: u64,
+    edges: u64,
+    iters: u32,
+    pes: u32,
+) -> JobSpec {
+    let body: Segment = Arc::new(move |ctx, env| {
+        let p = env.gang_size() as u64;
+        let local_edges = edges / p;
+        // One [dest, share] f64 pair per local edge, spread over peers.
+        let put_bytes = (local_edges * 16) / p.max(1);
+        for iter in 0..iters {
+            ctx.compute(edge_work().scaled(local_edges as f64), 1.0);
+            let me = env.index as usize;
+            for k in 1..p as usize {
+                let peer = (me + k) % p as usize;
+                ctx.one_sided_transfer(env.peer_node(peer), put_bytes, &Transport::rdma_verbs(), 1);
+            }
+            barrier(ctx, env, iter);
+            // Apply the contributions that landed in the local heap.
+            ctx.compute(Work::new(4.0, 24.0).scaled((vertices / p) as f64), 1.0);
+        }
+    });
+    JobSpec {
+        template: "shmem/pagerank",
+        queue,
+        tenant,
+        waves: vec![Wave {
+            tasks: vec![
+                TaskSpec {
+                    segments: vec![body],
+                    preferred: None,
+                    preemptable: false,
+                };
+                pes as usize
+            ],
+            gang: true,
+        }],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pagerank_is_a_pinned_gang() {
+        let job = scheduled_pagerank("batch", "hpc", 1 << 20, 8 << 20, 3, 4);
+        assert!(job.waves[0].gang);
+        assert_eq!(job.waves[0].tasks.len(), 4);
+        assert!(job.waves[0].tasks.iter().all(|t| !t.preemptable));
+    }
+}

@@ -45,6 +45,7 @@ pub mod metrics;
 pub mod ops_extra;
 pub mod plan;
 pub mod rdd;
+pub mod scheduled;
 pub mod session;
 pub mod shared;
 pub mod stores;
@@ -54,6 +55,7 @@ pub use driver::SparkDriver;
 pub use metrics::MetricsSnapshot;
 pub use plan::Plan;
 pub use rdd::{Data, Key, Rdd};
+pub use scheduled::{scheduled_answers, scheduled_pagerank};
 pub use session::{SparkCluster, SparkResult};
 pub use shared::{Accumulator, Broadcast};
 

@@ -1,0 +1,177 @@
+//! Scheduler adapter: compile the Spark benchmarks into elastic
+//! multi-tenant [`hpcbd_sched::JobSpec`]s.
+//!
+//! Spark stages are *elastic*: tasks trickle onto slots as they free up
+//! (no gang), each preferring the node that holds its HDFS block — the
+//! adapter threads block placements through [`TaskSpec::preferred`] so
+//! the scheduler's delay scheduling can chase locality exactly like
+//! Spark's own `spark.locality.wait`. Costs mirror the standalone
+//! driver: JVM-factored record work, socket-shuffle block transfers, a
+//! barrier between stages (the scheduler's wave boundary).
+
+use std::sync::Arc;
+
+use hpcbd_sched::{JobSpec, Segment, TaskSpec, Wave};
+use hpcbd_simnet::{NodeId, RuntimeClass, SimDuration, Transport, Work};
+use hpcbd_workloads::stackexchange::RECORD_BYTES;
+
+use crate::SparkConfig;
+
+/// Per-record parse/count cost of the scala closure (the native scan
+/// cost; the JVM multiplier is applied at charge time).
+fn scan_work() -> Work {
+    Work::new(60.0, 1600.0)
+}
+
+/// Per-logical-edge cost of one PageRank join+reduce step.
+fn edge_work() -> Work {
+    Work::new(12.0, 48.0)
+}
+
+/// The Spark AnswersCount job: a map stage of `partitions` tasks over
+/// `bytes` of HDFS-resident posts (block `i` preferred on node
+/// `i % nodes`), then a single-task reduce stage.
+pub fn scheduled_answers(
+    queue: &'static str,
+    tenant: &'static str,
+    bytes: u64,
+    partitions: u32,
+    nodes: u32,
+) -> JobSpec {
+    let cfg = SparkConfig::default();
+    let jvm = RuntimeClass::Jvm.factor();
+    let part = bytes / partitions.max(1) as u64;
+    // The scan is cut into record-batch slices with a preemption
+    // checkpoint between them — a YARN container kill lands at a batch
+    // boundary, not after the whole partition.
+    const SLICES: u64 = 4;
+    let launch: Segment = Arc::new(move |ctx, _env| {
+        ctx.sleep(cfg.task_launch_overhead);
+    });
+    let map: Segment = Arc::new(move |ctx, _env| {
+        // HDFS block read from local disk (delay scheduling fought for
+        // locality; a remote assignment still reads the replica the
+        // simulated DataNode fetched to scratch).
+        ctx.disk_read(part / SLICES);
+        let records = (part / SLICES / RECORD_BYTES) as f64;
+        ctx.compute(scan_work().scaled(records), jvm);
+    });
+    let map_segments: Vec<Segment> = std::iter::once(launch)
+        .chain(std::iter::repeat_with(|| map.clone()).take(SLICES as usize))
+        .collect();
+    let reduce: Segment = Arc::new(move |ctx, _env| {
+        ctx.sleep(cfg.result_handle_overhead);
+        ctx.compute(Work::new(8.0, 48.0).scaled(partitions as f64), jvm);
+    });
+    JobSpec {
+        template: "spark/answers",
+        queue,
+        tenant,
+        waves: vec![
+            Wave {
+                tasks: (0..partitions)
+                    .map(|i| TaskSpec {
+                        segments: map_segments.clone(),
+                        preferred: Some(NodeId(i % nodes.max(1))),
+                        preemptable: true,
+                    })
+                    .collect(),
+                gang: false,
+            },
+            Wave {
+                tasks: vec![TaskSpec {
+                    segments: vec![reduce],
+                    preferred: None,
+                    preemptable: true,
+                }],
+                gang: false,
+            },
+        ],
+    }
+}
+
+/// The Spark PageRank job: `iters` shuffle stages of `partitions` tasks
+/// each. Every task computes its partition's contributions then pushes
+/// its shuffle blocks to peer nodes over NIO sockets (the paper's
+/// default engine), so network cost lands on the shared fabric where it
+/// contends with every other tenant.
+pub fn scheduled_pagerank(
+    queue: &'static str,
+    tenant: &'static str,
+    vertices: u64,
+    edges: u64,
+    iters: u32,
+    partitions: u32,
+    nodes: u32,
+) -> JobSpec {
+    let cfg = SparkConfig::default();
+    let jvm = RuntimeClass::Jvm.factor();
+    let p = partitions.max(1) as u64;
+    let local_edges = edges / p;
+    let shuffle_bytes = local_edges * cfg.record_bytes / p.max(1);
+    // Three segments per stage task — contribute, shuffle, apply — so a
+    // preemption kill lands at a stage-internal checkpoint instead of
+    // waiting out the whole task.
+    let contribute: Segment = Arc::new(move |ctx, _env| {
+        ctx.sleep(cfg.task_launch_overhead);
+        ctx.compute(edge_work().scaled(local_edges as f64), jvm);
+    });
+    let shuffle: Segment = Arc::new(move |ctx, env| {
+        // Shuffle write: one block per reducer partition, pushed to the
+        // node that will run it (round-robin like the map placement).
+        let me = env.index as u64;
+        for k in 1..p.min(nodes as u64) {
+            let dst = NodeId(((me + k) % nodes.max(1) as u64) as u32);
+            ctx.one_sided_transfer(dst, shuffle_bytes, &Transport::ipoib_socket(), 1);
+        }
+    });
+    let apply: Segment = Arc::new(move |ctx, _env| {
+        ctx.compute(Work::new(4.0, 24.0).scaled((vertices / p) as f64), jvm);
+    });
+    let waves = (0..iters)
+        .map(|_| Wave {
+            tasks: (0..partitions)
+                .map(|i| TaskSpec {
+                    segments: vec![contribute.clone(), shuffle.clone(), apply.clone()],
+                    preferred: Some(NodeId(i % nodes.max(1))),
+                    preemptable: true,
+                })
+                .collect(),
+            gang: false,
+        })
+        .collect();
+    JobSpec {
+        template: "spark/pagerank",
+        queue,
+        tenant,
+        waves,
+    }
+}
+
+/// Startup cost shared by both jobs (context + app-master), charged by
+/// callers that model cold submissions.
+pub fn app_startup() -> SimDuration {
+    SparkConfig::default().app_startup
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn answers_has_map_then_reduce_waves() {
+        let job = scheduled_answers("queries", "web", 1 << 30, 8, 4);
+        assert_eq!(job.waves.len(), 2);
+        assert_eq!(job.waves[0].tasks.len(), 8);
+        assert_eq!(job.waves[0].tasks[3].preferred, Some(NodeId(3)));
+        assert_eq!(job.waves[1].tasks.len(), 1);
+        assert!(job.waves.iter().all(|w| !w.gang));
+    }
+
+    #[test]
+    fn pagerank_has_one_wave_per_iteration() {
+        let job = scheduled_pagerank("batch", "science", 1 << 20, 8 << 20, 5, 4, 4);
+        assert_eq!(job.waves.len(), 5);
+        assert!(job.waves.iter().all(|w| w.tasks.len() == 4 && !w.gang));
+    }
+}

@@ -1,0 +1,134 @@
+//! Job descriptions: what a tenant submits to the scheduler.
+//!
+//! A job is a sequence of *waves* (stages separated by a barrier at the
+//! scheduler); a wave is a set of *tasks*; a task is a list of *segments*
+//! — closures executed back-to-back on one slot worker, with a
+//! preemption checkpoint between consecutive segments. Gang waves (MPI,
+//! SHMEM) are dispatched all-at-once and may message their peers through
+//! the wave's [`hpcbd_simnet::JobChannel`]; elastic waves (Spark,
+//! MapReduce, OpenMP) trickle out as slots free up and must not message
+//! peers.
+
+use std::sync::Arc;
+
+use hpcbd_simnet::{LaunchEnv, NodeId, ProcCtx};
+
+/// One preemption-atomic unit of a task body.
+pub type Segment = Arc<dyn Fn(&mut ProcCtx, &LaunchEnv) + Send + Sync>;
+
+/// One task of a wave.
+#[derive(Clone)]
+pub struct TaskSpec {
+    /// Body segments, run in order on the assigned slot worker. The
+    /// worker checks for a preemption notice between segments.
+    pub segments: Vec<Segment>,
+    /// Preferred node (data locality); `None` = anywhere.
+    pub preferred: Option<NodeId>,
+    /// May the scheduler reclaim this task's slot mid-run? Gang members
+    /// must be non-preemptable: killing one rank would strand its peers
+    /// inside a collective.
+    pub preemptable: bool,
+}
+
+impl std::fmt::Debug for TaskSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TaskSpec")
+            .field("segments", &self.segments.len())
+            .field("preferred", &self.preferred)
+            .field("preemptable", &self.preemptable)
+            .finish()
+    }
+}
+
+impl TaskSpec {
+    /// A single-segment task.
+    pub fn new(body: Segment) -> TaskSpec {
+        TaskSpec {
+            segments: vec![body],
+            preferred: None,
+            preemptable: true,
+        }
+    }
+
+    /// Set the preferred node.
+    pub fn on(mut self, node: NodeId) -> TaskSpec {
+        self.preferred = Some(node);
+        self
+    }
+
+    /// Mark the task non-preemptable.
+    pub fn pinned(mut self) -> TaskSpec {
+        self.preemptable = false;
+        self
+    }
+}
+
+/// One barrier-separated stage of a job.
+#[derive(Debug, Clone)]
+pub struct Wave {
+    /// The stage's tasks.
+    pub tasks: Vec<TaskSpec>,
+    /// Gang wave: all tasks start together on an atomically allocated
+    /// slot set and may message each other; elastic waves may not.
+    pub gang: bool,
+}
+
+/// A submitted job.
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    /// Workload template name — becomes the phase label on worker spans
+    /// (bounded cardinality: one label per template, not per job).
+    pub template: &'static str,
+    /// Destination queue name.
+    pub queue: &'static str,
+    /// Owning tenant label (bounded cardinality: a handful of tenants).
+    pub tenant: &'static str,
+    /// Stages, executed in order.
+    pub waves: Vec<Wave>,
+}
+
+impl JobSpec {
+    /// Total task count across all waves.
+    pub fn total_tasks(&self) -> usize {
+        self.waves.iter().map(|w| w.tasks.len()).sum()
+    }
+}
+
+/// Builds the `k`-th job of a traffic source (`k` is the source-local
+/// arrival index, usable as a deterministic per-job seed).
+pub type JobFactory = Arc<dyn Fn(u64) -> JobSpec + Send + Sync>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn task_spec_builders_compose() {
+        let seg: Segment = Arc::new(|_ctx, _env| {});
+        let t = TaskSpec::new(seg).on(NodeId(3)).pinned();
+        assert_eq!(t.preferred, Some(NodeId(3)));
+        assert!(!t.preemptable);
+        assert_eq!(t.segments.len(), 1);
+    }
+
+    #[test]
+    fn job_counts_tasks_across_waves() {
+        let seg: Segment = Arc::new(|_ctx, _env| {});
+        let job = JobSpec {
+            template: "t",
+            queue: "q",
+            tenant: "a",
+            waves: vec![
+                Wave {
+                    tasks: vec![TaskSpec::new(seg.clone()), TaskSpec::new(seg.clone())],
+                    gang: false,
+                },
+                Wave {
+                    tasks: vec![TaskSpec::new(seg)],
+                    gang: true,
+                },
+            ],
+        };
+        assert_eq!(job.total_tasks(), 3);
+    }
+}

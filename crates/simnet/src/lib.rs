@@ -61,6 +61,7 @@ pub mod error;
 pub mod faults;
 pub mod fs;
 pub mod hash;
+pub mod job;
 pub mod message;
 pub mod observe;
 pub mod parallel;
@@ -87,6 +88,7 @@ pub use error::{DeadlockNote, RecvTimeout};
 pub use faults::{FaultAtom, FaultEvent, FaultPlan, LinkFault};
 pub use fs::{FileEntry, Mount, SimFs};
 pub use hash::{det_hash, partition_of, DetHasher};
+pub use job::{JobChannel, LaunchEnv, TaskClosure, JOB_TAG_BASE};
 pub use message::{MatchSpec, Message, Payload, Tag};
 pub use observe::{begin_capture, capture_active, end_capture, RunCapture};
 pub use parallel::{default_execution, set_default_execution, Execution};

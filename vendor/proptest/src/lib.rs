@@ -118,6 +118,31 @@ pub mod strategy {
 
     impl_signed_range_strategy!(i8, i16, i32, i64, isize);
 
+    macro_rules! impl_float_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    // Uniform in [0, 1) from the top 53 bits, then scale.
+                    let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+                    self.start + (self.end - self.start) * unit as $t
+                }
+            }
+        )*};
+    }
+
+    impl_float_range_strategy!(f64);
+
+    impl Strategy for Range<f32> {
+        type Value = f32;
+        fn generate(&self, rng: &mut TestRng) -> f32 {
+            assert!(self.start < self.end, "empty range strategy");
+            let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+            self.start + (self.end - self.start) * unit as f32
+        }
+    }
+
     /// Types that have a canonical "any value" strategy.
     pub trait Arbitrary: Sized {
         /// Draw an arbitrary value.
